@@ -1,0 +1,43 @@
+"""Ablation: public-resolver anycast misrouting rate.
+
+Section 3.2 attributes part of the public-resolver distance tail to
+anycast's known limitations (clients routed past their nearest
+deployment).  This bench sweeps the misroute rate and measures the
+demand-weighted median client--LDNS distance for public users.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.stats import weighted_quantile
+from repro.measurement.netsession import NetSessionCollector
+from repro.topology.internet import InternetConfig, build_internet
+from repro.topology.resolvers import DEFAULT_PUBLIC_PROVIDERS
+
+
+def _run_misroute(rate: float) -> float:
+    providers = tuple(replace(p, misroute_rate=rate, deployments=[])
+                      for p in DEFAULT_PUBLIC_PROVIDERS)
+    config = InternetConfig(
+        n_client_blocks=1000, n_ases=90, providers=providers)
+    internet = build_internet(config, seed=77)
+    dataset = NetSessionCollector(internet).collect_ground_truth()
+    public = dataset.filtered(internet.public_resolver_ids())
+    values, weights = public.distance_samples()
+    return weighted_quantile(values, weights, 0.5)
+
+
+@pytest.mark.parametrize("rate", [0.0, 0.12, 0.30])
+def test_anycast_misroute(benchmark, rate):
+    median = benchmark.pedantic(_run_misroute, args=(rate,), rounds=1,
+                                iterations=1)
+    assert median > 0
+    benchmark.extra_info["public_median_distance_mi"] = round(median, 1)
+
+
+def test_misroute_shape():
+    """More misrouting must push public users farther from their LDNS."""
+    perfect = _run_misroute(0.0)
+    broken = _run_misroute(0.45)
+    assert broken > perfect

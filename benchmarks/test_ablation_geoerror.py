@@ -1,0 +1,80 @@
+"""Ablation: geolocation-database error vs end-user mapping accuracy.
+
+End-user mapping's advantage rests on geolocating the ECS client block
+correctly (the paper leans on EdgeScape, Section 2.2).  This bench
+injects bounded random location error into the geo database the
+mapping system consults -- the ground truth stays intact for measuring
+outcomes -- and tracks how the mean mapping distance for public-ECS
+clients degrades.
+
+Expected shape: graceful degradation; with errors far smaller than the
+client--LDNS distances EU replaces, EU stays well ahead of NS-based
+mapping even at a 250-mile error bound.
+"""
+
+import pytest
+
+from repro.cdn import build_catalog, build_deployments
+from repro.core import (
+    EUMappingPolicy,
+    MappingSystem,
+    MeasurementService,
+    NSMappingPolicy,
+    Scorer,
+)
+from repro.dnsproto.edns import ClientSubnetOption
+from repro.dnsproto.types import QType
+from repro.net.geometry import great_circle_miles
+from repro.topology import InternetConfig, build_internet
+
+
+def _mean_mapping_distance(error_miles: float,
+                           policy_kind: str = "eu") -> float:
+    internet = build_internet(InternetConfig.tiny(), seed=55)
+    plan = build_deployments(60, internet.geodb, seed=3,
+                             host_ases=list(internet.ases.values()))
+    catalog = build_catalog(6, seed=2)
+    geodb = internet.geodb
+    if error_miles > 0:
+        geodb = geodb.with_error(error_miles, seed=9)
+    measurement = MeasurementService(geodb)
+    scorer = Scorer(measurement)
+    policy = (EUMappingPolicy(geodb) if policy_kind == "eu"
+              else NSMappingPolicy(geodb))
+    system = MappingSystem(plan, catalog, policy, scorer)
+
+    public = internet.public_resolver_ids()
+    blocks = [b for b in internet.blocks
+              if b.primary_ldns in public][:150]
+    provider = catalog.providers[0]
+    total = 0.0
+    for index, block in enumerate(blocks):
+        resolver = internet.resolvers[block.primary_ldns]
+        ecs = ClientSubnetOption(block.prefix)
+        answer = system.answer(provider.cdn_hostname, QType.A, ecs,
+                               resolver.ip, now=float(index))
+        cluster = plan.cluster_of_server(
+            answer.records[0].rdata.address)
+        # Outcome measured against ground truth, not the noisy DB.
+        total += great_circle_miles(block.geo, cluster.geo)
+    return total / len(blocks)
+
+
+@pytest.mark.parametrize("error_miles", [0.0, 50.0, 250.0])
+def test_geoerror_sensitivity(benchmark, error_miles):
+    distance = benchmark.pedantic(
+        _mean_mapping_distance, args=(error_miles,), rounds=1,
+        iterations=1)
+    assert distance > 0
+    benchmark.extra_info["mean_mapping_distance_mi"] = round(distance, 1)
+
+
+def test_geoerror_shape():
+    perfect = _mean_mapping_distance(0.0)
+    noisy = _mean_mapping_distance(250.0)
+    ns_baseline = _mean_mapping_distance(0.0, policy_kind="ns")
+    # Error degrades EU accuracy...
+    assert noisy >= perfect
+    # ...but EU with a sloppy geo DB still beats NS with a perfect one
+    # for public-resolver clients.
+    assert noisy < ns_baseline

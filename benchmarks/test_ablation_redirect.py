@@ -1,0 +1,93 @@
+"""Ablation: ECS end-user mapping vs pre-ECS redirection mechanisms.
+
+Paper Section 7 argues ECS obsoleted metafile/HTTP redirection because
+it delivers the same client-optimal server *without the startup
+penalty*.  This bench quantifies the three mechanisms' effective
+startup cost for far-LDNS clients and the break-even transfer size for
+HTTP redirection.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import (
+    GlobalLoadBalancer,
+    LocalLoadBalancer,
+    MeasurementService,
+    Scorer,
+)
+from repro.core.redirection import (
+    RedirectionKind,
+    RedirectionMapper,
+    breakeven_transfer_bytes,
+)
+from repro.net.geometry import great_circle_miles
+from repro.simulation import WorldConfig, build_world
+
+
+def _build():
+    world = build_world(WorldConfig.tiny())
+    measurement = MeasurementService(world.internet.geodb)
+    scorer = Scorer(measurement)
+    glb = GlobalLoadBalancer(world.deployments, scorer)
+    llb = LocalLoadBalancer()
+    public = world.internet.public_resolver_ids()
+    clients = [b for b in world.internet.blocks
+               if b.primary_ldns in public][:100]
+    return world, glb, llb, clients
+
+
+def _mechanism_penalties(world, glb, llb, clients, kind):
+    mapper = RedirectionMapper(world.deployments, glb, llb,
+                               world.internet.geodb, kind)
+    penalties = []
+    for block in clients:
+        resolver = world.internet.resolvers[block.primary_ldns]
+        out = mapper.assign(block.prefix.network | 6, resolver.ip,
+                            "provider0", world.network.rtt_ms)
+        if out is not None:
+            penalties.append(out.penalty_ms)
+    return penalties
+
+
+@pytest.mark.parametrize("kind", [RedirectionKind.HTTP,
+                                  RedirectionKind.METAFILE])
+def test_redirection_penalty(benchmark, kind):
+    world, glb, llb, clients = _build()
+    penalties = benchmark.pedantic(
+        _mechanism_penalties, args=(world, glb, llb, clients, kind),
+        rounds=1, iterations=1)
+    assert penalties
+    benchmark.extra_info["mean_penalty_ms"] = round(
+        statistics.mean(penalties), 1)
+
+
+def test_redirect_shape():
+    """ECS (zero penalty) dominates; metafile beats HTTP redirect; the
+    break-even size for HTTP redirect exceeds a typical web page."""
+    world, glb, llb, clients = _build()
+    http = _mechanism_penalties(world, glb, llb, clients,
+                                RedirectionKind.HTTP)
+    metafile = _mechanism_penalties(world, glb, llb, clients,
+                                    RedirectionKind.METAFILE)
+    assert statistics.mean(metafile) <= statistics.mean(http)
+    assert statistics.mean(http) > 0  # ECS's advantage is this penalty
+
+    # Break-even for a representative far client.
+    mapper = RedirectionMapper(world.deployments, glb, llb,
+                               world.internet.geodb,
+                               RedirectionKind.HTTP)
+    far = max(clients, key=lambda b: great_circle_miles(
+        b.geo, world.internet.resolvers[b.primary_ldns].geo))
+    resolver = world.internet.resolvers[far.primary_ldns]
+    client_ip = far.prefix.network | 6
+    out = mapper.assign(client_ip, resolver.ip, "provider0",
+                        world.network.rtt_ms)
+    direct_rtt = world.network.rtt_ms(
+        client_ip,
+        llb.pick_servers(out.first_cluster, "provider0")[0].ip)
+    redirected_rtt = world.network.rtt_ms(client_ip, out.server_ips[0])
+    breakeven = breakeven_transfer_bytes(out.penalty_ms, direct_rtt,
+                                         redirected_rtt)
+    assert breakeven > 50_000  # larger than a typical base page

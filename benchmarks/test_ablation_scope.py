@@ -1,0 +1,72 @@
+"""Ablation: the ECS answer scope /y (paper Section 2.1).
+
+The authoritative may answer with a scope *shorter* than the query's
+/24 source, widening cache reuse at the cost of mapping precision.
+This bench sweeps y in {16, 20, 24} and measures both sides of the
+trade-off on one workload:
+
+* mapping precision -- mean distance between the client block and the
+  cluster the mapping system picked;
+* cache pressure -- upstream queries the LDNS fleet had to issue
+  (fewer distinct scopes => more cache hits => fewer queries).
+
+Expected shape: scope /24 gives the best precision and the most
+queries; /16 the reverse.
+"""
+
+import random
+
+import pytest
+
+from repro.core.policies import EUMappingPolicy
+from repro.dnsproto.types import QType
+from repro.net.geometry import great_circle_miles
+from repro.simulation.world import WorldConfig, build_world
+from repro.topology.internet import InternetConfig
+
+
+def _run_scope(scope_len: int):
+    config = WorldConfig(internet=InternetConfig.tiny(),
+                         n_deployments=40, n_providers=6,
+                         n_nameservers=4, dns_ttl=1800)
+    world = build_world(config)
+    world.set_policy(EUMappingPolicy(world.internet.geodb,
+                                     scope_prefix_len=scope_len))
+    world.enable_ecs(world.public_ldns_ids())
+
+    rng = random.Random(11)
+    provider = world.catalog.providers[0]
+    upstream = 0
+    distances = []
+    public = world.internet.public_resolver_ids()
+    blocks = [b for b in world.internet.blocks
+              if b.primary_ldns in public][:250]
+    for index, block in enumerate(blocks):
+        ldns = world.ldns_registry[block.primary_ldns]
+        outcome = ldns.resolve(provider.domain, QType.A,
+                               block.prefix.network | 10, now=index)
+        upstream += outcome.upstream_queries
+        server_ip = outcome.addresses[0]
+        cluster = world.deployments.cluster_of_server(server_ip)
+        distances.append(great_circle_miles(block.geo, cluster.geo))
+    return sum(distances) / len(distances), upstream
+
+
+@pytest.mark.parametrize("scope_len", [16, 20, 24])
+def test_scope_tradeoff(benchmark, scope_len):
+    mean_distance, upstream = benchmark.pedantic(
+        _run_scope, args=(scope_len,), rounds=1, iterations=1)
+    assert mean_distance > 0
+    assert upstream > 0
+    benchmark.extra_info["mean_mapping_distance_mi"] = round(
+        mean_distance, 1)
+    benchmark.extra_info["upstream_queries"] = upstream
+
+
+def test_scope_shape():
+    """Coarser scope must cut query volume (cache reuse grows)."""
+    fine_distance, fine_queries = _run_scope(24)
+    coarse_distance, coarse_queries = _run_scope(16)
+    assert coarse_queries < fine_queries
+    # Precision should not *improve* when coarsening.
+    assert coarse_distance >= 0.8 * fine_distance

@@ -1,0 +1,40 @@
+"""Ablation: mapping-answer TTL vs authoritative query rate.
+
+Short TTLs keep the mapping responsive (server failures and load
+shifts propagate within one TTL) but multiply DNS query volume: every
+(LDNS, name, scope) entry re-resolves once per TTL.  The paper's
+mapping answers use short TTLs and simply absorb the query rate; this
+bench quantifies the trade-off in the simulator.
+"""
+
+import pytest
+
+from repro.simulation.dnsload import DnsLoadConfig, drive_dns_load
+from repro.simulation.world import WorldConfig, build_world
+from repro.topology.internet import InternetConfig
+
+
+def _run_ttl(ttl: int):
+    config = WorldConfig(internet=InternetConfig.tiny(),
+                         n_deployments=30, n_providers=6,
+                         n_nameservers=3, dns_ttl=ttl)
+    world = build_world(config)
+    world.disable_all_ecs()
+    drive_dns_load(world, DnsLoadConfig(lookups_per_day=20_000, n_days=1,
+                                        start_day=0, seed=5))
+    return world.query_log.rate_in(0, 86400)
+
+
+@pytest.mark.parametrize("ttl", [60, 300, 1800])
+def test_ttl_query_rate(benchmark, ttl):
+    rate = benchmark.pedantic(_run_ttl, args=(ttl,), rounds=1,
+                              iterations=1)
+    assert rate > 0
+    benchmark.extra_info["authoritative_qps"] = round(rate, 4)
+
+
+def test_ttl_shape():
+    """Longer TTL must reduce the authoritative query rate."""
+    short = _run_ttl(60)
+    long = _run_ttl(1800)
+    assert long < short

@@ -1,0 +1,7 @@
+"""Benchmark: the Section 4.5 universal-EDNS0-adoption extension."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_ext_adoption(benchmark):
+    run_experiment_benchmark(benchmark, "ext-adoption")

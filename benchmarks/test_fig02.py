@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig02 (client requests vs DNS queries)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig02(benchmark):
+    run_experiment_benchmark(benchmark, "fig02")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig05 (client-LDNS distance histogram, all clients)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig05(benchmark):
+    run_experiment_benchmark(benchmark, "fig05")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig06 (client-LDNS distance by country)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig06(benchmark):
+    run_experiment_benchmark(benchmark, "fig06")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig07 (client-LDNS distance histogram, public resolvers)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig07(benchmark):
+    run_experiment_benchmark(benchmark, "fig07")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig08 (client-LDNS distance by country, public resolvers)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig08(benchmark):
+    run_experiment_benchmark(benchmark, "fig08")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig09 (percent of demand from public resolvers by country)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig09(benchmark):
+    run_experiment_benchmark(benchmark, "fig09")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig10 (client-LDNS distance vs AS size)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig10(benchmark):
+    run_experiment_benchmark(benchmark, "fig10")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig11 (cluster radius and client-LDNS distance CDFs)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig11(benchmark):
+    run_experiment_benchmark(benchmark, "fig11")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig12 (RUM measurements per month)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig12(benchmark):
+    run_experiment_benchmark(benchmark, "fig12")

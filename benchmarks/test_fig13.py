@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig13 (daily mean mapping distance through the roll-out)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig13(benchmark):
+    run_experiment_benchmark(benchmark, "fig13")

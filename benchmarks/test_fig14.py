@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig14 (mapping distance CDFs before/after roll-out)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig14(benchmark):
+    run_experiment_benchmark(benchmark, "fig14")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig15 (daily mean RTT through the roll-out)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig15(benchmark):
+    run_experiment_benchmark(benchmark, "fig15")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig16 (RTT CDFs before/after roll-out)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig16(benchmark):
+    run_experiment_benchmark(benchmark, "fig16")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig17 (daily mean TTFB through the roll-out)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig17(benchmark):
+    run_experiment_benchmark(benchmark, "fig17")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig18 (TTFB CDFs before/after roll-out)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig18(benchmark):
+    run_experiment_benchmark(benchmark, "fig18")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig19 (daily mean content download time through the roll-out)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig19(benchmark):
+    run_experiment_benchmark(benchmark, "fig19")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig20 (content download time CDFs before/after roll-out)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig20(benchmark):
+    run_experiment_benchmark(benchmark, "fig20")

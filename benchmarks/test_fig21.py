@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig21 (demand coverage vs number of mapping units)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig21(benchmark):
+    run_experiment_benchmark(benchmark, "fig21")

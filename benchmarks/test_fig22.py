@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig22 (cluster radius and unit count per /x prefix)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig22(benchmark):
+    run_experiment_benchmark(benchmark, "fig22")

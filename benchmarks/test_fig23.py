@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig23 (DNS query rate before/after ECS roll-out)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig23(benchmark):
+    run_experiment_benchmark(benchmark, "fig23")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig24 (query-rate inflation vs pair popularity)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig24(benchmark):
+    run_experiment_benchmark(benchmark, "fig24")

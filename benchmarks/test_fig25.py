@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig25 (NS vs EU vs CANS latency vs deployments)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig25(benchmark):
+    run_experiment_benchmark(benchmark, "fig25")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: build a world, resolve a domain, download a page.
+
+Walks the paper's Figure 3/4 flow end to end:
+
+1. build a miniature Internet + CDN (topology, resolvers, deployments,
+   mapping system, authoritative name servers);
+2. resolve a content provider's domain for two clients -- one behind a
+   local ISP resolver, one behind a distant public resolver -- first
+   with classic NS-based mapping, then with EDNS0 client-subnet
+   enabled (end-user mapping);
+3. run a full page download and print the RUM-style milestones.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.net.geometry import great_circle_miles
+from repro.net.ipv4 import format_ipv4
+from repro.simulation import WorldConfig, build_world, simulate_session
+
+
+def mapping_distance(world, block, resolution):
+    cluster = world.deployments.cluster_of_server(resolution.addresses[0])
+    return great_circle_miles(block.geo, cluster.geo), cluster
+
+
+def resolve_and_report(world, block, label, now):
+    ldns = world.ldns_registry[block.primary_ldns]
+    client_ip = block.prefix.network | 7
+    provider = world.catalog.providers[0]
+    result = ldns.resolve(provider.domain, 1, client_ip, now)
+    distance, cluster = mapping_distance(world, block, result)
+    ecs = "ECS on" if ldns.ecs_enabled else "ECS off"
+    print(f"  {label:<28} [{ecs}]")
+    print(f"    client block {block.prefix} in {block.city}, "
+          f"{block.country}")
+    print(f"    LDNS {block.primary_ldns}")
+    print(f"    mapped to {format_ipv4(result.addresses[0])} in cluster "
+          f"{cluster.cluster_id}")
+    print(f"    mapping distance: {distance:,.0f} miles")
+    return distance
+
+
+def main():
+    print("Building the world (synthetic Internet + CDN)...")
+    world = build_world(WorldConfig.tiny())
+    print(f"  {len(world.internet.blocks)} client /24 blocks, "
+          f"{len(world.internet.resolvers)} LDNS deployments, "
+          f"{len(world.deployments)} CDN locations, "
+          f"{len(world.catalog)} content providers\n")
+
+    public = set(world.public_ldns_ids())
+    blocks = world.internet.blocks
+    local_block = max(
+        (b for b in blocks if b.primary_ldns not in public),
+        key=lambda b: b.demand)
+    # The public-resolver client farthest from its LDNS.
+    far_block = max(
+        (b for b in blocks if b.primary_ldns in public),
+        key=lambda b: great_circle_miles(
+            b.geo, world.internet.resolvers[b.primary_ldns].geo))
+
+    print("== NS-based mapping (no EDNS0 client-subnet) ==")
+    resolve_and_report(world, local_block, "ISP-resolver client", now=0)
+    before = resolve_and_report(world, far_block,
+                                "public-resolver client", now=1)
+
+    print("\n== End-user mapping (public resolvers send ECS) ==")
+    world.enable_ecs(world.public_ldns_ids())
+    after = resolve_and_report(world, far_block,
+                               "public-resolver client", now=4000)
+    print(f"\n  end-user mapping cut this client's mapping distance "
+          f"{before / max(after, 1):.1f}x\n")
+
+    print("== Full page download (RUM milestones) ==")
+    rng = random.Random(7)
+    session = simulate_session(world, far_block, now=8000, rng=rng)
+    print(f"  domain            {session.domain}")
+    print(f"  DNS lookup        {session.dns_ms:8.1f} ms")
+    print(f"  TCP connect       {session.connect_ms:8.1f} ms")
+    print(f"  TTFB              {session.ttfb_ms:8.1f} ms")
+    print(f"  content download  {session.download_ms:8.1f} ms")
+    print(f"  total page load   {session.page_load_ms:8.1f} ms")
+    print(f"  HTTP requests     {session.requests:5d}")
+    print(f"  edge cache hits   {session.edge_cache_hits:5d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro: End-User Mapping (SIGCOMM 2015) reproduction library.
+
+A from-scratch reimplementation of the CDN request-routing system of
+Chen, Sitaraman & Torres, "End-User Mapping: Next Generation Request
+Routing for Content Delivery", together with every substrate its
+evaluation needs: the DNS protocol with EDNS0 client-subnet (RFC 7871),
+a recursive/authoritative resolver stack, a synthetic global Internet,
+a CDN edge platform, and measurement systems (NetSession, RUM, query
+logs).
+
+Start with :func:`repro.simulation.build_world` for a fully wired
+system, or ``eum-experiment run all`` to regenerate the paper's
+figures.  See README.md and DESIGN.md.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

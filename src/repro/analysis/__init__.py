@@ -1,0 +1,27 @@
+"""Statistical helpers for the paper's figures.
+
+Everything here is demand-weighted: the paper's distributions weight
+clients by the traffic they generate, not by counting IPs.
+"""
+
+from repro.analysis.stats import (
+    box_stats,
+    log_histogram,
+    weighted_cdf,
+    weighted_mean,
+    weighted_quantile,
+)
+from repro.analysis.clusters import (
+    LdnsClusterStats,
+    ldns_cluster_stats,
+)
+
+__all__ = [
+    "LdnsClusterStats",
+    "box_stats",
+    "ldns_cluster_stats",
+    "log_histogram",
+    "weighted_cdf",
+    "weighted_mean",
+    "weighted_quantile",
+]

@@ -1,0 +1,79 @@
+"""Client-cluster geometry per LDNS (paper Section 3.3).
+
+A *client cluster* is the set of clients sharing one LDNS.  For each
+LDNS we compute the demand-weighted cluster radius (mean distance of
+members to the demand-weighted centroid) and the mean client--LDNS
+distance -- the two CDFs of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.geometry import (
+    cluster_radius_miles,
+    great_circle_miles,
+    weighted_centroid,
+)
+from repro.topology.internet import Internet
+
+
+@dataclass(frozen=True, slots=True)
+class LdnsClusterStats:
+    """Geometry of one LDNS's client cluster."""
+
+    resolver_id: str
+    is_public: bool
+    demand: float
+    n_blocks: int
+    radius_miles: float
+    mean_client_distance_miles: float
+    centroid_distance_miles: float
+    """Distance from the LDNS to the cluster centroid (Fig 11's
+    observation that public LDNSes are not centrally placed)."""
+
+
+def ldns_cluster_stats(
+    internet: Internet,
+    min_blocks: int = 1,
+) -> List[LdnsClusterStats]:
+    """Cluster stats for every LDNS with at least ``min_blocks`` members."""
+    members: Dict[str, List] = {}
+    for block in internet.blocks:
+        for resolver_id, weight in block.ldns:
+            members.setdefault(resolver_id, []).append(
+                (block.geo, block.demand * weight))
+    public = internet.public_resolver_ids()
+    out: List[LdnsClusterStats] = []
+    for resolver_id, entries in members.items():
+        if len(entries) < min_blocks:
+            continue
+        resolver = internet.resolvers[resolver_id]
+        points = [geo for geo, _ in entries]
+        weights = [w for _, w in entries]
+        demand = sum(weights)
+        radius = cluster_radius_miles(points, weights)
+        mean_distance = sum(
+            w * great_circle_miles(geo, resolver.geo)
+            for geo, w in entries) / demand
+        centroid = weighted_centroid(points, weights)
+        out.append(LdnsClusterStats(
+            resolver_id=resolver_id,
+            is_public=resolver_id in public,
+            demand=demand,
+            n_blocks=len(entries),
+            radius_miles=radius,
+            mean_client_distance_miles=mean_distance,
+            centroid_distance_miles=great_circle_miles(
+                centroid, resolver.geo),
+        ))
+    return out
+
+
+def filter_public(stats: List[LdnsClusterStats],
+                  public: Optional[bool]) -> List[LdnsClusterStats]:
+    """Subset by resolver population; None returns everything."""
+    if public is None:
+        return list(stats)
+    return [s for s in stats if s.is_public == public]

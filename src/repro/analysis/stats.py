@@ -1,0 +1,135 @@
+"""Weighted distribution statistics.
+
+All functions take parallel ``values``/``weights`` sequences.  Weights
+are client demand; the paper's Figures 5-11, 14, 16, 18, 20, 21, and 22
+are all demand-weighted distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def _as_arrays(values: Sequence[float],
+               weights: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if v.shape != w.shape:
+        raise ValueError("values and weights must have equal length")
+    if v.size == 0:
+        raise ValueError("empty sample")
+    if np.any(w < 0):
+        raise ValueError("negative weights")
+    if w.sum() <= 0:
+        raise ValueError("total weight must be positive")
+    return v, w
+
+
+def weighted_mean(values: Sequence[float],
+                  weights: Sequence[float]) -> float:
+    """Demand-weighted mean."""
+    v, w = _as_arrays(values, weights)
+    return float(np.average(v, weights=w))
+
+
+def weighted_quantile(values: Sequence[float], weights: Sequence[float],
+                      q: float) -> float:
+    """Demand-weighted quantile, q in [0, 1].
+
+    Uses the left-continuous inverse of the weighted empirical CDF: the
+    smallest value whose cumulative weight share reaches q.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile out of range: {q}")
+    v, w = _as_arrays(values, weights)
+    order = np.argsort(v, kind="stable")
+    v = v[order]
+    w = w[order]
+    cum = np.cumsum(w) / w.sum()
+    index = int(np.searchsorted(cum, q, side="left"))
+    return float(v[min(index, v.size - 1)])
+
+
+@dataclass(frozen=True, slots=True)
+class BoxStats:
+    """The five quantiles every box plot in the paper shows
+    (footnote 6: 5th, 25th, 50th, 75th, 95th percentiles)."""
+
+    p5: float
+    p25: float
+    p50: float
+    p75: float
+    p95: float
+
+    def as_tuple(self) -> Tuple[float, float, float, float, float]:
+        return (self.p5, self.p25, self.p50, self.p75, self.p95)
+
+
+def box_stats(values: Sequence[float],
+              weights: Sequence[float]) -> BoxStats:
+    return BoxStats(*(weighted_quantile(values, weights, q)
+                      for q in (0.05, 0.25, 0.50, 0.75, 0.95)))
+
+
+def weighted_cdf(
+    values: Sequence[float],
+    weights: Sequence[float],
+    grid: Sequence[float],
+) -> List[Tuple[float, float]]:
+    """Weighted CDF evaluated on a grid: (x, P[value <= x]) pairs."""
+    v, w = _as_arrays(values, weights)
+    order = np.argsort(v, kind="stable")
+    v = v[order]
+    w = w[order]
+    cum = np.cumsum(w) / w.sum()
+    out = []
+    for x in grid:
+        index = int(np.searchsorted(v, x, side="right"))
+        share = float(cum[index - 1]) if index > 0 else 0.0
+        out.append((float(x), share))
+    return out
+
+
+def log_histogram(
+    values: Sequence[float],
+    weights: Sequence[float],
+    lo: float = 1.0,
+    hi: float = 20000.0,
+    bins_per_decade: int = 8,
+) -> List[Tuple[float, float]]:
+    """Weighted histogram over log-spaced bins.
+
+    Returns (bin upper edge, weight share) pairs; values below ``lo``
+    land in the first bin, above ``hi`` in the last (the paper's
+    distance histograms use log-scaled x axes, Figures 5 and 7).
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    v, w = _as_arrays(values, weights)
+    n_bins = int(math.ceil(math.log10(hi / lo) * bins_per_decade))
+    edges = np.logspace(math.log10(lo), math.log10(hi), n_bins + 1)
+    clipped = np.clip(v, lo, hi - 1e-9)
+    indices = np.searchsorted(edges, clipped, side="right") - 1
+    indices = np.clip(indices, 0, n_bins - 1)
+    total = w.sum()
+    shares = np.zeros(n_bins)
+    np.add.at(shares, indices, w / total)
+    return [(float(edges[i + 1]), float(shares[i])) for i in range(n_bins)]
+
+
+def log_grid(lo: float, hi: float, points: int = 60) -> List[float]:
+    """Log-spaced evaluation grid for CDFs over distance-like values."""
+    if lo <= 0 or hi <= lo or points < 2:
+        raise ValueError("need 0 < lo < hi and points >= 2")
+    return [float(x) for x in np.logspace(math.log10(lo), math.log10(hi),
+                                          points)]
+
+
+def linear_grid(lo: float, hi: float, points: int = 60) -> List[float]:
+    if hi <= lo or points < 2:
+        raise ValueError("need lo < hi and points >= 2")
+    return [float(x) for x in np.linspace(lo, hi, points)]

@@ -1,0 +1,47 @@
+"""The CDN platform substrate: edge servers, deployments, content.
+
+The paper's mapping system routes clients to Akamai's edge platform;
+this package provides that platform in miniature:
+
+* :mod:`repro.cdn.server` -- edge servers with byte-capacity LRU caches
+  and load/liveness state.
+* :mod:`repro.cdn.deployments` -- clusters of servers placed in the
+  gazetteer's cities (the "deployment locations" of Section 6, 2642 in
+  the paper's universe), including in-ISP deployments.
+* :mod:`repro.cdn.content` -- content providers, their domains and web
+  pages (dynamic base page + cacheable embedded objects -- the page
+  anatomy behind the TTFB vs. content-download-time split, Section 4.1).
+* :mod:`repro.cdn.origin` -- origin servers operated by the providers.
+"""
+
+from repro.cdn.content import (
+    ContentCatalog,
+    ContentProvider,
+    EmbeddedObject,
+    WebPage,
+    build_catalog,
+)
+from repro.cdn.deployments import (
+    CDN_BACKBONE_ASN,
+    Cluster,
+    DeploymentPlan,
+    build_deployments,
+)
+from repro.cdn.origin import OriginServer
+from repro.cdn.server import CacheStats, EdgeServer, LruCache
+
+__all__ = [
+    "CDN_BACKBONE_ASN",
+    "CacheStats",
+    "Cluster",
+    "ContentCatalog",
+    "ContentProvider",
+    "DeploymentPlan",
+    "EdgeServer",
+    "EmbeddedObject",
+    "LruCache",
+    "OriginServer",
+    "WebPage",
+    "build_catalog",
+    "build_deployments",
+]

@@ -1,0 +1,84 @@
+"""Origin servers and the origin-fetch path.
+
+When an edge server misses cache, or a dynamic base page must be
+personalized, the edge fetches from the content provider's origin.
+The paper notes origin--edge traffic rides an *overlay transport* that
+is faster than the public Internet (Section 4.1, [26]); we model that
+as a configurable speedup factor on the edge--origin RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.cities import City
+from repro.geo.database import GeoDatabase, GeoRecord
+from repro.net.geometry import GeoPoint
+from repro.net.ipv4 import Prefix
+from repro.topology.addressing import AddressAllocator, ORIGIN_SPACE_START
+
+#: Overlay transport speedup over the raw path RTT (midgress routing,
+#: pooled connections, no TCP slow-start on warm overlay links).  The
+#: paper's reference [26] motivates a strong speedup; this factor also
+#: determines how much of the client-side RTT gain survives into TTFB
+#: when end-user mapping moves the edge closer to the client and hence
+#: farther from the origin.
+DEFAULT_OVERLAY_SPEEDUP = 0.35
+
+
+@dataclass
+class OriginServer:
+    """One content provider's origin data center."""
+
+    ip: int
+    provider_name: str
+    city: str
+    country: str
+    geo: GeoPoint
+    asn: int
+    overlay_speedup: float = DEFAULT_OVERLAY_SPEEDUP
+
+    def __post_init__(self) -> None:
+        if not 0 < self.overlay_speedup <= 1.0:
+            raise ValueError(
+                f"overlay speedup must be in (0, 1]: {self.overlay_speedup}")
+
+    def fetch_time_ms(self, edge_rtt_ms: float, think_ms: float) -> float:
+        """Time for an edge server to obtain a fresh object/page.
+
+        One overlay round trip (request + response) plus origin
+        processing time.
+        """
+        if edge_rtt_ms < 0 or think_ms < 0:
+            raise ValueError("negative time inputs")
+        return edge_rtt_ms * self.overlay_speedup + think_ms
+
+
+def deploy_origin(
+    provider_name: str,
+    city: City,
+    geodb: GeoDatabase,
+    allocator: AddressAllocator,
+    asn: int = 64999,
+    overlay_speedup: float = DEFAULT_OVERLAY_SPEEDUP,
+) -> OriginServer:
+    """Allocate an origin address in the origin pool and register it."""
+    block = allocator.allocate_chunk(1)
+    origin = OriginServer(
+        ip=block.network | 1,
+        provider_name=provider_name,
+        city=city.name,
+        country=city.country,
+        geo=city.geo,
+        asn=asn,
+        overlay_speedup=overlay_speedup,
+    )
+    geodb.register(Prefix(block.network, 24), GeoRecord(
+        geo=city.geo, city=city.name, country=city.country,
+        continent=city.continent, asn=asn))
+    return origin
+
+
+def make_origin_allocator() -> AddressAllocator:
+    """Allocator carving from the origin address pool."""
+    return AddressAllocator(ORIGIN_SPACE_START)

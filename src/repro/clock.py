@@ -1,0 +1,59 @@
+"""Simulated wall clock.
+
+Every time-dependent component (DNS caches and TTLs, load reports,
+roll-out schedules) takes a :class:`SimClock` so tests and experiments
+control time explicitly.  Library code never reads the real clock.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+
+class SimClock:
+    """A monotonically advancing simulated clock, in seconds.
+
+    The epoch is arbitrary; experiments that need calendar semantics
+    (the roll-out timeline) interpret second 0 via ``start_date``.
+    """
+
+    def __init__(self, start: float = 0.0,
+                 start_date: datetime.date = datetime.date(2014, 1, 1)
+                 ) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now = float(start)
+        self.start_date = start_date
+
+    def now(self) -> float:
+        """Current simulated time in seconds since the epoch."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"time cannot move backwards: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Jump to an absolute time (which must not be in the past)."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {when}")
+        self._now = when
+        return self._now
+
+    @property
+    def date(self) -> datetime.date:
+        """Calendar date of the current simulated time."""
+        days = int(self._now // 86400)
+        return self.start_date + datetime.timedelta(days=days)
+
+    def seconds_for_date(self, date: datetime.date) -> float:
+        """Simulated timestamp of midnight on a calendar date."""
+        delta = date - self.start_date
+        return delta.days * 86400.0
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.3f}, date={self.date.isoformat()})"

@@ -1,0 +1,162 @@
+"""Hierarchical load balancing: global (cluster) then local (servers).
+
+Paper Section 2.2: "the load balancing module assigns servers to each
+client request in two hierarchical steps: first it assigns a server
+cluster for each client (global load balancing); next it assigns
+server(s) within the chosen cluster (local load balancing)".
+
+* The **global** balancer ranks candidate clusters by score and picks
+  the best one that is live and under its utilization ceiling,
+  spilling over to the next-best when the proximal cluster is full.
+* The **local** balancer picks two or more servers inside the cluster
+  ("more than one server is returned as an additional precaution
+  against transient failures", paper footnote 2) using rendezvous
+  hashing keyed by content provider, so requests for one provider's
+  content concentrate on few servers per cluster -- the cache-affinity
+  consideration of Section 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from repro.cdn.deployments import Cluster, DeploymentPlan
+from repro.cdn.server import EdgeServer
+from repro.core.policies import MapTarget
+from repro.core.scoring import Scorer
+
+
+class CandidateIndexLike(Protocol):
+    """Topology-discovery interface the balancer consumes.
+
+    Implemented by :class:`repro.core.discovery.CandidateIndex`; typed
+    as a protocol to keep this module free of a discovery dependency.
+    """
+
+    def candidates(self, target: MapTarget) -> List[Cluster]: ...
+
+
+@dataclass(frozen=True, slots=True)
+class LoadBalancerConfig:
+    utilization_ceiling: float = 0.85
+    """Clusters above this utilization stop receiving new traffic."""
+    servers_per_answer: int = 2
+    candidate_limit: int = 12
+    """Clusters fully scored per decision after the geometric pre-cut.
+    (Topology discovery in production similarly prunes candidates.)"""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.utilization_ceiling <= 1.0:
+            raise ValueError("utilization ceiling must be in (0, 1]")
+        if self.servers_per_answer < 1:
+            raise ValueError("must return at least one server")
+
+
+class GlobalLoadBalancer:
+    """Chooses the serving cluster for a mapping target."""
+
+    def __init__(
+        self,
+        deployments: DeploymentPlan,
+        scorer: Scorer,
+        config: Optional[LoadBalancerConfig] = None,
+        candidate_index: Optional["CandidateIndexLike"] = None,
+    ) -> None:
+        self.deployments = deployments
+        self.scorer = scorer
+        self.config = config or LoadBalancerConfig()
+        self.candidate_index = candidate_index
+        self.spillovers = 0
+        self.decisions = 0
+
+    def rank_clusters(self, target: MapTarget) -> List[Cluster]:
+        """Candidate live clusters, best score first.
+
+        With a topology-discovery candidate index attached, only the
+        pre-cut candidates are scored (paper Section 2.2: scoring
+        evaluates candidates produced by topology discovery); without
+        one, every live cluster is scored.
+        """
+        if self.candidate_index is not None:
+            live = [c for c in self.candidate_index.candidates(target)
+                    if c.alive]
+            if not live:
+                live = self.deployments.live_clusters()
+        else:
+            live = self.deployments.live_clusters()
+        if target.is_aggregate:
+            weighted = [(member, weight) for member, weight in
+                        target.members]
+            scored = [
+                (self.scorer.score_weighted(cluster, weighted), cluster)
+                for cluster in live
+            ]
+        else:
+            scored = [(self.scorer.score(cluster, target), cluster)
+                      for cluster in live]
+        scored.sort(key=lambda pair: (pair[0], pair[1].cluster_id))
+        return [cluster for _score, cluster in scored]
+
+    def pick_cluster(self, target: MapTarget) -> Optional[Cluster]:
+        """Best-scoring live cluster with capacity headroom."""
+        self.decisions += 1
+        ranked = self.rank_clusters(target)
+        if not ranked:
+            return None
+        for index, cluster in enumerate(
+                ranked[: max(self.config.candidate_limit, 1)]):
+            if cluster.utilization < self.config.utilization_ceiling:
+                if index > 0:
+                    self.spillovers += 1
+                return cluster
+        # Everything over the ceiling: degrade gracefully to the
+        # least-loaded candidate rather than failing the resolution.
+        fallback = min(ranked[: self.config.candidate_limit],
+                       key=lambda c: c.utilization)
+        self.spillovers += 1
+        return fallback
+
+
+class LocalLoadBalancer:
+    """Chooses servers within the cluster via rendezvous hashing.
+
+    Rendezvous (highest-random-weight) hashing keyed by content
+    provider gives each provider a stable, cache-friendly server subset
+    that rebalances minimally when servers fail, with load spread by
+    each server's remaining capacity.
+    """
+
+    def __init__(self, config: Optional[LoadBalancerConfig] = None) -> None:
+        self.config = config or LoadBalancerConfig()
+
+    @staticmethod
+    def _weight(provider_key: str, server: EdgeServer) -> float:
+        digest = hashlib.blake2b(
+            f"{provider_key}|{server.ip}".encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "big") / float(1 << 64)
+
+    def pick_servers(self, cluster: Cluster,
+                     provider_key: str) -> List[EdgeServer]:
+        """Two (configurable) live servers for this provider."""
+        live = [s for s in cluster.live_servers() if not s.overloaded]
+        if not live:
+            live = cluster.live_servers()
+        if not live:
+            return []
+        ranked = sorted(
+            live,
+            key=lambda s: self._weight(provider_key, s),
+            reverse=True,
+        )
+        return ranked[: self.config.servers_per_answer]
+
+
+def spread_load(servers: Sequence[EdgeServer], rps: float) -> None:
+    """Account new request load evenly across the returned servers."""
+    if not servers:
+        return
+    share = rps / len(servers)
+    for server in servers:
+        server.add_load(share)

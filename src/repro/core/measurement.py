@@ -1,0 +1,252 @@
+"""Network measurement: the mapping system's eyes.
+
+The real system runs BGP collectors, geolocation, name-server logs, and
+a global ping mesh (paper Section 2.2).  Here the measurement service
+wraps the simulator's latency model and geolocation database behind the
+same *interface* the rest of the mapping system would use in
+production: "what RTT should we expect between this deployment and
+this mapping target?", "which servers are live and how loaded?".
+
+Ping targets (Section 6's simulation methodology) are also built here:
+the paper clusters ~20K top /24 blocks into 8K representative targets
+and uses the nearest target as a latency proxy for any client or LDNS.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdn.deployments import Cluster, DeploymentPlan
+from repro.geo.database import GeoDatabase
+from repro.net.geometry import GeoPoint, great_circle_miles
+from repro.net.latency import LatencyModel
+from repro.net.ipv4 import Prefix
+from repro.topology.internet import ClientBlock, Internet
+
+
+@dataclass(frozen=True, slots=True)
+class PingTarget:
+    """A representative measurement point (usually a router near
+    clients) standing in for every client block mapped to it."""
+
+    target_id: int
+    geo: GeoPoint
+    asn: int
+    demand: float
+
+
+@dataclass(frozen=True, slots=True)
+class LivenessReport:
+    """One snapshot of a cluster's health."""
+
+    cluster_id: str
+    alive: bool
+    live_servers: int
+    utilization: float
+
+
+class MeasurementService:
+    """Latency, liveness, and load measurements for server assignment."""
+
+    def __init__(
+        self,
+        geodb: GeoDatabase,
+        latency_model: Optional[LatencyModel] = None,
+        measurement_noise: float = 0.0,
+        seed: int = 17,
+    ) -> None:
+        self._geodb = geodb
+        self._latency = latency_model or LatencyModel()
+        self._noise = measurement_noise
+        self._rng = random.Random(seed)
+        self._cache: Dict[Tuple[str, float, float, int], float] = {}
+
+    # -- latency ----------------------------------------------------------
+
+    def rtt_cluster_to_point(self, cluster: Cluster, geo: GeoPoint,
+                             asn: int) -> float:
+        """Measured RTT (ms) from a cluster to a geographic target.
+
+        Measurements are memoized per (cluster, target); optional
+        multiplicative noise models measurement error and is frozen at
+        first measurement (the production system smooths over windows).
+        """
+        key = (cluster.cluster_id, geo.lat, geo.lon, asn)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        rtt = self._latency.base_rtt_ms(cluster.geo, cluster.asn, geo, asn)
+        if self._noise > 0:
+            rtt *= math.exp(self._rng.gauss(0.0, self._noise))
+        self._cache[key] = rtt
+        return rtt
+
+    def rtt_cluster_to_prefix(self, cluster: Cluster,
+                              prefix: Prefix) -> Optional[float]:
+        """RTT to a client block, geolocated via the geo database."""
+        record = self._geodb.lookup_prefix(prefix)
+        if record is None:
+            return None
+        return self.rtt_cluster_to_point(cluster, record.geo, record.asn)
+
+    def rtt_cluster_to_addr(self, cluster: Cluster,
+                            addr: int) -> Optional[float]:
+        record = self._geodb.lookup(addr)
+        if record is None:
+            return None
+        return self.rtt_cluster_to_point(cluster, record.geo, record.asn)
+
+    # -- liveness / load ----------------------------------------------------
+
+    def liveness_snapshot(
+        self, deployments: DeploymentPlan
+    ) -> Dict[str, LivenessReport]:
+        """Real-time health of every cluster (Section 2.2 item (v))."""
+        out = {}
+        for cluster_id, cluster in deployments.clusters.items():
+            out[cluster_id] = LivenessReport(
+                cluster_id=cluster_id,
+                alive=cluster.alive,
+                live_servers=len(cluster.live_servers()),
+                utilization=cluster.utilization if cluster.alive else
+                math.inf,
+            )
+        return out
+
+    def flush(self) -> None:
+        """Forget memoized measurements (topology changed)."""
+        self._cache.clear()
+
+
+def build_ping_targets(
+    internet: Internet,
+    n_targets: int,
+    seed: int = 23,
+) -> Tuple[List[PingTarget], Dict[Prefix, int]]:
+    """Cluster client blocks into representative ping targets.
+
+    Follows the paper's methodology (Section 6): take the blocks that
+    generate the most load, pick a demand-weighted subset as targets
+    "so as to cover all major geographical areas and networks", and map
+    every block to its nearest target.  Returns the target list and the
+    block->target assignment.
+    """
+    if n_targets < 1:
+        raise ValueError("need at least one ping target")
+    blocks = sorted(internet.blocks, key=lambda b: b.demand, reverse=True)
+    if not blocks:
+        raise ValueError("internet has no client blocks")
+    n_targets = min(n_targets, len(blocks))
+
+    # Greedy demand-first selection with a spacing constraint keeps the
+    # target set geographically diverse instead of 50 targets in Tokyo.
+    rng = random.Random(seed)
+    targets: List[PingTarget] = []
+    min_spacing = 30.0  # miles
+    for block in blocks:
+        if len(targets) >= n_targets:
+            break
+        if any(great_circle_miles(block.geo, t.geo) < min_spacing
+               and t.asn == block.asn for t in targets):
+            continue
+        targets.append(PingTarget(
+            target_id=len(targets), geo=block.geo, asn=block.asn,
+            demand=block.demand))
+    # Relax spacing if the constraint starved the target budget.
+    index = 0
+    while len(targets) < n_targets and index < len(blocks):
+        block = blocks[index]
+        index += 1
+        if any(t.geo == block.geo and t.asn == block.asn for t in targets):
+            continue
+        targets.append(PingTarget(
+            target_id=len(targets), geo=block.geo, asn=block.asn,
+            demand=block.demand))
+    del rng  # selection is deterministic; rng reserved for future use
+
+    grid = _TargetGrid(targets)
+    assignment: Dict[Prefix, int] = {}
+    for block in internet.blocks:
+        assignment[block.prefix] = grid.nearest(block)
+    return targets, assignment
+
+
+def nearest_target_id(geo: GeoPoint, asn: int,
+                      targets: Sequence[PingTarget]) -> int:
+    """Nearest ping target to an arbitrary point (LDNS proxy lookup).
+
+    Same metric as the block assignment (same-AS preference); linear
+    scan, intended for the comparatively small LDNS population.
+    """
+    if not targets:
+        raise ValueError("no ping targets")
+    best_id = targets[0].target_id
+    best = math.inf
+    for target in targets:
+        distance = great_circle_miles(geo, target.geo)
+        if target.asn != asn:
+            distance += 25.0
+        if distance < best:
+            best = distance
+            best_id = target.target_id
+    return best_id
+
+
+class _TargetGrid:
+    """Spatial hash over ping targets for nearest-target queries.
+
+    Buckets targets into 5-degree lat/lon cells and searches outward in
+    rings; exact nearest within the searched radius, which is ample for
+    the 'latency proxy' role targets play.
+    """
+
+    _CELL_DEG = 5.0
+
+    def __init__(self, targets: Sequence[PingTarget]) -> None:
+        self._targets = list(targets)
+        self._cells: Dict[Tuple[int, int], List[PingTarget]] = {}
+        for target in targets:
+            self._cells.setdefault(self._cell(target.geo), []).append(target)
+
+    def _cell(self, geo: GeoPoint) -> Tuple[int, int]:
+        return (int(geo.lat // self._CELL_DEG),
+                int(geo.lon // self._CELL_DEG))
+
+    def nearest(self, block: ClientBlock) -> int:
+        home = self._cell(block.geo)
+        best_id = -1
+        best = math.inf
+        for ring in range(0, 40):
+            candidates: List[PingTarget] = []
+            for dy in range(-ring, ring + 1):
+                for dx in range(-ring, ring + 1):
+                    if max(abs(dy), abs(dx)) != ring:
+                        continue
+                    cell = (home[0] + dy, (home[1] + dx + 36) % 72 - 36)
+                    candidates.extend(self._cells.get(cell, ()))
+            for target in candidates:
+                # Same-AS targets preferred at equal distance (network
+                # proximity matters, not just geography).
+                distance = great_circle_miles(block.geo, target.geo)
+                if target.asn != block.asn:
+                    distance += 25.0
+                if distance < best:
+                    best = distance
+                    best_id = target.target_id
+            if best_id >= 0 and ring >= 1:
+                # One extra ring after the first hit guards the cell-
+                # boundary case; then stop.
+                break
+        if best_id < 0:
+            # Sparse target set: fall back to a full scan.
+            for target in self._targets:
+                distance = great_circle_miles(block.geo, target.geo)
+                if target.asn != block.asn:
+                    distance += 25.0
+                if distance < best:
+                    best = distance
+                    best_id = target.target_id
+        return best_id

@@ -1,0 +1,153 @@
+"""Pre-ECS end-user mapping mechanisms: HTTP and metafile redirection.
+
+Paper Section 7 describes the industry's earlier attempts at
+client-aware routing, both of which Akamai built before ECS existed:
+
+* **Metafile redirection** (video CDN, circa 2000): the player fetches
+  a metafile whose contents are generated per-request using the
+  *client's* IP (known from the metafile download connection); the
+  metafile names the optimal server.  Costs one extra fetch round trip
+  before the download starts.
+* **HTTP redirection**: the client is first routed by NS-based mapping
+  to server A; server A sees the client's real IP and 302-redirects to
+  the optimal server B.  Costs a wasted connection + redirect exchange
+  ("a redirection penalty that is acceptable only for larger
+  downloads").
+
+Both achieve EU-quality server selection -- they optimize using the
+client's address -- but pay a fixed startup penalty that ECS avoids.
+:func:`redirection_penalty_ms` quantifies that penalty so experiments
+can compare the three mechanisms on equal footing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cdn.deployments import Cluster, DeploymentPlan
+from repro.core.loadbalancer import GlobalLoadBalancer, LocalLoadBalancer
+from repro.core.policies import MapTarget
+from repro.geo.database import GeoDatabase
+
+
+class RedirectionKind(enum.Enum):
+    HTTP = "http_redirect"
+    METAFILE = "metafile"
+
+
+@dataclass(frozen=True, slots=True)
+class RedirectedAssignment:
+    """Outcome of a redirection-based mapping flow."""
+
+    first_cluster: Optional[Cluster]
+    """Where NS-based mapping initially sent the client (HTTP flow)."""
+    final_cluster: Cluster
+    server_ips: Tuple[int, ...]
+    penalty_ms: float
+    """Extra startup latency versus direct EU mapping."""
+
+
+class RedirectionMapper:
+    """EU-quality mapping via redirection, with its startup penalty.
+
+    Uses the same balancer machinery as the DNS path: the *final*
+    choice optimizes for the client's own location (that is the whole
+    point of redirection), while the HTTP flow's first hop optimizes
+    for the LDNS like classic NS mapping.
+    """
+
+    def __init__(
+        self,
+        deployments: DeploymentPlan,
+        global_lb: GlobalLoadBalancer,
+        local_lb: LocalLoadBalancer,
+        geodb: GeoDatabase,
+        kind: RedirectionKind = RedirectionKind.HTTP,
+    ) -> None:
+        self.deployments = deployments
+        self.global_lb = global_lb
+        self.local_lb = local_lb
+        self.geodb = geodb
+        self.kind = kind
+
+    def assign(
+        self,
+        client_ip: int,
+        ldns_ip: int,
+        provider_name: str,
+        rtt_ms,
+    ) -> Optional[RedirectedAssignment]:
+        """Map a client using redirection.
+
+        ``rtt_ms(a_ip, b_ip)`` supplies transport latency (usually
+        ``Network.rtt_ms``).  Returns None if either geolocation or
+        cluster selection fails.
+        """
+        client_rec = self.geodb.lookup(client_ip)
+        if client_rec is None:
+            return None
+        client_target = MapTarget(geo=client_rec.geo, asn=client_rec.asn)
+        final_cluster = self.global_lb.pick_cluster(client_target)
+        if final_cluster is None:
+            return None
+        servers = self.local_lb.pick_servers(final_cluster, provider_name)
+        if not servers:
+            return None
+
+        if self.kind == RedirectionKind.METAFILE:
+            # One extra fetch of the metafile from the final server
+            # (connect + request/response) before the real download.
+            penalty = 2.0 * rtt_ms(client_ip, servers[0].ip)
+            return RedirectedAssignment(
+                first_cluster=None,
+                final_cluster=final_cluster,
+                server_ips=tuple(s.ip for s in servers),
+                penalty_ms=penalty,
+            )
+
+        # HTTP flow: NS-quality first hop, then a 302.
+        ldns_rec = self.geodb.lookup(ldns_ip)
+        if ldns_rec is None:
+            return None
+        ns_target = MapTarget(geo=ldns_rec.geo, asn=ldns_rec.asn)
+        first_cluster = self.global_lb.pick_cluster(ns_target)
+        if first_cluster is None:
+            return None
+        first_servers = self.local_lb.pick_servers(first_cluster,
+                                                   provider_name)
+        if not first_servers:
+            return None
+        first_rtt = rtt_ms(client_ip, first_servers[0].ip)
+        # Connect to A (1 RTT) + request/302 exchange (1 RTT); the
+        # client then connects to B as it would have anyway.
+        penalty = 2.0 * first_rtt
+        return RedirectedAssignment(
+            first_cluster=first_cluster,
+            final_cluster=final_cluster,
+            server_ips=tuple(s.ip for s in servers),
+            penalty_ms=penalty,
+        )
+
+
+def breakeven_transfer_bytes(
+    penalty_ms: float,
+    direct_rtt_ms: float,
+    redirected_rtt_ms: float,
+    tcp_window_bytes: int = 64 * 1024,
+) -> float:
+    """Transfer size above which redirection beats NS-direct download.
+
+    The redirected download runs at the better server's throughput but
+    pays the startup penalty; NS-direct starts immediately at the worse
+    server's throughput.  Window-limited TCP throughput = window/RTT.
+    Returns ``inf`` when redirection never wins (already-proximal
+    client).
+    """
+    if redirected_rtt_ms >= direct_rtt_ms:
+        return float("inf")
+    direct_rate = tcp_window_bytes / direct_rtt_ms       # bytes per ms
+    redirected_rate = tcp_window_bytes / redirected_rtt_ms
+    # penalty + size/redirected_rate = size/direct_rate  =>  solve size
+    return penalty_ms / (1.0 / direct_rate - 1.0 / redirected_rate)

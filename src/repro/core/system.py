@@ -1,0 +1,153 @@
+"""The MappingSystem facade: DNS answer source backed by scoring + LB.
+
+This class is the production shape of Equations 1 and 2: it receives
+each authoritative DNS question (with or without an EDNS0
+client-subnet option), asks its policy for the mapping target, runs
+global and local load balancing, and returns A records plus the RFC
+7871 answer scope.
+
+Server-assignment decisions are cached per mapping target for
+``decision_ttl`` simulated seconds, mirroring the production split
+between the (periodic) scoring pipeline and the (real-time) name
+server path -- and keeping the simulator fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cdn.content import ContentCatalog
+from repro.cdn.deployments import Cluster, DeploymentPlan
+from repro.core.loadbalancer import (
+    GlobalLoadBalancer,
+    LoadBalancerConfig,
+    LocalLoadBalancer,
+)
+from repro.core.policies import MappingPolicy, MapTarget, ResolutionContext
+from repro.core.scoring import Scorer
+from repro.dnsproto.edns import ClientSubnetOption
+from repro.dnsproto.message import ResourceRecord
+from repro.dnsproto.rdata import ARdata
+from repro.dnsproto.types import QType, Rcode
+from repro.dnssrv.authoritative import ZoneAnswer
+
+
+@dataclass
+class MappingStats:
+    resolutions: int = 0
+    ecs_resolutions: int = 0
+    nxdomain: int = 0
+    no_target: int = 0
+    decision_cache_hits: int = 0
+    decision_cache_misses: int = 0
+
+
+@dataclass
+class _Decision:
+    cluster: Cluster
+    expires_at: float
+
+
+class MappingSystem:
+    """Answer source for the CDN zone, parameterized by policy."""
+
+    def __init__(
+        self,
+        deployments: DeploymentPlan,
+        catalog: ContentCatalog,
+        policy: MappingPolicy,
+        scorer: Scorer,
+        lb_config: Optional[LoadBalancerConfig] = None,
+        decision_ttl: float = 60.0,
+        candidate_index=None,
+    ) -> None:
+        self.deployments = deployments
+        self.catalog = catalog
+        self.policy = policy
+        self.scorer = scorer
+        self.lb_config = lb_config or LoadBalancerConfig()
+        self.global_lb = GlobalLoadBalancer(
+            deployments, scorer, self.lb_config,
+            candidate_index=candidate_index)
+        self.local_lb = LocalLoadBalancer(self.lb_config)
+        self.decision_ttl = decision_ttl
+        self.stats = MappingStats()
+        self._decisions: Dict[MapTarget, _Decision] = {}
+
+    # -- policy swap (the roll-out flips this) ---------------------------
+
+    def set_policy(self, policy: MappingPolicy) -> None:
+        """Switch mapping policy; flushes cached decisions."""
+        self.policy = policy
+        self._decisions.clear()
+
+    # -- AnswerSource interface ------------------------------------------
+
+    def answer(
+        self,
+        qname: str,
+        qtype: int,
+        ecs: Optional[ClientSubnetOption],
+        src_ip: int,
+        now: float,
+    ) -> ZoneAnswer:
+        provider = self.catalog.by_cdn_hostname(qname)
+        if provider is None:
+            self.stats.nxdomain += 1
+            return ZoneAnswer(rcode=Rcode.NXDOMAIN)
+        if qtype not in (QType.A, QType.ANY):
+            # NODATA: the name exists but we only publish A records.
+            return ZoneAnswer(rcode=Rcode.NOERROR)
+
+        self.stats.resolutions += 1
+        if ecs is not None:
+            self.stats.ecs_resolutions += 1
+        context = ResolutionContext(qname=qname, ldns_ip=src_ip, ecs=ecs)
+        target = self.policy.target(context)
+        if target is None:
+            self.stats.no_target += 1
+            return ZoneAnswer(rcode=Rcode.SERVFAIL)
+
+        cluster = self._pick_cluster(target, now)
+        if cluster is None:
+            return ZoneAnswer(rcode=Rcode.SERVFAIL)
+        servers = self.local_lb.pick_servers(cluster, provider.name)
+        if not servers:
+            return ZoneAnswer(rcode=Rcode.SERVFAIL)
+        records = tuple(
+            ResourceRecord(qname, QType.A, provider.dns_ttl,
+                           ARdata(server.ip))
+            for server in servers
+        )
+        return ZoneAnswer(
+            records=records,
+            scope_prefix_len=self.policy.scope_for(context),
+        )
+
+    # -- direct assignment API (experiments bypass DNS with this) --------
+
+    def assign(self, target: MapTarget, provider_name: str,
+               now: float) -> Tuple[Optional[Cluster], Tuple[int, ...]]:
+        """Cluster + server IPs for a target, outside the DNS path."""
+        cluster = self._pick_cluster(target, now)
+        if cluster is None:
+            return None, ()
+        servers = self.local_lb.pick_servers(cluster, provider_name)
+        return cluster, tuple(s.ip for s in servers)
+
+    # -- internals ---------------------------------------------------------
+
+    def _pick_cluster(self, target: MapTarget,
+                      now: float) -> Optional[Cluster]:
+        decision = self._decisions.get(target)
+        if decision is not None and now < decision.expires_at and (
+                decision.cluster.alive):
+            self.stats.decision_cache_hits += 1
+            return decision.cluster
+        self.stats.decision_cache_misses += 1
+        cluster = self.global_lb.pick_cluster(target)
+        if cluster is not None:
+            self._decisions[target] = _Decision(
+                cluster=cluster, expires_at=now + self.decision_ttl)
+        return cluster

@@ -1,0 +1,73 @@
+"""DNS wire protocol with the EDNS0 client-subnet extension.
+
+A complete, self-contained implementation of the subset of the DNS
+protocol the mapping system exercises (paper Section 2):
+
+* RFC 1035 message framing: header, question, resource-record sections,
+  domain-name compression (:mod:`repro.dnsproto.message`,
+  :mod:`repro.dnsproto.name`).
+* Resource records A, NS, CNAME, SOA, TXT plus opaque passthrough
+  (:mod:`repro.dnsproto.rdata`).
+* EDNS0 (RFC 6891) OPT pseudo-record and the client-subnet option
+  (RFC 7871, the "EDNS0 client-subnet extension" the paper's end-user
+  mapping is built on) in :mod:`repro.dnsproto.edns`.
+
+Every message that crosses the simulated network is round-tripped
+through this codec, so ECS scope semantics are enforced at the wire
+level, not assumed.
+"""
+
+from repro.dnsproto.edns import (
+    ClientSubnetOption,
+    ClientSubnetV6Option,
+    EdnsOptions,
+    OptRecord,
+)
+from repro.dnsproto.message import (
+    Flags,
+    Message,
+    Question,
+    ResourceRecord,
+    make_query,
+    make_response,
+)
+from repro.dnsproto.name import decode_name, encode_name, normalize_name
+from repro.dnsproto.rdata import (
+    ARdata,
+    CNAMERdata,
+    NSRdata,
+    OpaqueRdata,
+    SOARdata,
+    TXTRdata,
+)
+from repro.dnsproto.types import Opcode, QClass, QType, Rcode
+from repro.dnsproto.wire import WireFormatError, WireReader, WireWriter
+
+__all__ = [
+    "ARdata",
+    "CNAMERdata",
+    "ClientSubnetOption",
+    "ClientSubnetV6Option",
+    "EdnsOptions",
+    "Flags",
+    "Message",
+    "NSRdata",
+    "Opcode",
+    "OpaqueRdata",
+    "OptRecord",
+    "QClass",
+    "QType",
+    "Question",
+    "Rcode",
+    "ResourceRecord",
+    "SOARdata",
+    "TXTRdata",
+    "WireFormatError",
+    "WireReader",
+    "WireWriter",
+    "decode_name",
+    "encode_name",
+    "make_query",
+    "make_response",
+    "normalize_name",
+]

@@ -1,0 +1,260 @@
+"""EDNS0 (RFC 6891) and the client-subnet option (RFC 7871).
+
+The client-subnet option is the protocol mechanism end-user mapping is
+built on (paper Section 2.1): a recursive resolver forwards a truncated
+prefix of the client's IP ("SOURCE PREFIX-LENGTH", conventionally /24
+for privacy) inside its query, and the authoritative answers with a
+"SCOPE PREFIX-LENGTH" /y declaring the block of clients for which the
+answer may be cached and reused, where y <= x is allowed to widen the
+answer's applicability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dnsproto.types import (
+    DEFAULT_EDNS_PAYLOAD,
+    ECS_FAMILY_IPV4,
+    ECS_FAMILY_IPV6,
+    EDNS_CLIENT_SUBNET,
+    QType,
+)
+from repro.dnsproto.wire import WireFormatError, WireReader, WireWriter
+from repro.net.ipv4 import Prefix, mask_of
+
+
+@dataclass(frozen=True, slots=True)
+class ClientSubnetOption:
+    """RFC 7871 client-subnet option (IPv4).
+
+    ``prefix`` carries the client block: its length is the SOURCE
+    PREFIX-LENGTH in queries.  ``scope_prefix_len`` is zero in queries
+    and set by the authoritative in responses.
+    """
+
+    prefix: Prefix
+    scope_prefix_len: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.scope_prefix_len <= 32:
+            raise WireFormatError(
+                f"bad scope prefix length: {self.scope_prefix_len}")
+
+    @property
+    def source_prefix_len(self) -> int:
+        return self.prefix.length
+
+    @property
+    def scope_prefix(self) -> Prefix:
+        """The block of clients this (response) option is valid for.
+
+        RFC 7871: a response with SCOPE y covers every client whose
+        first y bits match the query's address -- i.e. the /y supernet
+        of the query prefix.
+        """
+        return self.prefix.supernet(min(self.scope_prefix_len,
+                                        self.prefix.length))
+
+    def for_response(self, scope_prefix_len: int) -> "ClientSubnetOption":
+        """Build the response option for this query option.
+
+        RFC 7871 Section 7.1.2: the response must echo FAMILY, SOURCE
+        PREFIX-LENGTH, and ADDRESS, changing only SCOPE PREFIX-LENGTH.
+        """
+        return ClientSubnetOption(self.prefix, scope_prefix_len)
+
+    def encode(self) -> bytes:
+        """Encode to option wire format (without the option TLV header)."""
+        source_len = self.prefix.length
+        addr_bytes = (source_len + 7) // 8
+        address = self.prefix.network & mask_of(source_len)
+        payload = WireWriter()
+        payload.u16(ECS_FAMILY_IPV4)
+        payload.u8(source_len)
+        payload.u8(self.scope_prefix_len)
+        payload.write(address.to_bytes(4, "big")[:addr_bytes])
+        return payload.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ClientSubnetOption":
+        reader = WireReader(data)
+        family = reader.u16()
+        if family != ECS_FAMILY_IPV4:
+            raise WireFormatError(
+                f"unsupported ECS family {family} (IPv4 only)")
+        source_len = reader.u8()
+        scope_len = reader.u8()
+        if source_len > 32:
+            raise WireFormatError(f"bad ECS source length {source_len}")
+        addr_bytes = (source_len + 7) // 8
+        raw = reader.read(addr_bytes)
+        if reader.remaining:
+            raise WireFormatError("trailing bytes in ECS option")
+        address = int.from_bytes(raw + b"\x00" * (4 - len(raw)), "big")
+        if address & ~mask_of(source_len) & 0xFFFFFFFF:
+            # RFC 7871 Section 6: bits beyond SOURCE PREFIX-LENGTH must
+            # be zero; anything else gets FORMERR.
+            raise WireFormatError("ECS address bits set beyond source "
+                                  "prefix length")
+        return cls(Prefix(address, source_len), scope_len)
+
+    def __str__(self) -> str:
+        return f"ECS {self.prefix} scope /{self.scope_prefix_len}"
+
+
+@dataclass(frozen=True, slots=True)
+class ClientSubnetV6Option:
+    """RFC 7871 client-subnet option, IPv6 family.
+
+    The simulator's Internet is IPv4, so the mapping system never
+    *acts* on a v6 option -- but a standards-conforming authoritative
+    must parse, validate, and echo it rather than FORMERR, and the
+    codec supports that.
+    """
+
+    address: int
+    """128-bit address with bits beyond ``source_prefix_len`` zero."""
+    source_prefix_len: int
+    scope_prefix_len: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.source_prefix_len <= 128:
+            raise WireFormatError(
+                f"bad v6 source length {self.source_prefix_len}")
+        if not 0 <= self.scope_prefix_len <= 128:
+            raise WireFormatError(
+                f"bad v6 scope length {self.scope_prefix_len}")
+        if not 0 <= self.address < (1 << 128):
+            raise WireFormatError("v6 address out of range")
+        if self.source_prefix_len < 128:
+            host_mask = (1 << (128 - self.source_prefix_len)) - 1
+            if self.address & host_mask:
+                raise WireFormatError(
+                    "v6 ECS address bits set beyond source prefix")
+
+    def for_response(self, scope_prefix_len: int) -> "ClientSubnetV6Option":
+        return ClientSubnetV6Option(self.address, self.source_prefix_len,
+                                    scope_prefix_len)
+
+    def encode(self) -> bytes:
+        addr_bytes = (self.source_prefix_len + 7) // 8
+        payload = WireWriter()
+        payload.u16(ECS_FAMILY_IPV6)
+        payload.u8(self.source_prefix_len)
+        payload.u8(self.scope_prefix_len)
+        payload.write(self.address.to_bytes(16, "big")[:addr_bytes])
+        return payload.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ClientSubnetV6Option":
+        reader = WireReader(data)
+        family = reader.u16()
+        if family != ECS_FAMILY_IPV6:
+            raise WireFormatError(f"not a v6 ECS option: family {family}")
+        source_len = reader.u8()
+        scope_len = reader.u8()
+        if source_len > 128:
+            raise WireFormatError(f"bad v6 source length {source_len}")
+        addr_bytes = (source_len + 7) // 8
+        raw = reader.read(addr_bytes)
+        if reader.remaining:
+            raise WireFormatError("trailing bytes in v6 ECS option")
+        address = int.from_bytes(raw + b"\x00" * (16 - len(raw)), "big")
+        return cls(address, source_len, scope_len)
+
+
+@dataclass(frozen=True, slots=True)
+class EdnsOptions:
+    """Decoded contents of an OPT pseudo-record."""
+
+    payload_size: int = DEFAULT_EDNS_PAYLOAD
+    extended_rcode: int = 0
+    version: int = 0
+    dnssec_ok: bool = False
+    client_subnet: Optional[ClientSubnetOption] = None
+    client_subnet_v6: Optional[ClientSubnetV6Option] = None
+    unknown_options: Tuple[Tuple[int, bytes], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class OptRecord:
+    """The OPT pseudo-RR that carries EDNS0 in the additional section.
+
+    Stored separately from normal records because its fixed fields are
+    reinterpreted (CLASS = UDP payload size, TTL = flags).
+    """
+
+    options: EdnsOptions = field(default_factory=EdnsOptions)
+
+    def encode(self, writer: WireWriter) -> None:
+        opts = self.options
+        writer.u8(0)  # root owner name
+        writer.u16(QType.OPT)
+        writer.u16(opts.payload_size)
+        ttl = (opts.extended_rcode << 24) | (opts.version << 16)
+        if opts.dnssec_ok:
+            ttl |= 0x8000
+        writer.u32(ttl)
+        rdata = WireWriter()
+        if opts.client_subnet is not None:
+            body = opts.client_subnet.encode()
+            rdata.u16(EDNS_CLIENT_SUBNET)
+            rdata.u16(len(body))
+            rdata.write(body)
+        if opts.client_subnet_v6 is not None:
+            body = opts.client_subnet_v6.encode()
+            rdata.u16(EDNS_CLIENT_SUBNET)
+            rdata.u16(len(body))
+            rdata.write(body)
+        for code, body in opts.unknown_options:
+            rdata.u16(code)
+            rdata.u16(len(body))
+            rdata.write(body)
+        payload = rdata.getvalue()
+        writer.u16(len(payload))
+        writer.write(payload)
+
+    @classmethod
+    def decode_body(cls, reader: WireReader, rclass: int,
+                    ttl: int, rdlength: int) -> "OptRecord":
+        """Decode the OPT record given its already-read fixed fields."""
+        extended_rcode = (ttl >> 24) & 0xFF
+        version = (ttl >> 16) & 0xFF
+        if version != 0:
+            raise WireFormatError(f"unsupported EDNS version {version}")
+        dnssec_ok = bool(ttl & 0x8000)
+        end = reader.pos + rdlength
+        client_subnet: Optional[ClientSubnetOption] = None
+        client_subnet_v6: Optional[ClientSubnetV6Option] = None
+        unknown: List[Tuple[int, bytes]] = []
+        while reader.pos < end:
+            code = reader.u16()
+            length = reader.u16()
+            body = reader.read(length)
+            if code == EDNS_CLIENT_SUBNET:
+                if len(body) < 2:
+                    raise WireFormatError("ECS option too short")
+                family = int.from_bytes(body[:2], "big")
+                if family == ECS_FAMILY_IPV6:
+                    if client_subnet_v6 is not None:
+                        raise WireFormatError("duplicate v6 ECS option")
+                    client_subnet_v6 = ClientSubnetV6Option.decode(body)
+                else:
+                    if client_subnet is not None:
+                        raise WireFormatError("duplicate ECS option")
+                    client_subnet = ClientSubnetOption.decode(body)
+            else:
+                unknown.append((code, body))
+        if reader.pos != end:
+            raise WireFormatError("OPT rdata length mismatch")
+        return cls(EdnsOptions(
+            payload_size=rclass,
+            extended_rcode=extended_rcode,
+            version=version,
+            dnssec_ok=dnssec_ok,
+            client_subnet=client_subnet,
+            client_subnet_v6=client_subnet_v6,
+            unknown_options=tuple(unknown),
+        ))

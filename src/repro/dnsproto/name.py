@@ -1,0 +1,142 @@
+"""Domain-name encoding and decoding with RFC 1035 compression.
+
+Names are handled as canonical strings: lowercase, no trailing dot, the
+root zone being the empty string.  The encoder compresses by pointing
+at previously written name suffixes; the decoder follows pointers with
+a jump budget so malicious or corrupt pointer loops terminate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dnsproto.types import MAX_LABEL_LENGTH, MAX_NAME_LENGTH
+from repro.dnsproto.wire import WireFormatError, WireReader, WireWriter
+
+#: Compression pointers are flagged by the two top bits of the length.
+_POINTER_MASK = 0xC0
+#: A name can never legitimately need more jumps than bytes/2.
+_MAX_POINTER_JUMPS = 64
+
+
+def normalize_name(name: str) -> str:
+    """Canonicalize a domain name: lowercase, no trailing dot.
+
+    DNS names are case-insensitive (RFC 1035 2.3.3), so everything in
+    the resolver stack -- zone lookups, cache keys, query matching --
+    uses this canonical form.
+
+    Deliberately does NOT strip whitespace: labels may legally contain
+    arbitrary bytes, and a name decoded off the wire must survive
+    normalization byte-for-byte (fuzzing found that stripping a
+    leading ``\\t`` label corrupts the round trip).
+    """
+    name = name.lower()
+    if name.endswith("."):
+        name = name[:-1]
+    return name
+
+
+def _labels(name: str) -> List[bytes]:
+    name = normalize_name(name)
+    if not name:
+        return []
+    labels = []
+    for label in name.split("."):
+        if not label:
+            raise WireFormatError(f"empty label in name {name!r}")
+        raw = label.encode("ascii", errors="strict")
+        if len(raw) > MAX_LABEL_LENGTH:
+            raise WireFormatError(
+                f"label too long ({len(raw)} > {MAX_LABEL_LENGTH}): "
+                f"{label!r}")
+        labels.append(raw)
+    return labels
+
+
+def encode_name(
+    writer: WireWriter,
+    name: str,
+    compress: Optional[Dict[str, int]] = None,
+) -> None:
+    """Write a domain name, optionally using/recording compression.
+
+    ``compress`` maps canonical suffix strings to the message offset
+    where that suffix was first written.  Pass the same dict for every
+    name in a message to get cross-record compression; pass None to
+    disable compression entirely.
+    """
+    try:
+        labels = _labels(name)
+    except UnicodeEncodeError as exc:
+        raise WireFormatError(f"non-ASCII name {name!r}") from exc
+
+    encoded_length = sum(len(label) + 1 for label in labels) + 1
+    if encoded_length > MAX_NAME_LENGTH:
+        raise WireFormatError(f"name too long: {name!r}")
+
+    for index in range(len(labels)):
+        suffix = b".".join(labels[index:]).decode("ascii")
+        if compress is not None:
+            target = compress.get(suffix)
+            if target is not None and target <= 0x3FFF:
+                writer.u16((_POINTER_MASK << 8) | target)
+                return
+            compress[suffix] = writer.offset
+        label = labels[index]
+        writer.u8(len(label))
+        writer.write(label)
+    writer.u8(0)
+
+
+def decode_name(reader: WireReader) -> str:
+    """Read a (possibly compressed) domain name from the message.
+
+    The reader position ends just past the name in the *original*
+    stream, regardless of any pointer jumps taken.
+    """
+    labels: List[str] = []
+    jumps = 0
+    return_pos: Optional[int] = None
+    total_length = 1
+
+    while True:
+        pointer_start = reader.pos
+        length = reader.u8()
+        if length & _POINTER_MASK == _POINTER_MASK:
+            # Two-byte compression pointer.
+            low = reader.u8()
+            target = ((length & ~_POINTER_MASK) << 8) | low
+            jumps += 1
+            if jumps > _MAX_POINTER_JUMPS:
+                raise WireFormatError("compression pointer loop")
+            if target >= pointer_start:
+                # Pointers must reference strictly earlier offsets;
+                # combined with the jump budget this kills loops.
+                raise WireFormatError("forward compression pointer")
+            if return_pos is None:
+                return_pos = reader.pos
+            reader.seek(target)
+            continue
+        if length & _POINTER_MASK:
+            raise WireFormatError(f"reserved label type: {length:#x}")
+        if length == 0:
+            break
+        total_length += length + 1
+        if total_length > MAX_NAME_LENGTH:
+            raise WireFormatError("decoded name too long")
+        raw = reader.read(length)
+        if b"." in raw:
+            # A literal dot inside a label is legal on the wire but
+            # inexpressible in our dotted-string canonical form (real
+            # software escapes it as \046); reject rather than produce
+            # a name that cannot round-trip.
+            raise WireFormatError(f"dot inside label {raw!r}")
+        try:
+            labels.append(raw.decode("ascii").lower())
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"non-ASCII label {raw!r}") from exc
+
+    if return_pos is not None:
+        reader.seek(return_pos)
+    return ".".join(labels)

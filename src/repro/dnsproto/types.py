@@ -1,0 +1,54 @@
+"""DNS protocol constants (RFC 1035, RFC 6891)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class QType(enum.IntEnum):
+    """Resource record / query types used by the mapping system."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+    ANY = 255
+
+
+class QClass(enum.IntEnum):
+    """Record classes.  OPT records abuse this field for payload size."""
+
+    IN = 1
+    ANY = 255
+
+
+class Opcode(enum.IntEnum):
+    QUERY = 0
+    STATUS = 2
+
+
+class Rcode(enum.IntEnum):
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+#: EDNS0 option code for client-subnet (RFC 7871 Section 6).
+EDNS_CLIENT_SUBNET = 8
+
+#: Address family constants inside the ECS option (RFC 7871 / IANA).
+ECS_FAMILY_IPV4 = 1
+ECS_FAMILY_IPV6 = 2
+
+#: Conventional maximum UDP payload advertised in OPT records.
+DEFAULT_EDNS_PAYLOAD = 4096
+
+#: Hard limits from RFC 1035.
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255

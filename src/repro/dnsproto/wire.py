@@ -1,0 +1,110 @@
+"""Byte-level reader/writer for the DNS wire format."""
+
+from __future__ import annotations
+
+
+class WireFormatError(Exception):
+    """Raised when a DNS message cannot be parsed or encoded.
+
+    Servers translate this into a FORMERR response; it must never
+    escape the resolver stack as a crash.
+    """
+
+
+class WireWriter:
+    """Append-only big-endian byte writer with offset tracking.
+
+    The current offset is exposed so the name encoder can record
+    compression-pointer targets as it writes.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def offset(self) -> int:
+        return len(self._buf)
+
+    def u8(self, value: int) -> None:
+        if not 0 <= value <= 0xFF:
+            raise WireFormatError(f"u8 out of range: {value}")
+        self._buf.append(value)
+
+    def u16(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFF:
+            raise WireFormatError(f"u16 out of range: {value}")
+        self._buf += value.to_bytes(2, "big")
+
+    def u32(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise WireFormatError(f"u32 out of range: {value}")
+        self._buf += value.to_bytes(4, "big")
+
+    def write(self, data: bytes) -> None:
+        self._buf += data
+
+    def patch_u16(self, offset: int, value: int) -> None:
+        """Overwrite a previously written u16 (RDLENGTH backfill)."""
+        if not 0 <= value <= 0xFFFF:
+            raise WireFormatError(f"u16 out of range: {value}")
+        if offset + 2 > len(self._buf):
+            raise WireFormatError("patch offset beyond buffer")
+        self._buf[offset:offset + 2] = value.to_bytes(2, "big")
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+class WireReader:
+    """Bounds-checked big-endian byte reader with seekable position.
+
+    Seeking is required by name-compression pointers, which jump to
+    earlier offsets in the message.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def pos(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def seek(self, pos: int) -> None:
+        if not 0 <= pos <= len(self._data):
+            raise WireFormatError(f"seek out of bounds: {pos}")
+        self._pos = pos
+
+    def u8(self) -> int:
+        if self.remaining < 1:
+            raise WireFormatError("truncated message (u8)")
+        value = self._data[self._pos]
+        self._pos += 1
+        return value
+
+    def u16(self) -> int:
+        if self.remaining < 2:
+            raise WireFormatError("truncated message (u16)")
+        value = int.from_bytes(self._data[self._pos:self._pos + 2], "big")
+        self._pos += 2
+        return value
+
+    def u32(self) -> int:
+        if self.remaining < 4:
+            raise WireFormatError("truncated message (u32)")
+        value = int.from_bytes(self._data[self._pos:self._pos + 4], "big")
+        self._pos += 4
+        return value
+
+    def read(self, length: int) -> bytes:
+        if length < 0:
+            raise WireFormatError(f"negative read: {length}")
+        if self.remaining < length:
+            raise WireFormatError("truncated message (read)")
+        data = self._data[self._pos:self._pos + length]
+        self._pos += length
+        return data

@@ -1,0 +1,285 @@
+"""The recursive resolver (LDNS).
+
+Implements the behaviour of the paper's "local DNS server": answer from
+cache when possible, otherwise query the authoritative server for the
+zone and cache the result -- with full EDNS0 client-subnet semantics
+when ECS is enabled:
+
+* Outgoing queries carry a truncated ``/ecs_source_len`` prefix of the
+  client's address (conventionally /24, "a prefix longer than /24 is
+  discouraged to retain client's privacy", paper footnote 4).
+* Responses are cached under the *scope* the authoritative returned:
+  scope 0 answers are shared by all clients, scope /y answers only by
+  clients in the same /y block.  One popular name can therefore occupy
+  many cache entries -- the paper's query-inflation mechanism.
+
+CNAME chains are chased iteratively (content-provider domains CNAME
+onto CDN domains, Section 2.2), each link resolved through the same
+cache machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dnsproto.edns import ClientSubnetOption
+from repro.dnsproto.message import (
+    Message,
+    ResourceRecord,
+    make_query,
+    make_response,
+)
+from repro.dnsproto.name import normalize_name
+from repro.dnsproto.rdata import CNAMERdata
+from repro.dnsproto.types import QType, Rcode
+from repro.dnsproto.wire import WireFormatError
+from repro.dnssrv.cache import EcsAwareCache
+from repro.dnssrv.transport import AuthorityDirectory, Network
+from repro.net.ipv4 import Prefix, prefix_of
+
+_MAX_CNAME_CHAIN = 8
+_DEFAULT_NEGATIVE_TTL = 30
+#: Extra wait burned on a server that never answers (retry timer).
+_TIMEOUT_PENALTY_MS = 400.0
+
+
+@dataclass
+class RecursionResult:
+    """Outcome of one client resolution at the LDNS."""
+
+    records: Tuple[ResourceRecord, ...]
+    rcode: int
+    cache_hit: bool
+    """True when no upstream query was needed at all."""
+    upstream_queries: int
+    upstream_rtt_ms: float
+    """Total time spent talking to authoritative servers."""
+
+    @property
+    def addresses(self) -> List[int]:
+        """A-record addresses in answer order."""
+        return [record.rdata.address for record in self.records
+                if record.rtype == QType.A]
+
+
+@dataclass
+class _StepResult:
+    records: Tuple[ResourceRecord, ...]
+    rcode: int
+    hit: bool
+    queries: int
+    rtt_ms: float
+
+
+class RecursiveResolver:
+    """One LDNS deployment with an ECS-aware cache."""
+
+    def __init__(
+        self,
+        ip: int,
+        network: Network,
+        directory: AuthorityDirectory,
+        ecs_enabled: bool = False,
+        ecs_source_len: int = 24,
+        cache: Optional[EcsAwareCache] = None,
+        name: str = "ldns",
+    ) -> None:
+        if not 0 < ecs_source_len <= 32:
+            raise ValueError(f"bad ECS source length {ecs_source_len}")
+        self._ip = ip
+        self.name = name
+        self.network = network
+        self.directory = directory
+        self.ecs_enabled = ecs_enabled
+        self.ecs_source_len = ecs_source_len
+        self.cache = cache if cache is not None else EcsAwareCache()
+        self.client_queries = 0
+        self.upstream_queries_total = 0
+        self.tcp_retries = 0
+        self.failovers = 0
+        self._next_id = 1
+        # Server ranking memo per zone: delegation data and RTT
+        # rankings are long-lived, so real resolvers stick with the
+        # fastest server too (and fail over down the ranking).
+        self._server_ranking: dict = {}
+
+    @property
+    def ip(self) -> int:
+        return self._ip
+
+    # -- client-facing API ------------------------------------------------
+
+    def resolve(self, qname: str, qtype: int, client_ip: int,
+                now: float) -> RecursionResult:
+        """Resolve a name on behalf of a client, chasing CNAMEs."""
+        self.client_queries += 1
+        qname = normalize_name(qname)
+        all_records: List[ResourceRecord] = []
+        total_queries = 0
+        total_rtt = 0.0
+        every_step_hit = True
+        rcode = Rcode.NOERROR
+
+        current = qname
+        for _ in range(_MAX_CNAME_CHAIN):
+            step = self._resolve_step(current, qtype, client_ip, now)
+            total_queries += step.queries
+            total_rtt += step.rtt_ms
+            every_step_hit = every_step_hit and step.hit
+            rcode = step.rcode
+            all_records.extend(step.records)
+            if step.rcode != Rcode.NOERROR:
+                break
+            target = _cname_target(step.records, current)
+            if target is None or qtype == QType.CNAME:
+                break
+            if _has_answer(step.records, target, qtype):
+                break
+            current = target
+        return RecursionResult(
+            records=tuple(all_records),
+            rcode=rcode,
+            cache_hit=every_step_hit,
+            upstream_queries=total_queries,
+            upstream_rtt_ms=total_rtt,
+        )
+
+    def handle_query(self, wire: bytes, src_ip: int, now: float,
+                     tcp: bool = False) -> Optional[bytes]:
+        """DNS endpoint interface for stub resolvers on the wire."""
+        try:
+            query = Message.decode(wire)
+        except WireFormatError:
+            return None
+        if not query.questions:
+            return make_response(query, rcode=Rcode.FORMERR,
+                                 authoritative=False).encode()
+        question = query.question
+        result = self.resolve(question.name, question.qtype, src_ip, now)
+        response = make_response(query, answers=result.records,
+                                 rcode=result.rcode, authoritative=False)
+        response.flags = response.flags.__class__(
+            qr=True, aa=False, rd=query.flags.rd, ra=True,
+            rcode=result.rcode)
+        return response.encode()
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve_step(self, qname: str, qtype: int, client_ip: int,
+                      now: float) -> _StepResult:
+        cache_addr = client_ip if self.ecs_enabled else None
+        entry = self.cache.lookup(qname, qtype, cache_addr, now)
+        if entry is not None:
+            return _StepResult(records=entry.aged_records(now),
+                               rcode=entry.rcode, hit=True, queries=0,
+                               rtt_ms=0.0)
+        return self._query_upstream(qname, qtype, client_ip, now)
+
+    def _query_upstream(self, qname: str, qtype: int, client_ip: int,
+                        now: float) -> _StepResult:
+        authority = self.directory.authority_for(qname)
+        if authority is None:
+            return _StepResult((), Rcode.SERVFAIL, False, 0, 0.0)
+        zone, server_ips = authority
+        ranking = self._server_ranking.get(zone)
+        if ranking is None:
+            ranking = sorted(
+                server_ips,
+                key=lambda ip: self.network.rtt_ms(self._ip, ip))
+            self._server_ranking[zone] = ranking
+
+        ecs: Optional[ClientSubnetOption] = None
+        if self.ecs_enabled:
+            ecs = ClientSubnetOption(
+                prefix_of(client_ip, self.ecs_source_len))
+
+        total_rtt = 0.0
+        queries = 0
+        for index, server_ip in enumerate(ranking):
+            query = make_query(qname, qtype, msg_id=self._take_id(),
+                               ecs=ecs)
+            hop = self.network.query(self._ip, server_ip, query, now)
+            self.upstream_queries_total += 1
+            queries += 1
+            if hop.response is None:
+                # Dead server: burn the timeout and fail over to the
+                # next authority in the ranking.
+                total_rtt += hop.rtt_ms + _TIMEOUT_PENALTY_MS
+                self.failovers += 1
+                continue
+            total_rtt += hop.rtt_ms
+            response = hop.response
+            if response.flags.tc:
+                # Answer did not fit in UDP: retry this server over
+                # TCP (RFC 1035 4.2.2).
+                self.tcp_retries += 1
+                tcp_hop = self.network.query(self._ip, server_ip, query,
+                                             now, tcp=True)
+                self.upstream_queries_total += 1
+                queries += 1
+                total_rtt += tcp_hop.rtt_ms
+                if tcp_hop.response is None:
+                    self.failovers += 1
+                    total_rtt += _TIMEOUT_PENALTY_MS
+                    continue
+                response = tcp_hop.response
+            return self._process_response(qname, qtype, client_ip,
+                                          response, now, queries,
+                                          total_rtt)
+        return _StepResult((), Rcode.SERVFAIL, False, queries, total_rtt)
+
+    def _process_response(self, qname: str, qtype: int, client_ip: int,
+                          response: Message, now: float, queries: int,
+                          total_rtt: float) -> _StepResult:
+        rcode = response.flags.rcode
+        scope = self._scope_for(response, client_ip)
+        if rcode == Rcode.NXDOMAIN or (
+                rcode == Rcode.NOERROR and not response.answers):
+            # Negative caching (RFC 2308): remember that the name does
+            # not exist / has no data so misses do not hammer the
+            # authority.
+            self.cache.store(qname, qtype, scope, (),
+                             _DEFAULT_NEGATIVE_TTL, now, rcode=rcode)
+            return _StepResult((), rcode, False, queries, total_rtt)
+        if rcode != Rcode.NOERROR:
+            # Transient server errors are not cached.
+            return _StepResult((), rcode, False, queries, total_rtt)
+        records = tuple(response.answers)
+        ttl = min(r.ttl for r in records)
+        self.cache.store(qname, qtype, scope, records, ttl, now)
+        return _StepResult(records, Rcode.NOERROR, False, queries,
+                           total_rtt)
+
+    def _scope_for(self, response: Message,
+                   client_ip: int) -> Optional[Prefix]:
+        """Cache scope per RFC 7871 Section 7.3.1."""
+        if not self.ecs_enabled:
+            return None
+        resp_ecs = response.client_subnet
+        if resp_ecs is None:
+            # Authority ignored ECS: answer is client-independent.
+            return None
+        scope_len = min(resp_ecs.scope_prefix_len, self.ecs_source_len)
+        if scope_len == 0:
+            return None
+        return prefix_of(client_ip, scope_len)
+
+    def _take_id(self) -> int:
+        msg_id = self._next_id
+        self._next_id = (self._next_id + 1) % 0x10000 or 1
+        return msg_id
+
+
+def _cname_target(records: Tuple[ResourceRecord, ...],
+                  qname: str) -> Optional[str]:
+    for record in records:
+        if record.rtype == QType.CNAME and record.name == qname:
+            assert isinstance(record.rdata, CNAMERdata)
+            return record.rdata.target
+    return None
+
+
+def _has_answer(records: Tuple[ResourceRecord, ...], name: str,
+                qtype: int) -> bool:
+    return any(r.name == name and r.rtype == qtype for r in records)

@@ -1,0 +1,68 @@
+"""Client-side stub resolver.
+
+The stub is what runs on the paper's "client": it forwards every query
+to a configured LDNS and measures how long the resolution took.  The
+DNS-lookup component of the RUM navigation timing (paper Section 4.2)
+comes from here:
+
+``dns_time = rtt(client, LDNS) + time the LDNS spent on recursion``
+
+A cache hit at the LDNS costs the client only the first term -- which
+is why the client--LDNS distance matters even when mapping is perfect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dnsproto.message import ResourceRecord
+from repro.dnsproto.types import QType, Rcode
+from repro.dnssrv.recursive import RecursiveResolver
+from repro.dnssrv.transport import Network
+
+
+@dataclass(frozen=True, slots=True)
+class Resolution:
+    """What the client learned from one DNS lookup."""
+
+    records: Tuple[ResourceRecord, ...]
+    rcode: int
+    dns_time_ms: float
+    ldns_cache_hit: bool
+    upstream_queries: int
+
+    @property
+    def addresses(self) -> List[int]:
+        return [record.rdata.address for record in self.records
+                if record.rtype == QType.A]
+
+    @property
+    def ok(self) -> bool:
+        return self.rcode == Rcode.NOERROR and bool(self.addresses)
+
+
+class StubResolver:
+    """A client's resolver: one client IP, one (or more) LDNS."""
+
+    def __init__(self, client_ip: int, network: Network) -> None:
+        self.client_ip = client_ip
+        self.network = network
+
+    def resolve(
+        self,
+        qname: str,
+        ldns: RecursiveResolver,
+        now: float,
+        qtype: int = QType.A,
+    ) -> Resolution:
+        """Resolve through the given LDNS, measuring elapsed time."""
+        client_hop_ms = self.network.rtt_ms(self.client_ip, ldns.ip)
+        result = ldns.resolve(qname, qtype, self.client_ip, now)
+        return Resolution(
+            records=result.records,
+            rcode=result.rcode,
+            dns_time_ms=client_hop_ms + result.upstream_rtt_ms,
+            ldns_cache_hit=result.cache_hit,
+            upstream_queries=result.upstream_queries,
+        )

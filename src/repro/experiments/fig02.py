@@ -1,0 +1,60 @@
+"""Figure 2: client requests served vs DNS queries resolved.
+
+Paper context figure: the mapping system resolves ~1.6M DNS queries per
+second while clients issue ~30M content requests per second -- one DNS
+resolution (cached and shared downstream) fans out into many content
+requests.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, ratio
+from repro.experiments.shared import get_dnsload
+
+EXPERIMENT_ID = "fig02"
+TITLE = "Client requests vs DNS queries at the mapping system"
+PAPER_CLAIM = ("client content requests outnumber DNS queries by more "
+               "than an order of magnitude (30M rps vs 1.6M qps), "
+               "because resolutions are cached and shared")
+
+
+def run(scale: str) -> ExperimentResult:
+    art = get_dnsload(scale)
+    window = art.window_seconds
+
+    request_rate = art.requests_before / window
+    query_rate = art.rate_before_total
+    request_rate_after = art.requests_after / window
+    query_rate_after = art.rate_after_total
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, scale=scale,
+        paper_claim=PAPER_CLAIM,
+        rows=[
+            {"period": "pre-ECS", "client_requests_per_s": request_rate,
+             "dns_queries_per_s": query_rate,
+             "requests_per_query": ratio(request_rate, query_rate)},
+            {"period": "post-ECS", "client_requests_per_s":
+                request_rate_after,
+             "dns_queries_per_s": query_rate_after,
+             "requests_per_query": ratio(request_rate_after,
+                                         query_rate_after)},
+        ],
+    )
+    result.summary = {
+        "requests_per_query_pre": ratio(request_rate, query_rate),
+        "requests_per_query_post": ratio(request_rate_after,
+                                         query_rate_after),
+    }
+    result.check(
+        "requests far outnumber authoritative queries",
+        request_rate > 10 * query_rate,
+        f"{request_rate:.1f} req/s vs {query_rate:.2f} q/s "
+        "(paper: ~19x)")
+    result.check(
+        "fan-out shrinks when ECS fragments the cache",
+        ratio(request_rate_after, query_rate_after) < ratio(
+            request_rate, query_rate),
+        "per-query fan-out drops after ECS (more queries for the same "
+        "requests)")
+    return result

@@ -1,0 +1,71 @@
+"""Figure 9: percent of client demand from public resolvers, by country.
+
+Paper: Vietnam and Turkey are very heavy users (~40%); India, Brazil,
+Argentina significant despite the distance penalty; worldwide ~8%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig06 import PAPER_COUNTRIES
+from repro.experiments.shared import get_internet
+
+EXPERIMENT_ID = "fig09"
+TITLE = "Percent of client demand from public resolvers, by country"
+PAPER_CLAIM = ("VN/TR heaviest public-resolver users (30-40%); ~8% of "
+               "demand worldwide; KR/JP/AU lowest")
+
+
+def run(scale: str) -> ExperimentResult:
+    internet = get_internet(scale)
+    public = internet.public_resolver_ids()
+
+    demand: dict = {}
+    public_demand: dict = {}
+    for block in internet.blocks:
+        demand[block.country] = demand.get(block.country, 0.0) + (
+            block.demand)
+        for resolver_id, weight in block.ldns:
+            if resolver_id in public:
+                public_demand[block.country] = public_demand.get(
+                    block.country, 0.0) + block.demand * weight
+
+    shares = {
+        country: public_demand.get(country, 0.0) / total
+        for country, total in demand.items() if total > 0
+    }
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, scale=scale,
+        paper_claim=PAPER_CLAIM)
+    for country in PAPER_COUNTRIES:
+        if country in shares:
+            result.rows.append({
+                "country": country,
+                "public_share_pct": 100.0 * shares[country],
+            })
+    result.rows.sort(key=lambda row: row["public_share_pct"],
+                     reverse=True)
+
+    worldwide = internet.public_demand_share()
+    result.summary = {
+        "worldwide_pct": 100.0 * worldwide,
+        "VN_pct": 100.0 * shares.get("VN", 0.0),
+        "TR_pct": 100.0 * shares.get("TR", 0.0),
+        "KR_pct": 100.0 * shares.get("KR", 0.0),
+        "JP_pct": 100.0 * shares.get("JP", 0.0),
+    }
+
+    result.check(
+        "worldwide share near the paper's ~8%",
+        0.03 <= worldwide <= 0.20,
+        f"{100 * worldwide:.1f}% worldwide (paper: ~8%)")
+    heavy = [shares.get(c, 0.0) for c in ("VN", "TR") if c in shares]
+    light = [shares.get(c, 0.0) for c in ("KR", "JP", "AU")
+             if c in shares]
+    if heavy and light:
+        result.check(
+            "VN/TR adoption far above KR/JP/AU",
+            min(heavy) > 2 * max(light) and max(heavy) > 0.15,
+            f"heavy min {100 * min(heavy):.1f}% vs light max "
+            f"{100 * max(light):.1f}%")
+    return result

@@ -1,0 +1,85 @@
+"""Figure 11: CDFs of client-cluster radius and mean client--LDNS
+distance, for all LDNSes and for public resolvers.
+
+Paper: overall, clusters are tight and clients close; for public
+resolvers, 99% of demand comes from clusters with radii between 470 and
+3800 miles, and mean client--LDNS distance exceeds the cluster radius
+(the LDNS is not centrally placed within its cluster).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.clusters import filter_public, ldns_cluster_stats
+from repro.analysis.stats import log_grid, weighted_cdf, weighted_quantile
+from repro.experiments.base import ExperimentResult
+from repro.experiments.shared import get_internet
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Cluster radius & client-LDNS distance CDFs (all vs public)"
+PAPER_CLAIM = ("public resolvers: 99% of demand from cluster radii "
+               "470-3800 mi; mean client-LDNS distance > cluster radius")
+
+
+def run(scale: str) -> ExperimentResult:
+    internet = get_internet(scale)
+    stats = ldns_cluster_stats(internet)
+    public_stats = filter_public(stats, True)
+
+    def cdf_series(rows, attr):
+        values = [getattr(s, attr) for s in rows]
+        weights = [s.demand for s in rows]
+        return weighted_cdf(values, weights, log_grid(5, 10000, 20))
+
+    all_radius = cdf_series(stats, "radius_miles")
+    all_distance = cdf_series(stats, "mean_client_distance_miles")
+    pub_radius = cdf_series(public_stats, "radius_miles")
+    pub_distance = cdf_series(public_stats,
+                              "mean_client_distance_miles")
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, scale=scale,
+        paper_claim=PAPER_CLAIM)
+    for i, (x, _) in enumerate(all_radius):
+        result.rows.append({
+            "distance_mi": x,
+            "radius_all": all_radius[i][1],
+            "dist_all": all_distance[i][1],
+            "radius_public": pub_radius[i][1],
+            "dist_public": pub_distance[i][1],
+        })
+
+    def quantile(rows, attr, q):
+        return weighted_quantile([getattr(s, attr) for s in rows],
+                                 [s.demand for s in rows], q)
+
+    pub_radius_p50 = quantile(public_stats, "radius_miles", 0.5)
+    all_radius_p50 = quantile(stats, "radius_miles", 0.5)
+    pub_dist_mean = quantile(public_stats,
+                             "mean_client_distance_miles", 0.5)
+    pub_radius_p25 = quantile(public_stats, "radius_miles", 0.25)
+    pub_radius_p90 = quantile(public_stats, "radius_miles", 0.90)
+    result.summary = {
+        "public_radius_p50_mi": pub_radius_p50,
+        "all_radius_p50_mi": all_radius_p50,
+        "public_distance_p50_mi": pub_dist_mean,
+        "public_radius_p25_mi": pub_radius_p25,
+        "public_radius_p90_mi": pub_radius_p90,
+    }
+
+    result.check(
+        "public cluster radii far exceed the population's",
+        pub_radius_p50 > 1.5 * all_radius_p50,
+        f"public p50 radius {pub_radius_p50:.0f} mi vs all "
+        f"{all_radius_p50:.0f} mi")
+    result.check(
+        "public radii span hundreds-to-thousands of miles",
+        pub_radius_p90 > 1000 and pub_radius_p25 > 100,
+        f"25th-90th pct of public radii: {pub_radius_p25:.0f}-"
+        f"{pub_radius_p90:.0f} mi (paper: 99% within 470-3800)")
+    result.check(
+        "public LDNS not centrally placed",
+        pub_dist_mean > 0.85 * pub_radius_p50,
+        f"median mean-distance {pub_dist_mean:.0f} mi vs median radius "
+        f"{pub_radius_p50:.0f} mi (paper: distance exceeds radius; a "
+        "centrally-placed LDNS would sit well below it)")
+    return result

@@ -1,0 +1,52 @@
+"""Figure 12: RUM measurements per month, by expectation group.
+
+Paper: 33-58M qualified (public-resolver) measurements per month
+Jan-Jun 2014, increasing over time, split into high/low expectation
+country groups.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.shared import get_rollout
+
+EXPERIMENT_ID = "fig12"
+TITLE = "RUM measurements per month (public-resolver clients)"
+PAPER_CLAIM = ("measurement volume grows month over month; both "
+               "expectation groups contribute every month")
+
+
+def run(scale: str) -> ExperimentResult:
+    rollout = get_rollout(scale)
+    counts = rollout.rum.monthly_counts(rollout.config.start_date,
+                                        via_public=True)
+
+    months = sorted({month for month, _ in counts})
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, scale=scale,
+        paper_claim=PAPER_CLAIM)
+    totals = []
+    for month in months:
+        high = counts.get((month, True), 0)
+        low = counts.get((month, False), 0)
+        totals.append(high + low)
+        result.rows.append({"month": month, "high_expectation": high,
+                            "low_expectation": low, "total": high + low})
+
+    result.summary = {
+        "months": len(months),
+        "first_month_total": totals[0] if totals else 0,
+        "last_month_total": totals[-1] if totals else 0,
+    }
+    # Compare only full months (the timeline may start/end mid-month).
+    full = totals[1:-1] if len(totals) > 3 else totals
+    result.check(
+        "volume grows over the period",
+        len(full) >= 2 and full[-1] > full[0],
+        f"full-month totals {full}")
+    result.check(
+        "both groups present every month",
+        all(counts.get((m, True), 0) > 0 and counts.get((m, False), 0) > 0
+            for m in months),
+        "high and low expectation measurements in every month")
+    return result

@@ -1,0 +1,20 @@
+"""Figure 15: daily mean RTT through the roll-out.
+
+Paper: high-expectation mean RTT halves (200 -> 100 ms); modest
+improvement for the low-expectation group.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.rollout_figs import daily_mean_figure
+
+EXPERIMENT_ID = "fig15"
+TITLE = "Daily mean round-trip time (public-resolver clients)"
+PAPER_CLAIM = "high-expectation mean RTT drops ~2x (200 -> 100 ms)"
+
+
+def run(scale: str) -> ExperimentResult:
+    return daily_mean_figure(
+        EXPERIMENT_ID, TITLE, PAPER_CLAIM, scale,
+        metric="rtt_ms",
+        min_improvement_factor=1.5,
+    )

@@ -1,0 +1,42 @@
+"""Figure 17: daily mean time-to-first-byte through the roll-out.
+
+Paper: high-expectation mean TTFB improves ~30% (1000 -> 700 ms) --
+less than RTT because TTFB includes origin/page-generation time that
+mapping cannot help.
+"""
+
+from repro.experiments.base import ExperimentResult, ratio
+from repro.experiments.rollout_figs import daily_mean_figure, window_means
+from repro.experiments.shared import get_rollout
+
+EXPERIMENT_ID = "fig17"
+TITLE = "Daily mean time-to-first-byte (public-resolver clients)"
+PAPER_CLAIM = ("high-expectation mean TTFB improves ~30% (1000 -> "
+               "700 ms); gains are smaller than for RTT because of the "
+               "origin-bound dynamic-page component")
+
+
+def run(scale: str) -> ExperimentResult:
+    # TTFB is dominated by origin think time, which is independent of
+    # mapping; the high-vs-low ordering is too noisy to assert on this
+    # metric, so only the factor checks run (the RTT-comparison check
+    # below captures the paper's structural claim instead).
+    result = daily_mean_figure(
+        EXPERIMENT_ID, TITLE, PAPER_CLAIM, scale,
+        metric="ttfb_ms",
+        min_improvement_factor=1.15,
+        low_should_improve_less=False,
+    )
+    # Extra structural check: TTFB improves proportionally less than
+    # RTT (the paper's explanation of the 30% vs 50% split).
+    rollout = get_rollout(scale)
+    rtt_before, rtt_after = window_means(rollout, "rtt_ms", True)
+    ttfb_before, ttfb_after = window_means(rollout, "ttfb_ms", True)
+    rtt_factor = ratio(rtt_before, rtt_after)
+    ttfb_factor = ratio(ttfb_before, ttfb_after)
+    result.summary["rtt_improvement_factor"] = rtt_factor
+    result.check(
+        "TTFB improves less than RTT (origin component)",
+        ttfb_factor < rtt_factor,
+        f"TTFB {ttfb_factor:.2f}x vs RTT {rtt_factor:.2f}x")
+    return result

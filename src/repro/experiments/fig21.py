@@ -1,0 +1,71 @@
+"""Figure 21: demand coverage vs number of mapping units.
+
+Paper: to cover 95% of demand, NS-based mapping needs the top ~25K
+LDNSes while end-user mapping needs ~2.2M /24 blocks (orders of
+magnitude more); for 50%, 1800 LDNSes vs 430K blocks.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapunits import (
+    build_block_units,
+    build_ldns_units,
+    demand_coverage_curve,
+    units_needed_for_share,
+)
+from repro.experiments.base import ExperimentResult, ratio
+from repro.experiments.shared import get_internet
+
+EXPERIMENT_ID = "fig21"
+TITLE = "Demand coverage vs number of mapping units (LDNS vs /24)"
+PAPER_CLAIM = ("covering 95% of demand: ~25K LDNSes vs ~2.2M /24 "
+               "blocks (~88x); covering 50%: 1800 vs 430K (~240x)")
+
+
+def run(scale: str) -> ExperimentResult:
+    internet = get_internet(scale)
+    ldns_units = build_ldns_units(internet)
+    block_units = build_block_units(internet, 24)
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, scale=scale,
+        paper_claim=PAPER_CLAIM)
+
+    # Sampled coverage curves for plotting.
+    for name, units in (("ldns", ldns_units), ("blocks", block_units)):
+        curve = demand_coverage_curve(units)
+        step = max(1, len(curve) // 20)
+        for count, share in curve[::step]:
+            result.rows.append({"scheme": name, "units": count,
+                               "demand_share": share})
+
+    n50_ldns = units_needed_for_share(ldns_units, 0.5)
+    n95_ldns = units_needed_for_share(ldns_units, 0.95)
+    n50_blocks = units_needed_for_share(block_units, 0.5)
+    n95_blocks = units_needed_for_share(block_units, 0.95)
+    result.summary = {
+        "total_ldns": len(ldns_units),
+        "total_blocks": len(block_units),
+        "ldns_for_50pct": n50_ldns,
+        "blocks_for_50pct": n50_blocks,
+        "ldns_for_95pct": n95_ldns,
+        "blocks_for_95pct": n95_blocks,
+        "ratio_at_95pct": ratio(n95_blocks, n95_ldns),
+    }
+
+    result.check(
+        "end-user mapping needs many times more units",
+        n95_blocks > 3 * n95_ldns,
+        f"95% coverage: {n95_blocks} blocks vs {n95_ldns} LDNSes "
+        f"({ratio(n95_blocks, n95_ldns):.1f}x; paper ~88x at full "
+        "Internet scale)")
+    result.check(
+        "LDNS demand concentrated in few resolvers",
+        n50_ldns < 0.30 * len(ldns_units),
+        f"50% of demand from {n50_ldns} of {len(ldns_units)} LDNSes "
+        "(paper: 1800 of 584K)")
+    result.check(
+        "more block units than LDNS units at every coverage level",
+        n50_blocks > 2 * n50_ldns,
+        f"50% coverage: {n50_blocks} blocks vs {n50_ldns} LDNSes")
+    return result

@@ -1,0 +1,88 @@
+"""Figure 22: the mapping-unit granularity trade-off.
+
+(a) cluster radius distribution for /x client blocks, x in 8..24;
+(b) number of /x units with non-zero demand.
+
+Paper: coarser prefixes mean fewer units but larger radii; /20 is "a
+worthy option" -- 3x fewer units than /24 with 87.3% of clusters still
+within a 100-mile radius.  BGP-CIDR merging shrinks 3.76M /24s to 444K
+units (~8.5x).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.stats import weighted_quantile
+from repro.core.mapunits import build_block_units, merge_units_by_cidr
+from repro.experiments.base import ExperimentResult, ratio
+from repro.experiments.shared import get_internet
+
+EXPERIMENT_ID = "fig22"
+TITLE = "Cluster radius and unit count per /x prefix choice"
+PAPER_CLAIM = ("coarser /x -> fewer units, larger radii; /20 keeps "
+               "~87% of clusters under 100 mi with ~3x fewer units; "
+               "BGP-CIDR merge gives ~8.5x unit reduction")
+
+PREFIXES = (8, 10, 12, 14, 16, 18, 20, 22, 24)
+
+
+def run(scale: str) -> ExperimentResult:
+    internet = get_internet(scale)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, scale=scale,
+        paper_claim=PAPER_CLAIM)
+
+    counts: Dict[int, int] = {}
+    radius_p50: Dict[int, float] = {}
+    share_under_100: Dict[int, float] = {}
+    for x in PREFIXES:
+        units = build_block_units(internet, x)
+        counts[x] = len(units)
+        radii: List[float] = []
+        weights: List[float] = []
+        for unit in units:
+            radii.append(unit.radius_miles())
+            weights.append(unit.demand)
+        radius_p50[x] = weighted_quantile(radii, weights, 0.5)
+        under = sum(w for r, w in zip(radii, weights) if r <= 100)
+        share_under_100[x] = under / sum(weights)
+        result.rows.append({
+            "prefix": f"/{x}",
+            "units": counts[x],
+            "radius_p50_mi": radius_p50[x],
+            "share_radius_under_100mi": share_under_100[x],
+        })
+
+    merged = merge_units_by_cidr(internet, 24)
+    merge_factor = ratio(counts[24], len(merged))
+    result.summary = {
+        "units_slash24": counts[24],
+        "units_slash20": counts[20],
+        "units_bgp_merged": len(merged),
+        "bgp_merge_factor": merge_factor,
+        "slash20_vs_slash24_factor": ratio(counts[24], counts[20]),
+        "share_under_100mi_at_slash20": share_under_100[20],
+    }
+
+    result.check(
+        "unit count decreases monotonically with coarseness",
+        all(counts[PREFIXES[i]] <= counts[PREFIXES[i + 1]]
+            for i in range(len(PREFIXES) - 1)),
+        f"counts {[counts[x] for x in PREFIXES]}")
+    result.check(
+        "radius grows with coarseness",
+        radius_p50[8] > radius_p50[24],
+        f"median radius /8={radius_p50[8]:.0f} mi vs "
+        f"/24={radius_p50[24]:.0f} mi")
+    result.check(
+        "/20 keeps most clusters tight",
+        share_under_100[20] >= 0.6,
+        f"{share_under_100[20]:.1%} of /20 demand in clusters <= 100 mi "
+        "(paper: 87.3% of clusters)")
+    result.check(
+        "BGP-CIDR merging reduces units meaningfully",
+        merge_factor >= 1.5,
+        f"{counts[24]} /24 units -> {len(merged)} merged "
+        f"({merge_factor:.1f}x; paper: 8.5x)")
+    return result

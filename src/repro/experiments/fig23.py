@@ -1,0 +1,61 @@
+"""Figure 23: DNS query rate before/after the ECS roll-out.
+
+Paper: queries from the targeted public resolvers rose from 33.5K to
+270K per second (8x); total authoritative query rate rose from 870K to
+1.17M (~1.35x).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, ratio
+from repro.experiments.shared import get_dnsload
+
+EXPERIMENT_ID = "fig23"
+TITLE = "Authoritative DNS query rate before/after ECS roll-out"
+PAPER_CLAIM = ("public-resolver query rate rises ~8x (33.5K -> 270K "
+               "q/s); total rate rises ~1.35x (870K -> 1.17M q/s)")
+
+
+def run(scale: str) -> ExperimentResult:
+    art = get_dnsload(scale)
+    public_factor = ratio(art.rate_after_public, art.rate_before_public)
+    total_factor = ratio(art.rate_after_total, art.rate_before_total)
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, scale=scale,
+        paper_claim=PAPER_CLAIM,
+        rows=[
+            {"period": "pre-ECS",
+             "total_qps": art.rate_before_total,
+             "public_qps": art.rate_before_public,
+             "public_share": ratio(art.rate_before_public,
+                                   art.rate_before_total)},
+            {"period": "post-ECS",
+             "total_qps": art.rate_after_total,
+             "public_qps": art.rate_after_public,
+             "public_share": ratio(art.rate_after_public,
+                                   art.rate_after_total)},
+        ],
+    )
+    result.summary = {
+        "public_inflation_factor": public_factor,
+        "total_inflation_factor": total_factor,
+        "answer_ttl_s": art.ttl,
+    }
+
+    result.check(
+        "public-resolver query rate inflates severalfold",
+        public_factor >= 1.8,
+        f"{public_factor:.1f}x (paper: 8x; the factor grows with "
+        "client-block density per LDNS, which is scale-limited here)")
+    result.check(
+        "total rate rises but much less than the public rate",
+        1.02 <= total_factor < public_factor,
+        f"total {total_factor:.2f}x vs public {public_factor:.1f}x "
+        "(paper: 1.35x vs 8x)")
+    result.check(
+        "non-public traffic unaffected",
+        ratio(art.rate_after_total - art.rate_after_public,
+              art.rate_before_total - art.rate_before_public) < 1.5,
+        "ISP-resolver query rate stays roughly flat")
+    return result

@@ -1,0 +1,86 @@
+"""Figure 24: query-rate inflation vs (domain, LDNS) pair popularity.
+
+Paper: pairs whose pre-roll-out query rate was close to the cache cap
+of 1 query per TTL inflate the most (up to ~1000x in production);
+unpopular pairs barely change.  The busiest bucket held only 11% of
+pre-roll-out queries.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.shared import get_dnsload
+from repro.measurement.querylog import inflation_by_popularity
+
+EXPERIMENT_ID = "fig24"
+TITLE = "Query-rate inflation vs domain/LDNS pair popularity"
+PAPER_CLAIM = ("inflation factor grows with pre-roll-out popularity "
+               "(queries per TTL); near-cap pairs inflate most, "
+               "unpopular pairs barely inflate")
+
+
+def run(scale: str) -> ExperimentResult:
+    art = get_dnsload(scale)
+    window_ttls = art.window_seconds / art.ttl
+    # Restrict to pairs from public resolvers (the roll-out target):
+    public_ips = {
+        meta.ip for meta in art.world.internet.resolvers.values()
+        if meta.is_public
+    }
+    before = {k: v for k, v in art.pairs_before.items()
+              if k.ldns_ip in public_ips}
+    after = {k: v for k, v in art.pairs_after.items()
+             if k.ldns_ip in public_ips}
+    popularity = {key: count / window_ttls
+                  for key, count in before.items()}
+
+    rows = inflation_by_popularity(before, after,
+                                   queries_per_ttl_before=popularity,
+                                   n_buckets=10)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, scale=scale,
+        paper_claim=PAPER_CLAIM,
+        rows=[{"popularity_bucket_upper": edge,
+               "mean_inflation_factor": factor,
+               "pairs": count}
+              for edge, factor, count in rows],
+    )
+
+    populated = [(edge, factor, count) for edge, factor, count in rows
+                 if count > 0]
+    if not populated:
+        result.check("buckets populated", False, "no pair data")
+        return result
+    bottom = populated[0]
+    top = populated[-1]
+    result.summary = {
+        "bottom_bucket_factor": bottom[1],
+        "top_bucket_factor": top[1],
+        "populated_buckets": len(populated),
+        "pairs_tracked": len(before),
+    }
+    result.check(
+        "popular pairs inflate most",
+        top[1] > 2 * max(bottom[1], 0.5),
+        f"top bucket {top[1]:.1f}x vs bottom {bottom[1]:.1f}x")
+    result.check(
+        "unpopular pairs inflate far less than popular ones",
+        bottom[1] <= 0.6 * top[1],
+        f"bottom bucket factor {bottom[1]:.2f}x vs top "
+        f"{top[1]:.2f}x (paper: near-1x at the bottom; the absolute "
+        "floor does not transfer -- every *tracked* pair in our small "
+        "pair population carries multi-block traffic -- but the "
+        "gradient does)")
+    result.check(
+        "inflation broadly increases with popularity",
+        _mostly_increasing([f for _, f, c in populated if c >= 3]),
+        "bucket means are (mostly) monotone in popularity")
+    return result
+
+
+def _mostly_increasing(values) -> bool:
+    """True when at least 60% of consecutive steps are non-decreasing."""
+    if len(values) < 2:
+        return True
+    ups = sum(1 for a, b in zip(values, values[1:]) if b >= a)
+    return ups >= 0.6 * (len(values) - 1)

@@ -1,0 +1,62 @@
+"""Registry of every experiment, keyed by the paper's figure numbers."""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Dict, List
+
+from repro.experiments import (
+    ext_adoption,
+    fig02,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+    fig22,
+    fig23,
+    fig24,
+    fig25,
+)
+
+_MODULES: List[ModuleType] = [
+    fig02, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12,
+    fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20, fig21,
+    fig22, fig23, fig24, fig25,
+    # Extensions beyond the paper's figures:
+    ext_adoption,
+]
+
+_BY_ID: Dict[str, ModuleType] = {
+    module.EXPERIMENT_ID: module for module in _MODULES
+}
+
+
+def all_experiments() -> List[ModuleType]:
+    """Every registered experiment, in figure order."""
+    return list(_MODULES)
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    try:
+        return _BY_ID[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(_BY_ID)}") from None
+
+
+def experiment_ids() -> List[str]:
+    return [module.EXPERIMENT_ID for module in _MODULES]

@@ -1,0 +1,153 @@
+"""Shared builders for the roll-out performance figures (13-20).
+
+Figures 13/15/17/19 are daily means of one RUM metric for the high and
+low expectation groups; Figures 14/16/18/20 are before/after CDFs of
+the same metrics.  All eight are views over one roll-out run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.base import ExperimentResult, ratio
+from repro.experiments.shared import get_rollout
+from repro.simulation.rollout import RolloutResult
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def window_means(rollout: RolloutResult, metric: str,
+                 high_expectation: bool) -> tuple:
+    """(mean before, mean after) for public-resolver clients."""
+    before = rollout.rum.metric_values(
+        metric, high_expectation=high_expectation, via_public=True,
+        day_range=rollout.before_window)
+    after = rollout.rum.metric_values(
+        metric, high_expectation=high_expectation, via_public=True,
+        day_range=rollout.after_window)
+    return _mean(before), _mean(after)
+
+
+def daily_mean_figure(
+    experiment_id: str,
+    title: str,
+    paper_claim: str,
+    scale: str,
+    metric: str,
+    min_improvement_factor: float,
+    low_should_improve_less: bool = True,
+) -> ExperimentResult:
+    """Build a Figure 13/15/17/19-style daily-mean experiment."""
+    rollout = get_rollout(scale)
+    result = ExperimentResult(
+        experiment_id=experiment_id, title=title, scale=scale,
+        paper_claim=paper_claim)
+
+    high_series = dict(rollout.rum.daily_mean(metric,
+                                              high_expectation=True))
+    low_series = dict(rollout.rum.daily_mean(metric,
+                                             high_expectation=False))
+    for day in sorted(set(high_series) | set(low_series)):
+        result.rows.append({
+            "day": day,
+            "high_expectation": high_series.get(day, float("nan")),
+            "low_expectation": low_series.get(day, float("nan")),
+        })
+
+    high_before, high_after = window_means(rollout, metric, True)
+    low_before, low_after = window_means(rollout, metric, False)
+    high_factor = ratio(high_before, high_after)
+    low_factor = ratio(low_before, low_after)
+    result.summary = {
+        "high_before": high_before,
+        "high_after": high_after,
+        "high_improvement_factor": high_factor,
+        "low_before": low_before,
+        "low_after": low_after,
+        "low_improvement_factor": low_factor,
+    }
+
+    result.check(
+        f"high-expectation {metric} improves >= "
+        f"{min_improvement_factor}x",
+        high_factor >= min_improvement_factor,
+        f"{high_before:.1f} -> {high_after:.1f} "
+        f"({high_factor:.2f}x)")
+    result.check(
+        "low-expectation group improves (weakly)",
+        low_factor >= 1.0,
+        f"{low_before:.1f} -> {low_after:.1f} ({low_factor:.2f}x)")
+    if low_should_improve_less:
+        result.check(
+            "high group gains more than low group",
+            high_factor > low_factor,
+            f"high {high_factor:.2f}x vs low {low_factor:.2f}x")
+    return result
+
+
+def cdf_figure(
+    experiment_id: str,
+    title: str,
+    paper_claim: str,
+    scale: str,
+    metric: str,
+    grid: Sequence[float],
+    p75_min_factor: float,
+    p90_min_factor: Optional[float] = None,
+) -> ExperimentResult:
+    """Build a Figure 14/16/18/20-style before/after CDF experiment."""
+    rollout = get_rollout(scale)
+    result = ExperimentResult(
+        experiment_id=experiment_id, title=title, scale=scale,
+        paper_claim=paper_claim)
+
+    series = {}
+    for label, high, window in (
+        ("high_before", True, rollout.before_window),
+        ("high_after", True, rollout.after_window),
+        ("low_before", False, rollout.before_window),
+        ("low_after", False, rollout.after_window),
+    ):
+        series[label] = rollout.rum.cdf(
+            metric, grid, high_expectation=high, via_public=True,
+            day_range=window)
+    for i, x in enumerate(grid):
+        result.rows.append({
+            "x": float(x),
+            **{label: values[i][1] for label, values in series.items()},
+        })
+
+    def pct(high: bool, window, q: float) -> float:
+        return rollout.rum.percentile(
+            metric, q, high_expectation=high, via_public=True,
+            day_range=window)
+
+    p75_before = pct(True, rollout.before_window, 0.75)
+    p75_after = pct(True, rollout.after_window, 0.75)
+    p90_before = pct(True, rollout.before_window, 0.90)
+    p90_after = pct(True, rollout.after_window, 0.90)
+    result.summary = {
+        "high_p75_before": p75_before,
+        "high_p75_after": p75_after,
+        "high_p90_before": p90_before,
+        "high_p90_after": p90_after,
+    }
+
+    result.check(
+        f"75th percentile improves >= {p75_min_factor}x (high group)",
+        ratio(p75_before, p75_after) >= p75_min_factor,
+        f"p75 {p75_before:.1f} -> {p75_after:.1f}")
+    if p90_min_factor is not None:
+        result.check(
+            f"90th percentile improves >= {p90_min_factor}x",
+            ratio(p90_before, p90_after) >= p90_min_factor,
+            f"p90 {p90_before:.1f} -> {p90_after:.1f}")
+    result.check(
+        "all plotted percentiles improve (CDF shifts left)",
+        all(series["high_after"][i][1] >= series["high_before"][i][1]
+            for i in range(len(grid))
+            if 0.05 < series["high_before"][i][1] < 0.95),
+        "after-CDF dominates before-CDF in the body")
+    return result

@@ -1,0 +1,20 @@
+"""Geolocation: city gazetteer and the EdgeScape-analog IP geo database.
+
+The paper relies on Akamai's EdgeScape database to map any IP to
+latitude/longitude, country, and autonomous system (Section 3.1).  In the
+simulator the topology generator *assigns* each prefix a location, and
+:class:`repro.geo.GeoDatabase` exposes those assignments through the same
+query interface EdgeScape provides, via longest-prefix matching.
+"""
+
+from repro.geo.cities import City, WORLD_CITIES, cities_by_country, city_index
+from repro.geo.database import GeoDatabase, GeoRecord
+
+__all__ = [
+    "City",
+    "GeoDatabase",
+    "GeoRecord",
+    "WORLD_CITIES",
+    "cities_by_country",
+    "city_index",
+]

@@ -1,0 +1,30 @@
+"""Measurement systems: NetSession, RUM, and DNS query accounting.
+
+These are the paper's three data-collection instruments, rebuilt
+against the simulator:
+
+* :mod:`repro.measurement.netsession` -- the download-manager fleet
+  that discovers client--LDNS pairs with whoami digs (Section 3.1).
+* :mod:`repro.measurement.rum` -- Real User Measurement: per-download
+  navigation-timing beacons (Section 4.2).
+* :mod:`repro.measurement.querylog` -- authoritative-side query-rate
+  accounting (Sections 5.2, Figures 2, 23, 24).
+"""
+
+from repro.measurement.netsession import (
+    ClientLdnsDataset,
+    NetSessionCollector,
+    PairObservation,
+)
+from repro.measurement.querylog import PairKey, QueryLog
+from repro.measurement.rum import RumBeacon, RumCollector
+
+__all__ = [
+    "ClientLdnsDataset",
+    "NetSessionCollector",
+    "PairKey",
+    "PairObservation",
+    "QueryLog",
+    "RumBeacon",
+    "RumCollector",
+]

@@ -1,0 +1,190 @@
+"""NetSession analog: discovering client--LDNS pairs.
+
+The paper's collection pipeline (Section 3.1): download-manager clients
+learn their external IP from a persistent control-plane connection, dig
+a special ``whoami`` name through their configured LDNS, and upload the
+(client /24, LDNS IP) association; associations are aggregated per /24
+block with relative frequencies.
+
+Two collection modes are provided:
+
+* :meth:`NetSessionCollector.collect_via_dns` runs the *actual
+  mechanism* through the resolver stack: a stub resolver digs the
+  whoami TXT name via the block's LDNS and parses the reflected
+  resolver address out of the answer.
+* :meth:`NetSessionCollector.collect_ground_truth` reads the topology's
+  assignment table directly -- equivalent output, used where speed
+  matters (the Section 3 analyses touch millions of pairs).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dnssrv.recursive import RecursiveResolver
+from repro.dnssrv.stub import StubResolver
+from repro.dnssrv.transport import Network
+from repro.dnsproto.types import QType
+from repro.net.geometry import great_circle_miles
+from repro.net.ipv4 import Prefix, parse_ipv4
+from repro.topology.internet import ClientBlock, Internet
+
+_RESOLVER_RE = re.compile(r"resolver=(\d+\.\d+\.\d+\.\d+)")
+
+
+@dataclass(frozen=True, slots=True)
+class PairObservation:
+    """One aggregated client-block/LDNS association."""
+
+    block: Prefix
+    resolver_id: str
+    frequency: float
+    """Relative frequency of this LDNS within the block's observations."""
+    demand: float
+    """Block demand attributed to this pair (demand * frequency)."""
+    distance_miles: float
+
+
+@dataclass
+class ClientLdnsDataset:
+    """The aggregated NetSession output for analysis."""
+
+    observations: List[PairObservation] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def total_demand(self) -> float:
+        return sum(o.demand for o in self.observations)
+
+    def blocks_covered(self) -> int:
+        return len({o.block for o in self.observations})
+
+    def resolvers_covered(self) -> int:
+        return len({o.resolver_id for o in self.observations})
+
+    def filtered(self, resolver_ids: Iterable[str],
+                 keep: bool = True) -> "ClientLdnsDataset":
+        """Subset to (or excluding) a resolver population."""
+        wanted = set(resolver_ids)
+        return ClientLdnsDataset([
+            o for o in self.observations
+            if (o.resolver_id in wanted) == keep
+        ])
+
+    def distance_samples(self) -> Tuple[List[float], List[float]]:
+        """(distances, demand weights) for distribution analysis."""
+        return ([o.distance_miles for o in self.observations],
+                [o.demand for o in self.observations])
+
+
+class NetSessionCollector:
+    """Builds a :class:`ClientLdnsDataset` from a simulated Internet."""
+
+    def __init__(self, internet: Internet,
+                 whoami_name: str = "whoami.cdn.example") -> None:
+        self.internet = internet
+        self.whoami_name = whoami_name
+
+    # -- fast path ---------------------------------------------------------
+
+    def collect_ground_truth(
+        self,
+        sample_fraction: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> ClientLdnsDataset:
+        """Aggregate pairs straight from the topology's assignments."""
+        if not 0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        rng = rng or random.Random(0)
+        dataset = ClientLdnsDataset()
+        for block in self.internet.blocks:
+            if sample_fraction < 1.0 and rng.random() > sample_fraction:
+                continue
+            dataset.observations.extend(self._observations_for(block))
+        return dataset
+
+    # -- protocol path -------------------------------------------------------
+
+    def collect_via_dns(
+        self,
+        network: Network,
+        ldns_registry: Dict[str, RecursiveResolver],
+        blocks: Optional[List[ClientBlock]] = None,
+        now: float = 0.0,
+        rng: Optional[random.Random] = None,
+        digs_per_block: int = 8,
+    ) -> ClientLdnsDataset:
+        """Run actual whoami digs through the resolver stack.
+
+        For each block, ``digs_per_block`` simulated NetSession clients
+        each dig the whoami name through an LDNS sampled by the block's
+        usage frequencies; the resolver address reflected in the TXT
+        answer is what gets recorded (so e.g. anycast would be observed
+        from the authoritative side, exactly as in production).
+        """
+        rng = rng or random.Random(0)
+        blocks = blocks if blocks is not None else self.internet.blocks
+        ip_to_resolver = {res.ip: rid
+                          for rid, res in self.internet.resolvers.items()}
+        dataset = ClientLdnsDataset()
+        for block in blocks:
+            counts: Dict[str, int] = {}
+            client_ip = block.prefix.network | rng.randint(1, 254)
+            stub = StubResolver(client_ip, network)
+            for _ in range(digs_per_block):
+                resolver_id = block.pick_ldns(rng)
+                ldns = ldns_registry.get(resolver_id)
+                if ldns is None:
+                    continue
+                resolution = stub.resolve(self.whoami_name, ldns, now,
+                                          qtype=QType.TXT)
+                observed = _parse_whoami(resolution)
+                if observed is None:
+                    continue
+                observed_id = ip_to_resolver.get(observed, resolver_id)
+                counts[observed_id] = counts.get(observed_id, 0) + 1
+            total = sum(counts.values())
+            if not total:
+                continue
+            for resolver_id, count in sorted(counts.items()):
+                frequency = count / total
+                resolver = self.internet.resolvers[resolver_id]
+                dataset.observations.append(PairObservation(
+                    block=block.prefix,
+                    resolver_id=resolver_id,
+                    frequency=frequency,
+                    demand=block.demand * frequency,
+                    distance_miles=great_circle_miles(
+                        block.geo, resolver.geo),
+                ))
+        return dataset
+
+    # -- internals ---------------------------------------------------------
+
+    def _observations_for(self,
+                          block: ClientBlock) -> List[PairObservation]:
+        out = []
+        for resolver_id, weight in block.ldns:
+            resolver = self.internet.resolvers[resolver_id]
+            out.append(PairObservation(
+                block=block.prefix,
+                resolver_id=resolver_id,
+                frequency=weight,
+                demand=block.demand * weight,
+                distance_miles=great_circle_miles(block.geo, resolver.geo),
+            ))
+        return out
+
+
+def _parse_whoami(resolution) -> Optional[int]:
+    """Extract the reflected resolver IP from a whoami TXT answer."""
+    for record in resolution.records:
+        text = str(record.rdata)
+        match = _RESOLVER_RE.search(text)
+        if match:
+            return parse_ipv4(match.group(1))
+    return None

@@ -1,0 +1,146 @@
+"""IPv4 addresses as plain integers, plus CIDR prefixes.
+
+An IPv4 address is represented throughout the code base as an ``int`` in
+``[0, 2**32)``.  The helpers here convert between dotted-quad strings and
+integers and implement the prefix arithmetic the mapping system needs:
+"the /x block of client A.B.C.D" (paper Section 2.1) is
+``prefix_of(addr, x)``.
+
+The :class:`Prefix` type is hashable and totally ordered so it can be used
+as a dictionary key (mapping units are keyed by prefix, Section 5.1) and
+sorted deterministically in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+_MAX_IPV4 = (1 << 32) - 1
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse a dotted-quad IPv4 string into an integer.
+
+    Raises :class:`ValueError` for anything that is not exactly four
+    decimal octets in range.
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted-quad IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise ValueError(f"bad IPv4 octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"IPv4 octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(addr: int) -> str:
+    """Format an integer address as a dotted-quad string."""
+    if not 0 <= addr <= _MAX_IPV4:
+        raise ValueError(f"IPv4 address out of range: {addr}")
+    return ".".join(
+        str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def mask_of(length: int) -> int:
+    """Return the integer netmask for a prefix length."""
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    if length == 0:
+        return 0
+    return (_MAX_IPV4 << (32 - length)) & _MAX_IPV4
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class Prefix:
+    """A CIDR block ``network/length``.
+
+    ``network`` must have its host bits cleared; the constructor enforces
+    this so that two prefixes covering the same block always compare equal.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.network <= _MAX_IPV4:
+            raise ValueError(f"network address out of range: {self.network}")
+        if self.network & ~mask_of(self.length) & _MAX_IPV4:
+            raise ValueError(
+                f"host bits set in {format_ipv4(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"A.B.C.D/len"`` (or a bare address, meaning /32)."""
+        if "/" in text:
+            addr_text, _, len_text = text.partition("/")
+            if not len_text.isdigit():
+                raise ValueError(f"bad prefix length in {text!r}")
+            return cls(parse_ipv4(addr_text), int(len_text))
+        return cls(parse_ipv4(text), 32)
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered by this prefix."""
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> int:
+        """Lowest address in the block."""
+        return self.network
+
+    @property
+    def last(self) -> int:
+        """Highest address in the block."""
+        return self.network | (self.num_addresses - 1)
+
+    def contains(self, addr: int) -> bool:
+        """True if ``addr`` falls inside this block."""
+        return self.network <= addr <= self.last
+
+    def covers(self, other: "Prefix") -> bool:
+        """True if ``other`` is a (non-strict) sub-block of this prefix."""
+        return self.length <= other.length and self.contains(other.network)
+
+    def supernet(self, length: int) -> "Prefix":
+        """The enclosing prefix of the given (shorter or equal) length."""
+        if length > self.length:
+            raise ValueError(
+                f"supernet length /{length} longer than /{self.length}"
+            )
+        return Prefix(self.network & mask_of(length), length)
+
+    def subnets(self, length: int) -> Iterator["Prefix"]:
+        """Iterate the sub-blocks of the given (longer or equal) length."""
+        if length < self.length:
+            raise ValueError(
+                f"subnet length /{length} shorter than /{self.length}"
+            )
+        step = 1 << (32 - length)
+        for network in range(self.network, self.last + 1, step):
+            yield Prefix(network, length)
+
+    def addresses(self) -> Iterator[int]:
+        """Iterate every address in the block (use only for small blocks)."""
+        return iter(range(self.network, self.last + 1))
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.network)}/{self.length}"
+
+
+def prefix_of(addr: int, length: int) -> Prefix:
+    """Return the /length block containing ``addr``.
+
+    This is the paper's "/x prefix of the client's IP": the EDNS0
+    client-subnet option carries ``prefix_of(client_ip, 24)``.
+    """
+    return Prefix(addr & mask_of(length), length)

@@ -1,0 +1,163 @@
+"""Distance- and topology-driven network latency model.
+
+The paper's measurements (RTT, ping mesh of Fig 25) come from the real
+Internet.  Our substitute computes a round-trip time between two network
+endpoints from first principles:
+
+``rtt = 2 * (propagation + routing inflation) + peering penalty
+      + last-mile penalty + congestion noise``
+
+* **Propagation** -- great-circle distance over the speed of light in
+  fiber (~124 miles/ms one way).
+* **Routing inflation** -- real paths are not geodesics.  Short paths
+  are proportionally more inflated (metro detours dominate) than long
+  ones; we interpolate the inflation factor between ``short_inflation``
+  and ``long_inflation``.
+* **Peering penalty** -- crossing between two different autonomous
+  systems adds a deterministic per-AS-pair penalty, standing in for
+  indirect peering, IXP detours, and transit hops.  The penalty is a
+  stable pseudo-random function of the unordered AS pair so the same
+  pair always sees the same path quality.
+* **Last-mile penalty** -- access-technology delay at the client edge
+  (DSL interleaving, cable scheduling, cellular RAN), supplied by the
+  caller per endpoint.
+* **Congestion noise** -- optional multiplicative lognormal noise for
+  per-measurement variation; deterministic callers simply omit the RNG.
+
+All parameters live in :class:`LatencyParams` so experiments can run
+sensitivity sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import random
+
+from repro.net.geometry import GeoPoint, great_circle_miles
+
+# One-way speed of light in fiber: c * 2/3 = ~124.2 miles per millisecond.
+FIBER_MILES_PER_MS = 124.2
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer: a stable 64-bit integer hash.
+
+    Python's builtin ``hash`` is salted per process, which would make
+    latencies unreproducible across runs; this mix is deterministic.
+    """
+    value &= 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+def _pair_unit(a: int, b: int, salt: int) -> float:
+    """Deterministic uniform(0,1) value for an unordered integer pair."""
+    low, high = (a, b) if a <= b else (b, a)
+    mixed = _mix64(_mix64(low * 0x9E3779B97F4A7C15 + high) ^ salt)
+    return (mixed >> 11) / float(1 << 53)
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyParams:
+    """Tunable constants of the latency model."""
+
+    short_inflation: float = 2.2
+    """Path-length inflation for metro-scale paths (<= ``short_miles``)."""
+
+    long_inflation: float = 1.35
+    """Path-length inflation for intercontinental paths (>= ``long_miles``)."""
+
+    short_miles: float = 50.0
+    long_miles: float = 4000.0
+
+    same_as_floor_ms: float = 0.8
+    """Minimum RTT between distinct endpoints inside one AS (switching)."""
+
+    peering_penalty_max_ms: float = 24.0
+    """Worst-case extra RTT for a poorly-peered AS pair."""
+
+    peering_salt: int = 0x5EED0001
+    """Salt for the per-AS-pair peering quality function."""
+
+    congestion_sigma: float = 0.18
+    """Lognormal sigma of per-measurement multiplicative noise."""
+
+    def __post_init__(self) -> None:
+        if self.short_inflation < 1.0 or self.long_inflation < 1.0:
+            raise ValueError("inflation factors must be >= 1")
+        if self.short_miles >= self.long_miles:
+            raise ValueError("short_miles must be < long_miles")
+        if self.congestion_sigma < 0:
+            raise ValueError("congestion_sigma must be >= 0")
+
+
+class LatencyModel:
+    """Computes RTTs between geographic/AS-labelled endpoints."""
+
+    def __init__(self, params: Optional[LatencyParams] = None) -> None:
+        self.params = params or LatencyParams()
+
+    def inflation(self, distance_miles: float) -> float:
+        """Routing inflation factor for a given geodesic distance."""
+        p = self.params
+        if distance_miles <= p.short_miles:
+            return p.short_inflation
+        if distance_miles >= p.long_miles:
+            return p.long_inflation
+        # Log-linear interpolation between the two regimes.
+        span = math.log(p.long_miles / p.short_miles)
+        frac = math.log(distance_miles / p.short_miles) / span
+        return p.short_inflation + frac * (p.long_inflation - p.short_inflation)
+
+    def peering_penalty_ms(self, asn_a: int, asn_b: int) -> float:
+        """Deterministic extra RTT for crossing between two ASes."""
+        if asn_a == asn_b:
+            return 0.0
+        unit = _pair_unit(asn_a, asn_b, self.params.peering_salt)
+        # Square the uniform draw: most pairs peer reasonably well, a
+        # minority pay a large detour (heavy-ish tail).
+        return self.params.peering_penalty_max_ms * unit * unit
+
+    def base_rtt_ms(
+        self,
+        geo_a: GeoPoint,
+        asn_a: int,
+        geo_b: GeoPoint,
+        asn_b: int,
+        last_mile_ms: float = 0.0,
+    ) -> float:
+        """Noise-free RTT between two endpoints, in milliseconds."""
+        distance = great_circle_miles(geo_a, geo_b)
+        propagation_rtt = (
+            2.0 * distance * self.inflation(distance) / FIBER_MILES_PER_MS
+        )
+        rtt = propagation_rtt + self.peering_penalty_ms(asn_a, asn_b)
+        rtt += last_mile_ms
+        return max(rtt, self.params.same_as_floor_ms)
+
+    def rtt_ms(
+        self,
+        geo_a: GeoPoint,
+        asn_a: int,
+        geo_b: GeoPoint,
+        asn_b: int,
+        last_mile_ms: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> float:
+        """RTT with optional per-measurement congestion noise.
+
+        With ``rng=None`` this is the deterministic baseline used by the
+        ping-mesh experiments; with an RNG, a lognormal multiplicative
+        factor models queueing variation.
+        """
+        base = self.base_rtt_ms(geo_a, asn_a, geo_b, asn_b, last_mile_ms)
+        if rng is None or self.params.congestion_sigma == 0.0:
+            return base
+        sigma = self.params.congestion_sigma
+        # Mean-one lognormal: exp(N(-sigma^2/2, sigma)).
+        factor = math.exp(rng.gauss(-0.5 * sigma * sigma, sigma))
+        return base * factor

@@ -1,0 +1,134 @@
+"""Binary radix trie for longest-prefix matching over IPv4 prefixes.
+
+Used by the geolocation database (address -> geo record), the BGP CIDR
+table (address -> routed CIDR), and the ECS-aware DNS cache (client block
+-> cached answer whose *scope* covers the block).
+
+The trie is a plain uncompressed binary trie: insertion walks at most 32
+levels, lookup walks until the path ends.  That is ample for this code
+base -- tries here hold at most a few hundred thousand prefixes, and the
+constant factors of path compression are not worth the complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.net.ipv4 import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class RadixTrie(Generic[V]):
+    """Map :class:`Prefix` keys to values with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        for bit_index in range(prefix.length):
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove the value at ``prefix``.  Returns True if it was present.
+
+        Nodes are not physically pruned; tries in this code base are
+        build-once structures, and removal is rare (cache eviction paths
+        use their own indexes).
+        """
+        node: Optional[_Node[V]] = self._root
+        for bit_index in range(prefix.length):
+            if node is None:
+                return False
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            node = node.children[bit]
+        if node is None or not node.has_value:
+            return False
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        return True
+
+    def exact(self, prefix: Prefix) -> Optional[V]:
+        """Return the value stored exactly at ``prefix``, or None."""
+        node: Optional[_Node[V]] = self._root
+        for bit_index in range(prefix.length):
+            if node is None:
+                return None
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            node = node.children[bit]
+        if node is None or not node.has_value:
+            return None
+        return node.value
+
+    def longest_match(self, addr: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for a single address.
+
+        Returns the matching ``(prefix, value)`` pair, or None if no
+        inserted prefix covers the address.
+        """
+        node: Optional[_Node[V]] = self._root
+        best: Optional[Tuple[int, V]] = None
+        if node is not None and node.has_value:
+            best = (0, node.value)  # type: ignore[arg-type]
+        for bit_index in range(32):
+            bit = (addr >> (31 - bit_index)) & 1
+            node = node.children[bit] if node else None
+            if node is None:
+                break
+            if node.has_value:
+                best = (bit_index + 1, node.value)  # type: ignore[arg-type]
+        if best is None:
+            return None
+        length, value = best
+        mask = ((1 << length) - 1) << (32 - length) if length else 0
+        return Prefix(addr & mask, length), value
+
+    def lookup(self, addr: int) -> Optional[V]:
+        """Longest-prefix-match value for a single address, or None."""
+        match = self.longest_match(addr)
+        return match[1] if match else None
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate all stored (prefix, value) pairs in address order."""
+        stack: list[Tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        # Depth-first, visiting the 0-child before the 1-child yields
+        # prefixes sorted by (network, length-at-equal-network) order.
+        out: list[Tuple[Prefix, V]] = []
+        while stack:
+            node, network, depth = stack.pop()
+            if node.has_value:
+                out.append(
+                    (Prefix(network << (32 - depth) if depth else 0, depth),
+                     node.value)  # type: ignore[arg-type]
+                )
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (network << 1) | bit, depth + 1))
+        out.sort(key=lambda item: (item[0].network, item[0].length))
+        return iter(out)

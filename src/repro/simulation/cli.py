@@ -1,0 +1,160 @@
+"""Command-line entry point: ``eum-sim`` — drive custom scenarios.
+
+Complements ``eum-experiment`` (which regenerates the paper's figures):
+this tool runs ad-hoc simulations against a fresh world.
+
+Usage::
+
+    eum-sim world-info --scale tiny
+    eum-sim rollout --scale tiny --days 45 --sessions 150
+    eum-sim dnsload --scale tiny --lookups 30000 --days 1 --ecs
+    eum-sim status --scale tiny --sessions 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import sys
+from typing import List
+
+from repro.core.reporting import build_status_report
+from repro.experiments.scales import get_scale, scale_names
+from repro.simulation.dnsload import DnsLoadConfig, drive_dns_load
+from repro.simulation.rollout import RolloutConfig, run_rollout
+from repro.simulation.world import build_world
+
+
+def _build(scale: str):
+    spec = get_scale(scale)
+    print(f"building world (scale={scale})...", file=sys.stderr)
+    return build_world(spec.world)
+
+
+def _cmd_world_info(args) -> int:
+    world = _build(args.scale)
+    internet = world.internet
+    print(f"client /24 blocks     {len(internet.blocks)}")
+    print(f"autonomous systems    {len(internet.ases)}")
+    print(f"LDNS deployments      {len(internet.resolvers)} "
+          f"({len(internet.public_resolver_ids())} public)")
+    print(f"public demand share   {internet.public_demand_share():.1%}")
+    print(f"BGP announcements     {len(internet.bgp)}")
+    print(f"CDN locations         {len(world.deployments)}")
+    print(f"content providers     {len(world.catalog)}")
+    print(f"authoritative servers {len(world.nameservers)}")
+    return 0
+
+
+def _cmd_rollout(args) -> int:
+    world = _build(args.scale)
+    start = datetime.date(2014, 3, 1)
+    end = start + datetime.timedelta(days=args.days - 1)
+    third = datetime.timedelta(days=max(args.days // 3, 1))
+    config = RolloutConfig(
+        start_date=start,
+        end_date=end,
+        rollout_start=start + third,
+        rollout_end=start + 2 * third,
+        sessions_per_day=args.sessions,
+        seed=args.seed,
+    )
+    result = run_rollout(world, config)
+    print(f"{len(result.rum)} RUM beacons over {config.n_days} days")
+    for metric in ("mapping_distance_miles", "rtt_ms", "ttfb_ms",
+                   "download_ms"):
+        before = result.rum.metric_values(
+            metric, via_public=True, day_range=result.before_window)
+        after = result.rum.metric_values(
+            metric, via_public=True, day_range=result.after_window)
+        mean_b = sum(before) / len(before) if before else float("nan")
+        mean_a = sum(after) / len(after) if after else float("nan")
+        print(f"  {metric:<26} {mean_b:10.1f} -> {mean_a:10.1f} "
+              f"({mean_b / mean_a if mean_a else 0:5.2f}x)")
+    return 0
+
+
+def _cmd_dnsload(args) -> int:
+    world = _build(args.scale)
+    if args.ecs:
+        flipped = world.enable_ecs(world.public_ldns_ids())
+        print(f"enabled ECS at {flipped} public resolver deployments",
+              file=sys.stderr)
+    else:
+        world.disable_all_ecs()
+    config = DnsLoadConfig(lookups_per_day=args.lookups,
+                           n_days=args.days, seed=args.seed)
+    result = drive_dns_load(world, config)
+    window = args.days * 86400.0
+    log = world.query_log
+    print(f"lookups               {result.lookups}")
+    print(f"LDNS cache hit rate   {result.hit_rate:.1%}")
+    print(f"authoritative qps     {log.rate_in(0, window):.4f}")
+    print(f"  from public LDNS    "
+          f"{log.rate_in(0, window, public_only=True):.4f}")
+    print(f"ECS queries           {log.ecs_queries}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import random
+
+    from repro.simulation.session import simulate_session
+
+    world = _build(args.scale)
+    world.enable_ecs(world.public_ldns_ids())
+    rng = random.Random(args.seed)
+    print(f"running {args.sessions} sessions...", file=sys.stderr)
+    for index in range(args.sessions):
+        block = world.internet.pick_block(rng)
+        simulate_session(world, block, now=index * 2.0, rng=rng)
+    for line in build_status_report(world).lines():
+        print(line)
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="eum-sim",
+        description="Ad-hoc scenarios against the end-user-mapping "
+                    "simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--scale", default="tiny", choices=scale_names())
+        p.add_argument("--seed", type=int, default=7)
+
+    add_common(sub.add_parser("world-info",
+                              help="print world composition"))
+
+    rollout = sub.add_parser("rollout", help="run a custom roll-out")
+    add_common(rollout)
+    rollout.add_argument("--days", type=int, default=45)
+    rollout.add_argument("--sessions", type=int, default=150,
+                         help="sessions per day")
+
+    dnsload = sub.add_parser("dnsload", help="drive DNS-only load")
+    add_common(dnsload)
+    dnsload.add_argument("--lookups", type=int, default=30_000,
+                         help="lookups per day")
+    dnsload.add_argument("--days", type=int, default=1)
+    dnsload.add_argument("--ecs", action="store_true",
+                         help="enable ECS at public resolvers first")
+
+    status = sub.add_parser(
+        "status", help="run sessions then print the ops status report")
+    add_common(status)
+    status.add_argument("--sessions", type=int, default=300)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "world-info": _cmd_world_info,
+        "rollout": _cmd_rollout,
+        "dnsload": _cmd_dnsload,
+        "status": _cmd_status,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""DNS-only workload driver for query-rate experiments.
+
+Figures 2, 23, and 24 are about *DNS query volume*, not download
+performance: what matters is how often LDNS caches miss and query the
+authoritative servers.  Driving the full download model for the
+millions of lookups needed to exercise cache dynamics would be wasted
+work, so this driver replays DNS resolutions only -- demand-weighted
+clients resolving Zipf-popular domains through their real LDNS with
+real caches and TTLs -- while the attached query log observes the
+authoritative side.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dnsproto.types import QType
+from repro.simulation.world import World
+
+DAY_SECONDS = 86400.0
+
+
+@dataclass(frozen=True)
+class DnsLoadConfig:
+    """Shape of the DNS-only workload."""
+
+    lookups_per_day: int = 50_000
+    n_days: int = 10
+    start_day: int = 0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.lookups_per_day < 1 or self.n_days < 1:
+            raise ValueError("need positive lookups and days")
+
+
+@dataclass
+class DnsLoadResult:
+    """Counters from one driven period."""
+
+    lookups: int = 0
+    client_requests: int = 0
+    """Estimated client HTTP requests the lookups correspond to (each
+    resolution is followed by a page view; Figure 2's left axis)."""
+    upstream_queries: int = 0
+    cache_hits: int = 0
+    lookups_per_day_series: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.lookups if self.lookups else 0.0
+
+
+def drive_dns_load(
+    world: World,
+    config: Optional[DnsLoadConfig] = None,
+    requests_per_lookup: float = 20.0,
+) -> DnsLoadResult:
+    """Drive DNS lookups through the resolver fleet.
+
+    Each lookup: pick a demand-weighted client block, one of its
+    LDNSes, and a popularity-weighted provider domain; resolve through
+    the LDNS's real cache.  ``requests_per_lookup`` converts lookups to
+    the client-request volume they represent (multiple content requests
+    follow one resolution, paper Figure 2 caption).
+    """
+    config = config or DnsLoadConfig()
+    rng = random.Random(config.seed)
+    result = DnsLoadResult()
+    spacing = DAY_SECONDS / config.lookups_per_day
+
+    for day_offset in range(config.n_days):
+        day = config.start_day + day_offset
+        day_lookups = 0
+        for index in range(config.lookups_per_day):
+            now = day * DAY_SECONDS + index * spacing
+            block = world.internet.pick_block(rng)
+            resolver_id = block.pick_ldns(rng)
+            ldns = world.ldns_registry[resolver_id]
+            provider = world.catalog.pick_provider(rng)
+            client_ip = block.prefix.network | rng.randint(1, 254)
+            outcome = ldns.resolve(provider.domain, QType.A, client_ip,
+                                   now)
+            result.lookups += 1
+            day_lookups += 1
+            result.upstream_queries += outcome.upstream_queries
+            if outcome.cache_hit:
+                result.cache_hits += 1
+        result.lookups_per_day_series[day] = day_lookups
+        result.client_requests += int(day_lookups * requests_per_lookup)
+    return result

@@ -1,0 +1,187 @@
+"""The end-user mapping roll-out scenario (paper Section 4).
+
+Replays the production timeline: measurements from Jan 1 to Jun 30,
+2014, with EDNS0 client-subnet (and hence end-user mapping) enabled for
+public resolvers gradually between Mar 28 and Apr 15.  Every simulated
+day, client sessions arrive demand-weighted across the world; each one
+runs end to end through the DNS stack and download model, emitting a
+RUM beacon.  The authoritative query log runs throughout, capturing the
+query-rate inflation the roll-out causes.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import weighted_quantile
+from repro.measurement.netsession import NetSessionCollector
+from repro.measurement.rum import RumBeacon, RumCollector
+from repro.measurement.querylog import QueryLog
+from repro.simulation.session import simulate_session
+from repro.simulation.world import World
+
+DAY_SECONDS = 86400.0
+
+
+@dataclass(frozen=True)
+class RolloutConfig:
+    """Timeline and load parameters for the roll-out scenario."""
+
+    start_date: datetime.date = datetime.date(2014, 1, 1)
+    end_date: datetime.date = datetime.date(2014, 6, 30)
+    rollout_start: datetime.date = datetime.date(2014, 3, 28)
+    rollout_end: datetime.date = datetime.date(2014, 4, 15)
+    sessions_per_day: int = 600
+    monthly_growth: float = 0.10
+    """Measurement volume grows over the half year (Figure 12 shows an
+    increasing trend)."""
+    expectation_threshold_miles: float = 1000.0
+    ecs_source_len: int = 24
+    seed: int = 99
+
+    def __post_init__(self) -> None:
+        if not (self.start_date <= self.rollout_start
+                <= self.rollout_end <= self.end_date):
+            raise ValueError("dates must be ordered: start <= rollout "
+                             "window <= end")
+        if self.sessions_per_day < 1:
+            raise ValueError("need at least one session per day")
+
+    @property
+    def n_days(self) -> int:
+        return (self.end_date - self.start_date).days + 1
+
+    def day_index(self, date: datetime.date) -> int:
+        return (date - self.start_date).days
+
+    def rollout_fraction(self, day: int) -> float:
+        """Fraction of public resolvers flipped to ECS by this day."""
+        start = self.day_index(self.rollout_start)
+        end = self.day_index(self.rollout_end)
+        if day < start:
+            return 0.0
+        if day >= end:
+            return 1.0
+        return (day - start) / max(1, end - start)
+
+
+@dataclass
+class RolloutResult:
+    """Everything the Section 4 and 5 figures are derived from."""
+
+    config: RolloutConfig
+    rum: RumCollector
+    query_log: QueryLog
+    sessions_per_day: Dict[int, int] = field(default_factory=dict)
+    requests_per_day: Dict[int, int] = field(default_factory=dict)
+    ecs_resolvers_per_day: Dict[int, int] = field(default_factory=dict)
+    high_expectation_countries: List[str] = field(default_factory=list)
+    median_public_distance: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def before_window(self) -> tuple:
+        """[day range) strictly before the roll-out, for CDFs."""
+        return (0, self.config.day_index(self.config.rollout_start))
+
+    @property
+    def after_window(self) -> tuple:
+        """[day range) strictly after the roll-out completes."""
+        return (self.config.day_index(self.config.rollout_end) + 1,
+                self.config.n_days)
+
+
+def classify_expectation_groups(
+    world: World,
+    threshold_miles: float = 1000.0,
+) -> Dict[str, float]:
+    """Median client--public-LDNS distance per country (Section 4.1.1).
+
+    Computed from NetSession pairing data exactly as the paper derives
+    its country split from Figure 8.
+    """
+    dataset = NetSessionCollector(world.internet).collect_ground_truth()
+    public = world.internet.public_resolver_ids()
+    samples: Dict[str, List] = {}
+    block_country = {b.prefix: b.country for b in world.internet.blocks}
+    for obs in dataset.observations:
+        if obs.resolver_id not in public:
+            continue
+        country = block_country[obs.block]
+        samples.setdefault(country, []).append(
+            (obs.distance_miles, obs.demand))
+    medians = {}
+    for country, entries in samples.items():
+        values = [v for v, _ in entries]
+        weights = [w for _, w in entries]
+        medians[country] = weighted_quantile(values, weights, 0.5)
+    del threshold_miles  # classification threshold applied by caller
+    return medians
+
+
+def run_rollout(world: World,
+                config: Optional[RolloutConfig] = None) -> RolloutResult:
+    """Run the full roll-out timeline against a world."""
+    config = config or RolloutConfig()
+    rng = random.Random(config.seed)
+
+    medians = classify_expectation_groups(world)
+    high_expectation = {
+        country for country, median in medians.items()
+        if median > config.expectation_threshold_miles
+    }
+
+    world.disable_all_ecs()
+    world.query_log.enable_pair_tracking()
+    public_ids = world.public_ldns_ids()
+
+    result = RolloutResult(
+        config=config,
+        rum=RumCollector(),
+        query_log=world.query_log,
+        high_expectation_countries=sorted(high_expectation),
+        median_public_distance=medians,
+    )
+
+    for day in range(config.n_days):
+        # --- roll-out progress: flip the next tranche of resolvers ----
+        fraction = config.rollout_fraction(day)
+        n_enabled = int(round(fraction * len(public_ids)))
+        world.enable_ecs(public_ids[:n_enabled],
+                         source_prefix_len=config.ecs_source_len)
+        result.ecs_resolvers_per_day[day] = len(world.ecs_enabled_ids())
+
+        # --- measurement volume grows month over month -----------------
+        month = day // 30
+        sessions_today = int(round(
+            config.sessions_per_day * (1.0 + config.monthly_growth * month)))
+        spacing = DAY_SECONDS / sessions_today
+
+        requests_today = 0
+        for index in range(sessions_today):
+            now = day * DAY_SECONDS + index * spacing + rng.uniform(
+                0, spacing * 0.5)
+            block = world.internet.pick_block(rng)
+            session = simulate_session(world, block, now, rng)
+            requests_today += session.requests
+            result.rum.record(RumBeacon(
+                day=day,
+                block=block.prefix,
+                country=block.country,
+                domain=session.domain,
+                high_expectation=block.country in high_expectation,
+                via_public_resolver=session.via_public_resolver,
+                dns_ms=session.dns_ms,
+                rtt_ms=session.rtt_ms,
+                ttfb_ms=session.ttfb_ms,
+                download_ms=session.download_ms,
+                mapping_distance_miles=session.mapping_distance_miles,
+                server_ip=session.server_ip,
+                ecs_used=session.ecs_used,
+            ))
+        result.sessions_per_day[day] = sessions_today
+        result.requests_per_day[day] = requests_today
+
+    return result

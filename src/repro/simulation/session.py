@@ -1,0 +1,184 @@
+"""The page-download session model.
+
+Turns one client page view into the four RUM milestones the paper
+measures (Section 4.1), using an explicit RTT-based transfer model:
+
+* **DNS time** -- stub -> LDNS hop plus whatever recursion cost the
+  LDNS paid (zero on cache hit).
+* **TCP connect** -- one client--server RTT (SYN/SYN-ACK).
+* **TTFB** -- request upstream + server time + first chunk downstream
+  = one RTT + server time.  Server time for a *dynamic* base page
+  includes an origin fetch over the overlay (the component end-user
+  mapping cannot improve); static base pages hit the edge cache.
+* **Content download time** -- embedded objects fetched over
+  ``parallel_connections`` persistent connections; each object costs a
+  request round trip plus window-limited transfer time
+  (``size / (tcp_window / rtt)``), plus an origin fetch when the edge
+  cache misses.
+
+The returned :class:`SessionResult` carries everything the RUM beacon
+needs plus bookkeeping for the query-rate and load analyses.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cdn.content import ContentProvider, WebPage
+from repro.core.loadbalancer import spread_load
+from repro.dnssrv.stub import StubResolver
+from repro.net.geometry import great_circle_miles
+from repro.simulation.world import World
+from repro.topology.internet import ClientBlock
+
+#: Effective TCP window for the transfer model (bytes).
+TCP_WINDOW_BYTES = 64 * 1024
+#: Parallel persistent connections a browser opens per host.
+PARALLEL_CONNECTIONS = 6
+#: Edge server base processing time for a cache hit (ms).
+EDGE_PROCESS_MS = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class SessionResult:
+    """One completed page download."""
+
+    block: ClientBlock
+    provider_name: str
+    domain: str
+    resolver_id: str
+    via_public_resolver: bool
+    ecs_used: bool
+    server_ip: int
+    cluster_id: Optional[str]
+    dns_ms: float
+    connect_ms: float
+    rtt_ms: float
+    ttfb_ms: float
+    download_ms: float
+    mapping_distance_miles: float
+    upstream_dns_queries: int
+    requests: int
+    """HTTP requests issued (base page + embedded objects): the
+    'client requests' series of Figure 2."""
+    edge_cache_hits: int
+
+    @property
+    def page_load_ms(self) -> float:
+        """Full page time: DNS + connect + TTFB + content download."""
+        return self.dns_ms + self.connect_ms + self.ttfb_ms + (
+            self.download_ms)
+
+
+def simulate_session(
+    world: World,
+    block: ClientBlock,
+    now: float,
+    rng: random.Random,
+    provider: Optional[ContentProvider] = None,
+    page: Optional[WebPage] = None,
+    account_load: bool = True,
+) -> SessionResult:
+    """Run one client session end to end through the real stack."""
+    provider = provider or world.catalog.pick_provider(rng)
+    page = page or provider.pick_page(rng)
+    client_ip = block.prefix.network | rng.randint(1, 254)
+
+    # --- DNS ----------------------------------------------------------------
+    resolver_id = block.pick_ldns(rng)
+    ldns = world.ldns_registry[resolver_id]
+    stub = StubResolver(client_ip, world.network)
+    resolution = stub.resolve(provider.domain, ldns, now)
+    if not resolution.ok:
+        raise RuntimeError(
+            f"resolution failed for {provider.domain} via {resolver_id}: "
+            f"rcode={resolution.rcode}")
+    server_ip = resolution.addresses[0]
+    server = world.deployments.server_index.get(server_ip)
+    cluster = world.deployments.cluster_of_server(server_ip)
+    if server is None or cluster is None:
+        raise RuntimeError(f"mapped to unknown server {server_ip}")
+
+    # --- transport characteristics ------------------------------------------
+    base_rtt = world.network.rtt_ms(client_ip, server_ip)
+    rtt = _with_noise(base_rtt + block.last_mile_ms, rng)
+    connect_ms = rtt
+
+    # --- base page (TTFB) ------------------------------------------------------
+    origin = world.origins[provider.name]
+    edge_origin_rtt = world.network.rtt_ms(server_ip, origin.ip)
+    base_key = f"{provider.name}{page.url}#base"
+    requests = 1
+    cache_hits = 0
+    if page.dynamic:
+        # Personalized: always goes to origin over the overlay.
+        server_time = origin.fetch_time_ms(edge_origin_rtt,
+                                           page.origin_think_ms)
+    else:
+        hit = server.serve(base_key, page.base_size_bytes)
+        if hit:
+            cache_hits += 1
+            server_time = EDGE_PROCESS_MS
+        else:
+            server_time = origin.fetch_time_ms(edge_origin_rtt,
+                                               page.origin_think_ms)
+    ttfb_ms = rtt + server_time
+
+    # --- embedded content -----------------------------------------------------
+    per_connection: List[float] = [0.0] * PARALLEL_CONNECTIONS
+    throughput_bytes_per_ms = TCP_WINDOW_BYTES / max(rtt, 1.0)
+    for index, obj in enumerate(page.objects):
+        requests += 1
+        key = obj.name
+        if obj.cacheable:
+            hit = server.serve(key, obj.size_bytes)
+        else:
+            hit = False
+            server.cache.stats.misses += 1
+        object_ms = rtt + obj.size_bytes / throughput_bytes_per_ms
+        if hit:
+            cache_hits += 1
+            object_ms += EDGE_PROCESS_MS
+        else:
+            object_ms += origin.fetch_time_ms(edge_origin_rtt,
+                                              think_ms=8.0)
+        connection = index % PARALLEL_CONNECTIONS
+        per_connection[connection] += object_ms
+    download_ms = max(per_connection) if page.objects else 0.0
+
+    # --- bookkeeping -----------------------------------------------------------
+    if account_load:
+        answered = [world.deployments.server_index[ip]
+                    for ip in resolution.addresses
+                    if ip in world.deployments.server_index]
+        spread_load(answered, rps=0.01 * requests)
+
+    meta = world.internet.resolvers[resolver_id]
+    return SessionResult(
+        block=block,
+        provider_name=provider.name,
+        domain=provider.domain,
+        resolver_id=resolver_id,
+        via_public_resolver=meta.is_public,
+        ecs_used=ldns.ecs_enabled,
+        server_ip=server_ip,
+        cluster_id=cluster.cluster_id,
+        dns_ms=resolution.dns_time_ms,
+        connect_ms=connect_ms,
+        rtt_ms=rtt,
+        ttfb_ms=ttfb_ms,
+        download_ms=download_ms,
+        mapping_distance_miles=great_circle_miles(block.geo, cluster.geo),
+        upstream_dns_queries=resolution.upstream_queries,
+        requests=requests,
+        edge_cache_hits=cache_hits,
+    )
+
+
+def _with_noise(rtt_ms: float, rng: random.Random,
+                sigma: float = 0.15) -> float:
+    """Mean-one lognormal congestion noise on the measured RTT."""
+    return rtt_ms * math.exp(rng.gauss(-0.5 * sigma * sigma, sigma))

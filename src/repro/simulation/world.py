@@ -1,0 +1,283 @@
+"""World builder: the fully wired simulated ecosystem.
+
+One :class:`World` contains everything a scenario needs:
+
+* the synthetic Internet (clients, LDNS population, BGP, geolocation),
+* CDN deployments and the content catalog with origins,
+* the mapping system (policy-swappable) attached as the answer source
+  of authoritative name servers co-located with CDN clusters,
+* a live :class:`~repro.dnssrv.recursive.RecursiveResolver` per LDNS,
+* a query log observing the authoritative servers.
+
+The name-server placement mirrors Section 2.2: authorities are deployed
+inside CDN clusters, and each LDNS talks to the lowest-latency one
+(standing in for the delegation step that "implements the global load
+balancer choice of cluster for the client's LDNS").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cdn.content import ContentCatalog, build_catalog
+from repro.cdn.deployments import DeploymentPlan, build_deployments
+from repro.cdn.origin import OriginServer, deploy_origin, make_origin_allocator
+from repro.core.discovery import CandidateIndex
+from repro.core.measurement import MeasurementService
+from repro.core.policies import EUMappingPolicy, MappingPolicy
+from repro.core.scoring import Scorer, TrafficClass
+from repro.core.system import MappingSystem
+from repro.dnsproto.message import ResourceRecord
+from repro.dnsproto.rdata import CNAMERdata
+from repro.dnsproto.types import QType
+from repro.dnssrv.authoritative import (
+    AuthoritativeServer,
+    StaticZone,
+    WhoAmIZone,
+)
+from repro.dnssrv.recursive import RecursiveResolver
+from repro.dnssrv.transport import AuthorityDirectory, Network
+from repro.geo.cities import city_index
+from repro.measurement.querylog import QueryLog
+from repro.net.latency import LatencyModel
+from repro.topology.internet import Internet, InternetConfig, build_internet
+
+CDN_ZONE = "cdn.example"
+WHOAMI_NAME = f"whoami.{CDN_ZONE}"
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Scale and seed knobs for a full world."""
+
+    internet: InternetConfig = field(default_factory=InternetConfig.small)
+    n_deployments: int = 150
+    servers_per_cluster: int = 4
+    n_providers: int = 30
+    n_nameservers: int = 8
+    dns_ttl: int = 300
+    """Mapping-answer TTL.  Short TTLs keep mapping responsive; the
+    paper's agility/query-rate trade-off is swept by the TTL ablation."""
+    seed: int = 2014
+
+    def __post_init__(self) -> None:
+        if self.n_nameservers < 1:
+            raise ValueError("need at least one name server")
+        if self.n_deployments < self.n_nameservers:
+            raise ValueError("more name servers than deployments")
+
+    @classmethod
+    def tiny(cls) -> "WorldConfig":
+        return cls(internet=InternetConfig.tiny(), n_deployments=40,
+                   n_providers=10, n_nameservers=4)
+
+    @classmethod
+    def small(cls) -> "WorldConfig":
+        return cls(internet=InternetConfig.small(), n_deployments=150,
+                   n_providers=30, n_nameservers=8)
+
+    @classmethod
+    def paper(cls) -> "WorldConfig":
+        return cls(internet=InternetConfig.paper(), n_deployments=400,
+                   n_providers=60, n_nameservers=12)
+
+
+@dataclass
+class World:
+    """Everything wired and ready to run scenarios against."""
+
+    config: WorldConfig
+    internet: Internet
+    deployments: DeploymentPlan
+    catalog: ContentCatalog
+    origins: Dict[str, OriginServer]
+    network: Network
+    directory: AuthorityDirectory
+    measurement: MeasurementService
+    mapping: MappingSystem
+    nameservers: List[AuthoritativeServer]
+    ldns_registry: Dict[str, RecursiveResolver]
+    query_log: QueryLog
+
+    def set_policy(self, policy: MappingPolicy) -> None:
+        """Swap the mapping policy (NS / EU / CANS) world-wide."""
+        self.mapping.set_policy(policy)
+
+    def cans_policy(self) -> "MappingPolicy":
+        """Build a client-aware NS policy from NetSession pairing data.
+
+        Runs the NetSession ground-truth collection (Section 3.1) and
+        loads the observed client clusters into a
+        :class:`~repro.core.policies.ClientClusterIndex`, exactly the
+        data feed the paper says CANS mapping would need ("tools for
+        discovering client-LDNS pairings", Section 7).
+        """
+        from repro.core.policies import (
+            CANSMappingPolicy,
+            ClientClusterIndex,
+        )
+        from repro.measurement.netsession import NetSessionCollector
+
+        dataset = NetSessionCollector(self.internet).collect_ground_truth()
+        index = ClientClusterIndex(self.internet.geodb)
+        for obs in dataset.observations:
+            resolver = self.internet.resolvers[obs.resolver_id]
+            index.observe(resolver.ip, obs.block, obs.demand)
+        return CANSMappingPolicy(self.internet.geodb, index)
+
+    def enable_ecs(self, resolver_ids, source_prefix_len: int = 24) -> int:
+        """Turn on EDNS0 client-subnet at the given LDNSes.
+
+        Only resolvers whose software supports ECS actually flip (the
+        paper's roll-out targeted public resolvers because they are the
+        ones that implement the extension).  Returns how many flipped.
+        Flipping flushes the resolver's cache scope bookkeeping is not
+        needed: existing scope-0 entries simply age out.
+        """
+        flipped = 0
+        for resolver_id in resolver_ids:
+            ldns = self.ldns_registry.get(resolver_id)
+            meta = self.internet.resolvers.get(resolver_id)
+            if ldns is None or meta is None or not meta.supports_ecs:
+                continue
+            if not ldns.ecs_enabled:
+                ldns.ecs_enabled = True
+                ldns.ecs_source_len = source_prefix_len
+                flipped += 1
+        return flipped
+
+    def disable_all_ecs(self) -> None:
+        for ldns in self.ldns_registry.values():
+            ldns.ecs_enabled = False
+
+    def ecs_enabled_ids(self) -> List[str]:
+        return [rid for rid, ldns in self.ldns_registry.items()
+                if ldns.ecs_enabled]
+
+    def public_ldns_ids(self) -> List[str]:
+        return sorted(self.internet.public_resolver_ids())
+
+
+def build_world(config: Optional[WorldConfig] = None,
+                policy: Optional[MappingPolicy] = None) -> World:
+    """Build and wire a complete world from a config."""
+    config = config or WorldConfig.small()
+    rng = random.Random(config.seed ^ 0xC0FFEE)
+
+    internet = build_internet(config.internet, seed=config.seed)
+    network = Network(internet.geodb, LatencyModel())
+
+    deployments = build_deployments(
+        config.n_deployments,
+        internet.geodb,
+        seed=config.seed + 1,
+        servers_per_cluster=config.servers_per_cluster,
+        host_ases=list(internet.ases.values()),
+    )
+
+    catalog = build_catalog(config.n_providers, seed=config.seed + 2,
+                            cdn_zone=CDN_ZONE, dns_ttl=config.dns_ttl)
+
+    measurement = MeasurementService(internet.geodb)
+    scorer = Scorer(measurement, TrafficClass.WEB)
+    mapping_policy = policy or EUMappingPolicy(internet.geodb)
+    mapping = MappingSystem(
+        deployments, catalog, mapping_policy, scorer,
+        candidate_index=CandidateIndex(deployments))
+
+    # --- authoritative name servers inside CDN clusters -------------------
+    nameservers: List[AuthoritativeServer] = []
+    ns_clusters = _spread_choice(
+        list(deployments.clusters.values()), config.n_nameservers, rng)
+    for index, cluster in enumerate(ns_clusters):
+        ns_ip = (cluster.servers[0].ip & 0xFFFFFF00) | 200
+        server = AuthoritativeServer(ns_ip, f"ns{index}.{CDN_ZONE}")
+        server.attach_zone(CDN_ZONE, mapping)
+        server.attach_zone(WHOAMI_NAME, WhoAmIZone(WHOAMI_NAME))
+        network.register(server)
+        nameservers.append(server)
+
+    directory = AuthorityDirectory()
+    directory.delegate(CDN_ZONE, [ns.ip for ns in nameservers])
+
+    # --- provider zones and origins ---------------------------------------
+    origin_alloc = make_origin_allocator()
+    origins: Dict[str, OriginServer] = {}
+    cities = city_index()
+    for provider in catalog.providers:
+        origin = deploy_origin(provider.name,
+                               cities[provider.origin_city.name],
+                               internet.geodb, origin_alloc)
+        origins[provider.name] = origin
+        zone = StaticZone().add(ResourceRecord(
+            provider.domain, QType.CNAME, 3600,
+            CNAMERdata(provider.cdn_hostname)))
+        # The provider's own DNS runs next to its origin.
+        provider_ns_ip = (origin.ip & 0xFFFFFF00) | 53
+        provider_auth = AuthoritativeServer(
+            provider_ns_ip, f"ns.{provider.name}.example")
+        provider_zone = provider.domain.split(".", 1)[1]
+        provider_auth.attach_zone(provider_zone, zone)
+        network.register(provider_auth)
+        directory.delegate(provider_zone, [provider_ns_ip])
+
+    # --- the LDNS fleet -----------------------------------------------------
+    ldns_registry: Dict[str, RecursiveResolver] = {}
+    for resolver_id, meta in internet.resolvers.items():
+        ldns = RecursiveResolver(
+            ip=meta.ip,
+            network=network,
+            directory=directory,
+            ecs_enabled=False,
+            name=resolver_id,
+        )
+        network.register(ldns)
+        ldns_registry[resolver_id] = ldns
+
+    # --- query accounting ----------------------------------------------------
+    query_log = QueryLog(
+        authoritative_ips={ns.ip for ns in nameservers},
+        public_resolver_ips={
+            meta.ip for rid, meta in internet.resolvers.items()
+            if meta.is_public
+        },
+    )
+    network.add_sink(query_log)
+
+    return World(
+        config=config,
+        internet=internet,
+        deployments=deployments,
+        catalog=catalog,
+        origins=origins,
+        network=network,
+        directory=directory,
+        measurement=measurement,
+        mapping=mapping,
+        nameservers=nameservers,
+        ldns_registry=ldns_registry,
+        query_log=query_log,
+    )
+
+
+def _spread_choice(clusters, count: int, rng: random.Random):
+    """Pick name-server host clusters spread across countries."""
+    count = min(count, len(clusters))
+    by_country: Dict[str, List] = {}
+    for cluster in clusters:
+        by_country.setdefault(cluster.country, []).append(cluster)
+    chosen = []
+    countries = sorted(by_country)
+    rng.shuffle(countries)
+    while len(chosen) < count and countries:
+        for country in list(countries):
+            pool = by_country[country]
+            if not pool:
+                countries.remove(country)
+                continue
+            chosen.append(pool.pop(rng.randrange(len(pool))))
+            if len(chosen) >= count:
+                break
+    return chosen

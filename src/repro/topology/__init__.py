@@ -1,0 +1,52 @@
+"""Synthetic Internet topology: the workload substrate.
+
+The paper's analyses run against the real Internet as seen from Akamai:
+3.76M /24 client blocks, 584K LDNSes, 37294 ASes (Section 3.1).  This
+package generates a statistically structured miniature of that world:
+
+* autonomous systems with Pareto-distributed demand and per-country
+  resolver strategies (:mod:`repro.topology.ases`),
+* /24 client blocks allocated contiguously per AS and city so that BGP
+  CIDR aggregation is meaningful (:mod:`repro.topology.addressing`),
+* LDNS infrastructures -- ISP-local, ISP anycast hubs, national-central,
+  enterprise-central, and anycast public resolver providers with sparse
+  deployments (:mod:`repro.topology.resolvers`),
+* per-country behaviour profiles calibrated to the paper's Figures 6, 8
+  and 9 (:mod:`repro.topology.profiles`),
+* the :class:`repro.topology.internet.Internet` container produced by
+  :func:`repro.topology.internet.build_internet`.
+"""
+
+from repro.topology.ases import ASKind, AutonomousSystem, ResolverStrategy
+from repro.topology.addressing import AddressAllocator, BGPTable
+from repro.topology.internet import (
+    ClientBlock,
+    Internet,
+    InternetConfig,
+    build_internet,
+)
+from repro.topology.profiles import CountryProfile, profile_for
+from repro.topology.resolvers import (
+    PublicProvider,
+    Resolver,
+    ResolverKind,
+    anycast_catchment,
+)
+
+__all__ = [
+    "ASKind",
+    "AddressAllocator",
+    "AutonomousSystem",
+    "BGPTable",
+    "ClientBlock",
+    "CountryProfile",
+    "Internet",
+    "InternetConfig",
+    "PublicProvider",
+    "Resolver",
+    "ResolverKind",
+    "ResolverStrategy",
+    "anycast_catchment",
+    "build_internet",
+    "profile_for",
+]

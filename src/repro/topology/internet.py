@@ -1,0 +1,762 @@
+"""The synthetic Internet: configuration, builder, and container.
+
+:func:`build_internet` generates a deterministic miniature Internet from
+an :class:`InternetConfig` and a seed: autonomous systems, /24 client
+blocks with heavy-tailed demand, the LDNS population (ISP, enterprise,
+and anycast public-resolver deployments), a BGP table of routed CIDRs,
+and a geolocation database covering everything.
+
+Everything downstream -- the DNS stack, the CDN, the mapping system, and
+every experiment -- consumes the :class:`Internet` container built here.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.geo.cities import City, WORLD_CITIES, cities_by_country, city_index
+from repro.geo.database import GeoDatabase, GeoRecord
+from repro.net.geometry import GeoPoint, displace
+from repro.net.ipv4 import Prefix
+from repro.topology.addressing import (
+    AddressAllocator,
+    BGPTable,
+    RESOLVER_SPACE_START,
+)
+from repro.topology.ases import ASKind, AutonomousSystem, ResolverStrategy
+from repro.topology.demand import (
+    lognormal_weights,
+    pareto_weights,
+    zipf_weights,
+)
+from repro.topology.profiles import profile_for
+from repro.topology.resolvers import (
+    DEFAULT_PUBLIC_PROVIDERS,
+    PublicProvider,
+    Resolver,
+    ResolverKind,
+    anycast_catchment,
+    pick_provider,
+)
+
+#: Access-technology last-mile RTT penalties (ms) and their global mix.
+_LAST_MILE_CHOICES: Tuple[Tuple[str, float], ...] = (
+    ("fiber", 2.0),
+    ("cable", 8.0),
+    ("dsl", 18.0),
+    ("cellular", 45.0),
+)
+_LAST_MILE_WEIGHTS: Tuple[float, ...] = (0.15, 0.30, 0.35, 0.20)
+
+
+@dataclass(frozen=True, slots=True)
+class ClientBlock:
+    """One /24 client IP block: the finest client granularity we model.
+
+    The paper aggregates clients to /24 blocks throughout (NetSession
+    data, ECS queries, mapping units), so a block is also our atom.
+    """
+
+    prefix: Prefix
+    geo: GeoPoint
+    city: str
+    country: str
+    continent: str
+    asn: int
+    demand: float
+    last_mile_ms: float
+    access: str
+    ldns: Tuple[Tuple[str, float], ...]
+    """(resolver_id, relative frequency) pairs; frequencies sum to 1.
+    NetSession observes exactly this set per block (Section 3.1)."""
+
+    @property
+    def primary_ldns(self) -> str:
+        """The resolver this block uses most of the time."""
+        return max(self.ldns, key=lambda pair: pair[1])[0]
+
+    def pick_ldns(self, rng: random.Random) -> str:
+        """Sample a resolver for one session, by relative frequency."""
+        if len(self.ldns) == 1:
+            return self.ldns[0][0]
+        ids = [pair[0] for pair in self.ldns]
+        weights = [pair[1] for pair in self.ldns]
+        return rng.choices(ids, weights=weights, k=1)[0]
+
+
+@dataclass(frozen=True)
+class InternetConfig:
+    """Knobs of the topology generator.
+
+    The class methods give the three standard scales: ``tiny`` for unit
+    tests, ``small`` for benches, ``paper`` for the EXPERIMENTS.md runs.
+    """
+
+    n_client_blocks: int = 6000
+    n_ases: int = 400
+    enterprise_fraction: float = 0.12
+    pareto_alpha: float = 1.1
+    block_jitter_miles: float = 25.0
+    block_demand_sigma: float = 1.5
+    secondary_ldns_rate: float = 0.25
+    """Probability a block's clients spread across two LDNSes."""
+    isp_anycast_misroute: float = 0.10
+    providers: Tuple[PublicProvider, ...] = DEFAULT_PUBLIC_PROVIDERS
+    total_demand: float = 1_000_000.0
+    """Total client demand in abstract units (normalization target)."""
+
+    def __post_init__(self) -> None:
+        if self.n_client_blocks < self.n_ases:
+            raise ValueError("need at least one block per AS")
+        if not 0.0 <= self.enterprise_fraction < 1.0:
+            raise ValueError("enterprise_fraction must be in [0, 1)")
+        if self.n_ases < 50:
+            raise ValueError(
+                "n_ases < 50 cannot cover the gazetteer's countries")
+
+    @classmethod
+    def tiny(cls) -> "InternetConfig":
+        """Smallest config that still exercises every mechanism."""
+        return cls(n_client_blocks=1000, n_ases=90)
+
+    @classmethod
+    def small(cls) -> "InternetConfig":
+        """Default experimentation scale (seconds to build)."""
+        return cls(n_client_blocks=6000, n_ases=400)
+
+    @classmethod
+    def paper(cls) -> "InternetConfig":
+        """Scale used for the numbers recorded in EXPERIMENTS.md."""
+        return cls(n_client_blocks=40000, n_ases=2200)
+
+
+@dataclass
+class Internet:
+    """Container for one generated Internet."""
+
+    config: InternetConfig
+    seed: int
+    ases: Dict[int, AutonomousSystem]
+    blocks: List[ClientBlock]
+    resolvers: Dict[str, Resolver]
+    providers: Tuple[PublicProvider, ...]
+    bgp: BGPTable
+    geodb: GeoDatabase
+
+    _cum_demand: List[float] = field(default_factory=list, repr=False)
+    _block_by_prefix: Dict[Prefix, ClientBlock] = field(
+        default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        running = 0.0
+        self._cum_demand = []
+        for block in self.blocks:
+            running += block.demand
+            self._cum_demand.append(running)
+        self._block_by_prefix = {b.prefix: b for b in self.blocks}
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def total_demand(self) -> float:
+        return self._cum_demand[-1] if self._cum_demand else 0.0
+
+    def resolver(self, resolver_id: str) -> Resolver:
+        return self.resolvers[resolver_id]
+
+    def block_for_prefix(self, prefix: Prefix) -> Optional[ClientBlock]:
+        return self._block_by_prefix.get(prefix)
+
+    def block_for_addr(self, addr: int) -> Optional[ClientBlock]:
+        return self._block_by_prefix.get(Prefix(addr & 0xFFFFFF00, 24))
+
+    def pick_block(self, rng: random.Random) -> ClientBlock:
+        """Demand-weighted random block (a 'client session arrives')."""
+        if not self.blocks:
+            raise ValueError("Internet has no client blocks")
+        target = rng.random() * self.total_demand
+        index = bisect.bisect_right(self._cum_demand, target)
+        return self.blocks[min(index, len(self.blocks) - 1)]
+
+    # -- aggregate views -------------------------------------------------
+
+    def public_resolver_ids(self) -> set:
+        return {rid for rid, res in self.resolvers.items() if res.is_public}
+
+    def ldns_demand(self) -> Dict[str, float]:
+        """Demand served by each LDNS (paper's 'LDNS demand')."""
+        out: Dict[str, float] = {}
+        for block in self.blocks:
+            for resolver_id, weight in block.ldns:
+                out[resolver_id] = out.get(resolver_id, 0.0) + (
+                    block.demand * weight)
+        return out
+
+    def public_demand_share(self) -> float:
+        """Fraction of global demand served via public resolvers."""
+        public = self.public_resolver_ids()
+        served = sum(
+            block.demand * weight
+            for block in self.blocks
+            for resolver_id, weight in block.ldns
+            if resolver_id in public
+        )
+        return served / self.total_demand if self.total_demand else 0.0
+
+    def blocks_by_country(self) -> Dict[str, List[ClientBlock]]:
+        grouped: Dict[str, List[ClientBlock]] = {}
+        for block in self.blocks:
+            grouped.setdefault(block.country, []).append(block)
+        return grouped
+
+    def country_demand(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for block in self.blocks:
+            out[block.country] = out.get(block.country, 0.0) + block.demand
+        return out
+
+
+def build_internet(config: Optional[InternetConfig] = None,
+                   seed: int = 2014) -> Internet:
+    """Generate a deterministic synthetic Internet."""
+    config = config or InternetConfig.small()
+    # Providers carry mutable deployment lists; clone them so two
+    # Internets built from the same config never share resolver state.
+    config = dataclasses.replace(config, providers=tuple(
+        dataclasses.replace(p, deployments=[]) for p in config.providers))
+    rng = random.Random(seed)
+
+    ases = _generate_ases(config, rng)
+    bgp = BGPTable()
+    geodb = GeoDatabase()
+    client_alloc = AddressAllocator()
+    resolver_alloc = AddressAllocator(RESOLVER_SPACE_START)
+
+    resolvers = _deploy_public_providers(config.providers, resolver_alloc,
+                                         geodb, bgp, rng)
+    resolvers.update(
+        _deploy_as_resolvers(ases.values(), resolver_alloc, geodb, bgp, rng))
+
+    blocks = _generate_blocks(config, ases, resolvers, client_alloc,
+                              geodb, bgp, rng)
+
+    return Internet(
+        config=config,
+        seed=seed,
+        ases=ases,
+        blocks=blocks,
+        resolvers=resolvers,
+        providers=config.providers,
+        bgp=bgp,
+        geodb=geodb,
+    )
+
+
+# ---------------------------------------------------------------------------
+# AS generation
+
+
+def _generate_ases(config: InternetConfig,
+                   rng: random.Random) -> Dict[int, AutonomousSystem]:
+    by_country = cities_by_country()
+    # Demand weight per country: population scaled by how much CDN
+    # demand that population generated in the paper's era.
+    country_weight = {
+        code: sum(city.weight for city in cities)
+        * profile_for(code).internet_penetration
+        for code, cities in by_country.items()
+    }
+    total_weight = sum(country_weight.values())
+
+    n_enterprise = int(round(config.n_ases * config.enterprise_fraction))
+    n_isp = config.n_ases - n_enterprise
+
+    ases: Dict[int, AutonomousSystem] = {}
+    next_asn = 100
+
+    # --- eyeball ISPs, apportioned to countries by demand weight ---------
+    # National market shares follow a Zipf rank law with mild noise:
+    # real access markets are dominated by a handful of carriers (the
+    # incumbent telco alone often holds 30-60%), and that concentration
+    # is what lets one carrier's resolver strategy set a whole
+    # country's Figure 6 signature.
+    # AS *counts* follow population, not demand: developing regions
+    # have many small ISPs even though their per-capita traffic is low
+    # (the paper analyzes 37K ASes spanning shares 2^-10..2^-1).  This
+    # is what puts the far-LDNS small-AS population of Figure 10 in
+    # countries that outsource DNS.
+    population_weight = {
+        code: sum(city.weight for city in cities)
+        for code, cities in by_country.items()
+    }
+    total_population = sum(population_weight.values())
+    anchors_per_country: Dict[str, List[int]] = {}
+    isp_counts: Dict[str, int] = {}
+    for code in country_weight:
+        isp_counts[code] = max(1, round(
+            n_isp * population_weight[code] / total_population))
+    for code, count in isp_counts.items():
+        cities = by_country[code]
+        ranks = zipf_weights(count, exponent=1.8)
+        weights = [r * math.exp(rng.gauss(0.0, 0.35)) for r in ranks]
+        weights.sort(reverse=True)
+        max_w = max(weights)
+        country_asns: List[int] = []
+        for rank, weight in enumerate(weights):
+            asn = next_asn
+            next_asn += 1
+            presence = _pick_presence_cities(
+                cities, cover_fraction=weight / max_w, rng=rng)
+            as_obj = AutonomousSystem(
+                asn=asn,
+                name=f"{code.lower()}-isp-{rank}",
+                kind=ASKind.EYEBALL_ISP,
+                country=code,
+                cities=presence,
+                demand=weight / sum(weights) * country_weight[code],
+            )
+            ases[asn] = as_obj
+            country_asns.append(asn)
+        anchors_per_country[code] = country_asns[:3]
+    _assign_isp_strategies(ases, anchors_per_country, rng)
+
+    # --- enterprises ------------------------------------------------------
+    hq_countries = ["US"] * 10 + ["GB", "GB", "DE", "DE", "JP", "FR", "NL",
+                                  "CH", "SG", "CA"]
+    office_cities, office_weights = _enterprise_office_pool()
+    ent_weights = pareto_weights(max(1, n_enterprise), rng,
+                                 config.pareto_alpha)
+    for rank in range(n_enterprise):
+        asn = next_asn
+        next_asn += 1
+        hq_country = rng.choice(hq_countries)
+        hq_city = max(by_country[hq_country], key=lambda c: c.weight)
+        n_offices = rng.randint(2, 6)
+        offices = [hq_city]
+        seen = {hq_city.name}
+        for _ in range(n_offices):
+            office = rng.choices(office_cities, weights=office_weights,
+                                 k=1)[0]
+            if office.name not in seen:
+                offices.append(office)
+                seen.add(office.name)
+        ases[asn] = AutonomousSystem(
+            asn=asn,
+            name=f"ent-{hq_country.lower()}-{rank}",
+            kind=ASKind.ENTERPRISE,
+            country=hq_country,
+            cities=offices,
+            demand=ent_weights[rank],
+            strategy=ResolverStrategy.CENTRAL_HQ,
+            hub_cities=[hq_city],
+        )
+
+    # Enterprises carry a small, fixed slice of global demand (their
+    # offices matter for the far-LDNS tail, not for aggregate volume).
+    isp_total = sum(a.demand for a in ases.values()
+                    if a.kind == ASKind.EYEBALL_ISP)
+    ent_total = sum(a.demand for a in ases.values()
+                    if a.kind == ASKind.ENTERPRISE)
+    if ent_total > 0:
+        ent_scale = 0.05 * isp_total / ent_total
+        for as_obj in ases.values():
+            if as_obj.kind == ASKind.ENTERPRISE:
+                as_obj.demand *= ent_scale
+
+    # Normalize demand to the configured total.
+    raw_total = sum(a.demand for a in ases.values())
+    for as_obj in ases.values():
+        as_obj.demand = as_obj.demand / raw_total * config.total_demand
+    return ases
+
+
+def _pick_presence_cities(cities: Sequence[City], cover_fraction: float,
+                          rng: random.Random) -> List[City]:
+    """Cities an ISP serves: biggest first, count scaled to its size.
+
+    Single-city (small) ISPs are biased toward *secondary* markets:
+    a small regional ISP exists precisely where the incumbents under-
+    serve, which is rarely the capital metro.  This is load-bearing for
+    Figure 10 -- it puts small-AS client demand far from the metros
+    where public-resolver deployments live, so outsourcing translates
+    into distance.
+    """
+    ranked = sorted(cities, key=lambda c: c.weight, reverse=True)
+    count = max(1, round(cover_fraction * len(ranked)))
+    if count > 1:
+        return ranked[:count]
+    secondary = ranked[2:] if len(ranked) > 2 else ranked[1:]
+    if secondary and rng.random() < 0.75:
+        weights = [c.weight for c in secondary]
+        return [rng.choices(secondary, weights=weights, k=1)[0]]
+    return [ranked[0]]
+
+
+def _assign_isp_strategies(
+    ases: Dict[int, AutonomousSystem],
+    anchors_per_country: Dict[str, List[int]],
+    rng: random.Random,
+) -> None:
+    """Assign resolver strategies after demand is known globally.
+
+    Two variance-reduction rules keep country character stable across
+    scales and seeds (a single coin flip must not swing a national
+    market's Figure 6/9 numbers):
+
+    * each country's few *largest* ISPs -- the incumbents that carry
+      most national demand -- pick their strategy deterministically
+      from the profile's dominant probability;
+    * "small" (eligible to outsource wholesale) is judged against the
+      *global* demand distribution -- the paper's Figure 10 mechanism
+      is about absolutely small local ISPs.
+    """
+    isps = [a for a in ases.values() if a.kind == ASKind.EYEBALL_ISP]
+    total_isp_demand = sum(a.demand for a in isps)
+    anchors = {asn for asns in anchors_per_country.values()
+               for asn in asns}
+
+    for as_obj in isps:
+        profile = profile_for(as_obj.country)
+        if as_obj.asn in anchors:
+            # National flagship: deterministic dominant strategy.
+            if profile.local_infra >= 0.5:
+                _make_local(as_obj)
+            elif profile.central_national >= 0.5:
+                _make_central(as_obj,
+                              foreign=profile.foreign_hub_rate >= 0.5)
+            else:
+                _make_anycast_hubs(as_obj, rng)
+            continue
+        # Outsourcing probability rises as the AS shrinks (the paper's
+        # Figure 10 economics: the smaller the ISP, the less a resolver
+        # fleet pays for itself).  Tiers are absolute demand shares to
+        # line up with the figure's 2^-x buckets at every scale.
+        share = as_obj.demand / total_isp_demand
+        if share < 2.0 ** -11:
+            outsource_p = min(0.9, profile.small_outsource + 0.30)
+        elif share < 2.0 ** -9:
+            outsource_p = profile.small_outsource
+        else:
+            outsource_p = 0.0
+        if rng.random() < outsource_p:
+            as_obj.strategy = ResolverStrategy.OUTSOURCED_PUBLIC
+            continue
+        roll = rng.random()
+        if roll < profile.local_infra:
+            _make_local(as_obj)
+        elif rng.random() < profile.central_national:
+            _make_central(as_obj,
+                          foreign=rng.random() < profile.foreign_hub_rate)
+        else:
+            _make_anycast_hubs(as_obj, rng)
+
+
+def _make_local(as_obj: AutonomousSystem) -> None:
+    """Local deployment: resolvers in most -- not all -- served cities.
+
+    Covering ~60% of presence cities (largest first) reproduces the
+    paper's overall picture: the typical client is within metro range
+    of its LDNS, but a second mode sits at regional distance (the
+    200-300 mile bump in Figure 5 comes from clients in uncovered
+    cities reaching the nearest covered one).
+    """
+    as_obj.strategy = ResolverStrategy.LOCAL
+    if len(as_obj.cities) > 1:
+        covered = max(1, math.ceil(len(as_obj.cities) * 0.6))
+        as_obj.hub_cities = sorted(
+            as_obj.cities, key=lambda c: c.weight,
+            reverse=True)[:covered]
+
+
+def _make_central(as_obj: AutonomousSystem, foreign: bool) -> None:
+    """Centralize the AS's resolvers: domestically, or at the regional
+    DNS hub abroad (paper Section 3.2's 'outsource ... to other
+    providers' / backhaul pattern)."""
+    as_obj.strategy = ResolverStrategy.CENTRAL_NATIONAL
+    profile = profile_for(as_obj.country)
+    if foreign and profile.foreign_hub:
+        hub = city_index().get(profile.foreign_hub)
+        if hub is None:
+            raise ValueError(
+                f"unknown foreign hub city {profile.foreign_hub!r} for "
+                f"{as_obj.country}")
+        as_obj.hub_cities = [hub]
+        return
+    national_hub = max(cities_by_country()[as_obj.country],
+                       key=lambda c: c.weight)
+    as_obj.hub_cities = [national_hub]
+
+
+def _make_anycast_hubs(as_obj: AutonomousSystem,
+                       rng: random.Random) -> None:
+    as_obj.strategy = ResolverStrategy.ANYCAST_HUBS
+    n_hubs = min(len(as_obj.cities), rng.randint(2, 3))
+    as_obj.hub_cities = sorted(as_obj.cities, key=lambda c: c.weight,
+                               reverse=True)[:n_hubs]
+
+
+def _enterprise_office_pool() -> Tuple[List[City], List[float]]:
+    """Global office-city pool, weighted so that countries whose firms
+    commonly backhaul DNS abroad (profile.enterprise_abroad) attract
+    more foreign-enterprise offices -- the paper's Japan mechanism."""
+    cities: List[City] = []
+    weights: List[float] = []
+    for city in WORLD_CITIES:
+        profile = profile_for(city.country)
+        cities.append(city)
+        weights.append(city.weight * (0.3 + profile.enterprise_abroad))
+    return cities, weights
+
+
+# ---------------------------------------------------------------------------
+# Resolver deployment
+
+
+def _deploy_public_providers(
+    providers: Iterable[PublicProvider],
+    alloc: AddressAllocator,
+    geodb: GeoDatabase,
+    bgp: BGPTable,
+    rng: random.Random,
+) -> Dict[str, Resolver]:
+    resolvers: Dict[str, Resolver] = {}
+    for provider in providers:
+        provider.deployments.clear()
+        for city in provider.cities():
+            geo = displace(city.geo, rng.uniform(0, 5),
+                           rng.uniform(0, 2 * math.pi))
+            ip = alloc.allocate_host()
+            resolver = Resolver(
+                resolver_id=f"pub-{provider.name}-{_slug(city.name)}",
+                ip=ip,
+                geo=geo,
+                city=city.name,
+                country=city.country,
+                asn=provider.asn,
+                kind=ResolverKind.PUBLIC,
+                provider=provider.name,
+                supports_ecs=True,
+            )
+            provider.deployments.append(resolver)
+            resolvers[resolver.resolver_id] = resolver
+            _register_resolver(resolver, geodb, bgp, city)
+    return resolvers
+
+
+def _deploy_as_resolvers(
+    ases: Iterable[AutonomousSystem],
+    alloc: AddressAllocator,
+    geodb: GeoDatabase,
+    bgp: BGPTable,
+    rng: random.Random,
+) -> Dict[str, Resolver]:
+    resolvers: Dict[str, Resolver] = {}
+    for as_obj in ases:
+        kind = (ResolverKind.ENTERPRISE
+                if as_obj.kind == ASKind.ENTERPRISE else ResolverKind.ISP)
+        tag = "ent" if kind == ResolverKind.ENTERPRISE else "isp"
+        for city in as_obj.resolver_cities():
+            geo = displace(city.geo, rng.uniform(0, 8),
+                           rng.uniform(0, 2 * math.pi))
+            resolver = Resolver(
+                resolver_id=f"{tag}-{as_obj.asn}-{_slug(city.name)}",
+                ip=alloc.allocate_host(),
+                geo=geo,
+                city=city.name,
+                country=city.country,
+                asn=as_obj.asn,
+                kind=kind,
+                provider=as_obj.name,
+                supports_ecs=False,
+            )
+            resolvers[resolver.resolver_id] = resolver
+            _register_resolver(resolver, geodb, bgp, city)
+    return resolvers
+
+
+def _register_resolver(resolver: Resolver, geodb: GeoDatabase,
+                       bgp: BGPTable, city: City) -> None:
+    block = Prefix(resolver.ip & 0xFFFFFF00, 24)
+    geodb.register(block, GeoRecord(
+        geo=resolver.geo, city=city.name, country=city.country,
+        continent=city.continent, asn=resolver.asn))
+    bgp.announce(block, resolver.asn)
+
+
+def _slug(name: str) -> str:
+    return name.lower().replace(" ", "-").replace(".", "")
+
+
+# ---------------------------------------------------------------------------
+# Client block generation
+
+
+def _generate_blocks(
+    config: InternetConfig,
+    ases: Dict[int, AutonomousSystem],
+    resolvers: Dict[str, Resolver],
+    alloc: AddressAllocator,
+    geodb: GeoDatabase,
+    bgp: BGPTable,
+    rng: random.Random,
+) -> List[ClientBlock]:
+    as_list = sorted(ases.values(), key=lambda a: a.asn)
+    total_demand = sum(a.demand for a in as_list)
+
+    # Index each AS's own resolver deployments once (avoids a full scan
+    # of the resolver table per client block).
+    own_resolvers: Dict[int, List[Resolver]] = {}
+    for resolver in resolvers.values():
+        if resolver.kind != ResolverKind.PUBLIC:
+            own_resolvers.setdefault(resolver.asn, []).append(resolver)
+    for deployments in own_resolvers.values():
+        deployments.sort(key=lambda r: r.resolver_id)
+
+    # Apportion the block budget by demand, one block minimum.
+    budgets: Dict[int, int] = {}
+    for as_obj in as_list:
+        budgets[as_obj.asn] = max(
+            1, round(config.n_client_blocks * as_obj.demand / total_demand))
+
+    blocks: List[ClientBlock] = []
+    # Per-country demand accounting for quota-based public-resolver
+    # adoption: [total demand seen, demand assigned to public LDNS].
+    country_acc: Dict[str, List[float]] = {}
+    for as_obj in as_list:
+        n_blocks = budgets[as_obj.asn]
+        city_pool = as_obj.cities
+        city_weights = [c.weight for c in city_pool]
+        # Distribute blocks across presence cities (demand-weighted).
+        per_city: Dict[str, int] = {}
+        for _ in range(n_blocks):
+            city = rng.choices(city_pool, weights=city_weights, k=1)[0]
+            per_city[city.name] = per_city.get(city.name, 0) + 1
+        city_index = {c.name: c for c in city_pool}
+        demand_split = lognormal_weights(n_blocks, rng,
+                                         config.block_demand_sigma)
+        split_total = sum(demand_split)
+        split_iter = iter(demand_split)
+
+        for city_name, count in sorted(per_city.items()):
+            city = city_index[city_name]
+            # Pad every allocation to at least 16 x /24 (a /20): RIR
+            # allocations leave growth room, so distinct cities rarely
+            # share fine prefixes.  This is what makes coarse /x
+            # mapping units geographically coherent (Figure 22: 87.3%
+            # of /20 clusters have radius <= 100 miles).
+            chunk = alloc.allocate_chunk(max(count, 16))
+            bgp.announce(chunk, as_obj.asn)
+            for i, block_prefix in enumerate(chunk.subnets(24)):
+                if i >= count:
+                    break
+                share = next(split_iter) / split_total
+                geo = displace(city.geo,
+                               rng.uniform(0, config.block_jitter_miles),
+                               rng.uniform(0, 2 * math.pi))
+                access, last_mile = rng.choices(
+                    _LAST_MILE_CHOICES, weights=_LAST_MILE_WEIGHTS, k=1)[0]
+                ldns = _assign_ldns(
+                    as_obj, geo, own_resolvers.get(as_obj.asn, []),
+                    as_obj.demand * share, city.country, country_acc,
+                    config, rng)
+                block = ClientBlock(
+                    prefix=block_prefix,
+                    geo=geo,
+                    city=city.name,
+                    country=city.country,
+                    continent=city.continent,
+                    asn=as_obj.asn,
+                    demand=as_obj.demand * share,
+                    last_mile_ms=last_mile,
+                    access=access,
+                    ldns=ldns,
+                )
+                blocks.append(block)
+                geodb.register(block_prefix, GeoRecord(
+                    geo=geo, city=city.name, country=city.country,
+                    continent=city.continent, asn=as_obj.asn))
+    return blocks
+
+
+def _assign_ldns(
+    as_obj: AutonomousSystem,
+    block_geo: GeoPoint,
+    own_resolvers: List[Resolver],
+    block_demand: float,
+    block_country: str,
+    country_acc: Dict[str, List[float]],
+    config: InternetConfig,
+    rng: random.Random,
+) -> Tuple[Tuple[str, float], ...]:
+    """Choose the LDNS(es) used by one client block.
+
+    Public-resolver adoption uses a per-country demand quota rather
+    than an independent coin per block, so every country converges to
+    its profile's adoption share regardless of how few blocks it has
+    (Figure 9's per-country percentages are calibration targets).
+    """
+    profile = profile_for(block_country)
+    acc = country_acc.setdefault(block_country, [0.0, 0.0])
+    acc[0] += block_demand
+    outsourced = as_obj.strategy == ResolverStrategy.OUTSOURCED_PUBLIC
+    # Quota from below: assign public only if doing so keeps the
+    # country at or under its adoption target (avoids the first-block
+    # bias that would make every tiny country's lone block public).
+    below_quota = (acc[1] + block_demand
+                   <= profile.public_adoption * acc[0])
+    use_public = outsourced or below_quota
+    if use_public:
+        acc[1] += block_demand
+        primary = _public_ldns(block_geo, config, rng)
+    else:
+        primary = _isp_ldns(block_geo, own_resolvers, config, rng)
+
+    if rng.random() >= config.secondary_ldns_rate:
+        return ((primary, 1.0),)
+
+    # A secondary LDNS.  Most secondaries are another resolver of the
+    # same operator; users configure a public fallback only while the
+    # country's adoption quota allows it (so low-adoption countries
+    # like Korea stay low, Figure 9).
+    secondary = None
+    if own_resolvers and len(own_resolvers) > 1 and rng.random() < 0.7:
+        alternates = [r for r in own_resolvers
+                      if r.resolver_id != primary]
+        secondary = rng.choice(alternates).resolver_id
+    elif use_public or (acc[1] + 0.15 * block_demand
+                        <= profile.public_adoption * acc[0]):
+        secondary = _public_ldns(block_geo, config, rng)
+        if not use_public:
+            acc[1] += 0.15 * block_demand
+    if secondary is None or secondary == primary:
+        return ((primary, 1.0),)
+    return ((primary, 0.85), (secondary, 0.15))
+
+
+def _public_ldns(block_geo: GeoPoint, config: InternetConfig,
+                 rng: random.Random) -> str:
+    provider = pick_provider(config.providers, rng)
+    deployment = anycast_catchment(block_geo, provider.deployments, rng,
+                                   provider.misroute_rate)
+    return deployment.resolver_id
+
+
+def _isp_ldns(
+    block_geo: GeoPoint,
+    own_resolvers: List[Resolver],
+    config: InternetConfig,
+    rng: random.Random,
+) -> str:
+    if not own_resolvers:
+        # Defensive: strategy said self-hosted but no deployments exist.
+        return _public_ldns(block_geo, config, rng)
+    if len(own_resolvers) == 1:
+        return own_resolvers[0].resolver_id
+    chosen = anycast_catchment(block_geo, own_resolvers, rng,
+                               config.isp_anycast_misroute)
+    return chosen.resolver_id

@@ -1,0 +1,162 @@
+"""Per-country behaviour profiles for the topology generator.
+
+Each profile encodes the country-level mechanisms the paper identifies
+as driving client--LDNS distance and public-resolver adoption:
+
+* ``local_infra`` -- probability that a non-small ISP in this country
+  deploys a resolver in *every* city it serves (well-developed DNS
+  infrastructure; the paper singles out Korea and Taiwan, Section 3.2).
+  The complement deploys only regional anycast hubs or a single
+  national-central resolver.
+* ``central_national`` -- given an ISP does *not* deploy per-city,
+  probability it centralizes its whole resolver fleet in the country's
+  largest city (the pattern behind India/Turkey/Vietnam/Mexico median
+  distances above 1000 miles, Figure 6).
+* ``public_adoption`` -- share of client demand whose users opt into a
+  public resolver (Figure 9: Vietnam/Turkey ~40%/~35% down to Korea and
+  Japan at a few percent; ~8% worldwide).
+* ``small_outsource`` -- probability a *small* ISP outsources DNS
+  entirely to a public provider (the Figure 10 mechanism: small ASes
+  have far LDNSes because owning resolver infrastructure does not pay).
+* ``enterprise_abroad`` -- probability an enterprise AS headquartered
+  elsewhere serves this country's branch offices from a foreign central
+  resolver (the paper's explanation for Japan's far tail).
+
+Values are calibration targets, not measurements; they were tuned so the
+generated population reproduces the *ordering and rough magnitudes* of
+the paper's Figures 5-11 (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, slots=True)
+class CountryProfile:
+    """Resolver-infrastructure behaviour for one country."""
+
+    local_infra: float
+    central_national: float
+    public_adoption: float
+    small_outsource: float
+    enterprise_abroad: float
+    internet_penetration: float = 0.4
+    """Demand per unit of population relative to a fully-wired country.
+    CDN demand in 2014 skewed heavily toward North America, Europe, and
+    developed East Asia; weighting city population by this factor makes
+    the *demand*-weighted distributions match the paper's (e.g. the
+    global median client-LDNS distance is dominated by well-served
+    countries even though raw population is not)."""
+
+    foreign_hub: str = ""
+    """Regional DNS hub city abroad.  Many ISPs in developing markets
+    host (or backhaul) their resolver infrastructure at a regional
+    interconnection hub -- Miami for Latin America, Frankfurt for
+    Turkey/Middle East, Singapore for South-East Asia.  This is what
+    pushes a whole country's client--LDNS median past 1000 miles in the
+    paper's Figure 6 even where public-resolver adoption is modest
+    (e.g. Mexico)."""
+
+    foreign_hub_rate: float = 0.0
+    """Probability a centralizing ISP hubs at ``foreign_hub`` instead
+    of the largest domestic city."""
+
+    def __post_init__(self) -> None:
+        for name in ("local_infra", "central_national", "public_adoption",
+                     "small_outsource", "enterprise_abroad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability: {value}")
+        if not 0.0 < self.internet_penetration <= 1.0:
+            raise ValueError(
+                f"internet_penetration must be in (0, 1]: "
+                f"{self.internet_penetration}")
+        if not 0.0 <= self.foreign_hub_rate <= 1.0:
+            raise ValueError(
+                f"foreign_hub_rate must be a probability: "
+                f"{self.foreign_hub_rate}")
+        if self.foreign_hub_rate > 0 and not self.foreign_hub:
+            raise ValueError("foreign_hub_rate set without a hub city")
+
+
+# Calibrated per-country profiles.  Countries not listed use DEFAULT.
+# Field order: local_infra, central_national, public_adoption,
+# small_outsource, enterprise_abroad, internet_penetration.
+_PROFILES: Dict[str, CountryProfile] = {
+    # Dense, well-developed DNS infrastructure; tiny distances (Fig 6).
+    "KR": CountryProfile(0.95, 0.02, 0.02, 0.15, 0.05, 1.00),
+    "TW": CountryProfile(0.92, 0.03, 0.06, 0.15, 0.05, 0.90),
+    "JP": CountryProfile(0.90, 0.05, 0.02, 0.15, 0.30, 0.95),
+    "SG": CountryProfile(0.95, 0.00, 0.03, 0.10, 0.10, 0.90),
+    "HK": CountryProfile(0.92, 0.00, 0.07, 0.10, 0.10, 0.90),
+    # Western Europe: low distances in a narrow band (Fig 6).
+    "DE": CountryProfile(0.80, 0.10, 0.04, 0.25, 0.10, 0.95),
+    "FR": CountryProfile(0.78, 0.12, 0.04, 0.25, 0.10, 0.95),
+    "GB": CountryProfile(0.80, 0.12, 0.06, 0.25, 0.10, 0.95),
+    "NL": CountryProfile(0.85, 0.05, 0.04, 0.20, 0.10, 0.95),
+    "CH": CountryProfile(0.85, 0.05, 0.06, 0.20, 0.10, 0.95),
+    "IT": CountryProfile(0.60, 0.25, 0.22, 0.35, 0.10, 0.75),
+    "ES": CountryProfile(0.65, 0.22, 0.10, 0.30, 0.10, 0.80),
+    # North America.
+    "US": CountryProfile(0.70, 0.06, 0.09, 0.30, 0.05, 1.00),
+    "CA": CountryProfile(0.70, 0.12, 0.08, 0.30, 0.10, 0.95),
+    "MX": CountryProfile(0.25, 0.55, 0.11, 0.50, 0.15, 0.40,
+                         foreign_hub="Miami", foreign_hub_rate=0.75),
+    # South America: public resolvers have no in-region deployments,
+    # and ISP resolver backhaul lands in Miami.
+    "BR": CountryProfile(0.35, 0.55, 0.16, 0.50, 0.15, 0.35,
+                         foreign_hub="Miami", foreign_hub_rate=0.45),
+    "AR": CountryProfile(0.30, 0.55, 0.15, 0.50, 0.15, 0.45,
+                         foreign_hub="Miami", foreign_hub_rate=0.45),
+    "CL": CountryProfile(0.40, 0.40, 0.12, 0.45, 0.15, 0.50,
+                         foreign_hub="Miami", foreign_hub_rate=0.45),
+    "CO": CountryProfile(0.35, 0.45, 0.12, 0.50, 0.15, 0.35,
+                         foreign_hub="Miami", foreign_hub_rate=0.55),
+    "PE": CountryProfile(0.30, 0.50, 0.12, 0.50, 0.15, 0.30,
+                         foreign_hub="Miami", foreign_hub_rate=0.55),
+    "VE": CountryProfile(0.25, 0.55, 0.12, 0.55, 0.15, 0.30,
+                         foreign_hub="Miami", foreign_hub_rate=0.55),
+    "EC": CountryProfile(0.30, 0.50, 0.10, 0.50, 0.15, 0.30,
+                         foreign_hub="Miami", foreign_hub_rate=0.55),
+    "UY": CountryProfile(0.40, 0.40, 0.10, 0.45, 0.15, 0.50,
+                         foreign_hub="Miami", foreign_hub_rate=0.45),
+    # Large developing markets with centralized national ISPs (Fig 6
+    # medians above 1000 miles); resolver fleets often sit at the
+    # regional hub rather than in-country.
+    "IN": CountryProfile(0.12, 0.70, 0.14, 0.55, 0.20, 0.12,
+                         foreign_hub="Singapore", foreign_hub_rate=0.45),
+    "TR": CountryProfile(0.15, 0.75, 0.34, 0.50, 0.10, 0.50,
+                         foreign_hub="Frankfurt", foreign_hub_rate=0.75),
+    "VN": CountryProfile(0.15, 0.70, 0.42, 0.55, 0.10, 0.25,
+                         foreign_hub="Singapore", foreign_hub_rate=0.70),
+    "ID": CountryProfile(0.20, 0.55, 0.20, 0.55, 0.15, 0.15,
+                         foreign_hub="Singapore", foreign_hub_rate=0.55),
+    "TH": CountryProfile(0.30, 0.50, 0.10, 0.45, 0.15, 0.40,
+                         foreign_hub="Singapore", foreign_hub_rate=0.40),
+    "MY": CountryProfile(0.35, 0.45, 0.18, 0.45, 0.15, 0.55,
+                         foreign_hub="Singapore", foreign_hub_rate=0.40),
+    "PH": CountryProfile(0.25, 0.55, 0.15, 0.50, 0.15, 0.25,
+                         foreign_hub="Singapore", foreign_hub_rate=0.50),
+    # Geographically huge countries: even hub deployments are far.
+    "RU": CountryProfile(0.40, 0.30, 0.12, 0.40, 0.10, 0.60),
+    "AU": CountryProfile(0.55, 0.20, 0.02, 0.35, 0.25, 0.90),
+    "NZ": CountryProfile(0.60, 0.20, 0.05, 0.35, 0.20, 0.90),
+    # China: public resolvers effectively unused; 2014 CDN demand low.
+    "CN": CountryProfile(0.70, 0.15, 0.00, 0.20, 0.02, 0.05),
+}
+
+DEFAULT_PROFILE = CountryProfile(
+    local_infra=0.55,
+    central_national=0.25,
+    public_adoption=0.08,
+    small_outsource=0.40,
+    enterprise_abroad=0.12,
+    internet_penetration=0.40,
+)
+
+
+def profile_for(country: str) -> CountryProfile:
+    """Profile for a country code, falling back to the world default."""
+    return _PROFILES.get(country, DEFAULT_PROFILE)

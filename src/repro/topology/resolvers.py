@@ -1,0 +1,175 @@
+"""Recursive resolver (LDNS) deployments and public resolver providers.
+
+Two populations of LDNSes exist in the simulator, matching Section 2 of
+the paper:
+
+* **ISP/enterprise resolvers** -- owned by an AS, placed according to
+  its :class:`~repro.topology.ases.ResolverStrategy`.
+* **Public resolver providers** -- third parties ("Google Public DNS or
+  OpenDNS") operating a *globally anycast* fleet.  Clients reach the
+  deployment chosen by :func:`anycast_catchment`; the provider talks to
+  authoritative name servers from the deployment's *unicast* address,
+  which is what lets both Akamai and this simulator geo-locate the LDNS
+  (Section 3.2).
+
+Public providers support the EDNS0 client-subnet extension; ISP
+resolvers in 2014 generally did not.  Whether a provider actually
+*sends* ECS at a given simulated time is controlled by the roll-out
+scenario, not here.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geo.cities import City, city_index
+from repro.net.geometry import GeoPoint, great_circle_miles
+
+
+class ResolverKind(enum.Enum):
+    """Which population a resolver deployment belongs to."""
+
+    ISP = "isp"
+    ENTERPRISE = "enterprise"
+    PUBLIC = "public"
+
+
+@dataclass(frozen=True, slots=True)
+class Resolver:
+    """One LDNS deployment (one unicast-addressable resolver site)."""
+
+    resolver_id: str
+    ip: int
+    geo: GeoPoint
+    city: str
+    country: str
+    asn: int
+    kind: ResolverKind
+    provider: str
+    """Operator name: AS name for ISP/enterprise, provider for public."""
+    supports_ecs: bool
+    """Whether this resolver implements the EDNS0 client-subnet
+    extension (public providers: yes; 2014-era ISP resolvers: no)."""
+
+    @property
+    def is_public(self) -> bool:
+        return self.kind == ResolverKind.PUBLIC
+
+
+@dataclass
+class PublicProvider:
+    """A public DNS provider: a brand plus an anycast deployment fleet."""
+
+    name: str
+    asn: int
+    deployment_cities: List[str]
+    """City names (gazetteer keys) hosting resolver sites."""
+    popularity: float
+    """Relative probability that a public-resolver user picks this
+    provider (market share)."""
+    misroute_rate: float = 0.12
+    """Probability anycast routes a client past its nearest deployment
+    (the paper cites anycast's known limitations, Section 3.2)."""
+
+    deployments: List[Resolver] = field(default_factory=list)
+    """Populated by the topology builder once IPs are allocated."""
+
+    def cities(self) -> List[City]:
+        index = city_index()
+        return [index[name] for name in self.deployment_cities]
+
+
+#: The default provider fleet.  Deployment footprints follow the 2014
+#: reality the paper observes: dense in North America/Europe, present at
+#: Asian hubs, and -- critically for Figure 8 -- absent from South
+#: America, so Argentine and Brazilian users cross an ocean.
+DEFAULT_PUBLIC_PROVIDERS: Tuple[PublicProvider, ...] = (
+    PublicProvider(
+        name="GloboDNS",
+        asn=15169,
+        deployment_cities=[
+            "Washington", "Dallas", "San Francisco", "Chicago",
+            "London", "Frankfurt", "Amsterdam",
+            "Singapore", "Taipei", "Tokyo", "Sydney",
+        ],
+        popularity=0.66,
+    ),
+    PublicProvider(
+        name="OpenFast",
+        asn=36692,
+        deployment_cities=[
+            "San Francisco", "New York", "Chicago", "Miami",
+            "London", "Amsterdam",
+            "Singapore", "Hong Kong", "Sydney",
+        ],
+        popularity=0.22,
+    ),
+    PublicProvider(
+        name="UltraLevel",
+        asn=3356,
+        deployment_cities=[
+            "New York", "Dallas", "Los Angeles", "London", "Frankfurt",
+        ],
+        popularity=0.12,
+    ),
+)
+
+
+def anycast_catchment(
+    client_geo: GeoPoint,
+    deployments: Sequence[Resolver],
+    rng: random.Random,
+    misroute_rate: float = 0.12,
+) -> Resolver:
+    """Pick the anycast deployment a client's packets actually reach.
+
+    With probability ``1 - misroute_rate`` the geographically nearest
+    deployment wins (the intended behaviour).  Otherwise BGP path
+    selection sends the client somewhere else; misroutes prefer nearer
+    alternates but occasionally cross continents, reproducing the heavy
+    upper percentiles of public-resolver client--LDNS distance.
+    """
+    if not deployments:
+        raise ValueError("anycast catchment over an empty deployment list")
+    if len(deployments) == 1:
+        return deployments[0]
+    ranked = sorted(
+        deployments,
+        key=lambda dep: great_circle_miles(client_geo, dep.geo),
+    )
+    if rng.random() >= misroute_rate:
+        return ranked[0]
+    # Misrouted: geometric preference for lower-ranked alternates.
+    alternates = ranked[1:]
+    weights = [math.pow(0.5, i) for i in range(len(alternates))]
+    return rng.choices(alternates, weights=weights, k=1)[0]
+
+
+def pick_provider(
+    providers: Sequence[PublicProvider], rng: random.Random
+) -> PublicProvider:
+    """Choose a public provider according to market share."""
+    if not providers:
+        raise ValueError("no public providers configured")
+    weights = [p.popularity for p in providers]
+    return rng.choices(list(providers), weights=weights, k=1)[0]
+
+
+def providers_by_name(
+    providers: Sequence[PublicProvider],
+) -> Dict[str, PublicProvider]:
+    return {p.name: p for p in providers}
+
+
+def nearest_deployment(
+    geo: GeoPoint, deployments: Sequence[Resolver]
+) -> Optional[Resolver]:
+    """The geographically nearest deployment, or None if list is empty."""
+    if not deployments:
+        return None
+    return min(deployments,
+               key=lambda dep: great_circle_miles(geo, dep.geo))

@@ -1,0 +1,170 @@
+"""Tests for weighted statistics and cluster geometry analysis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    box_stats,
+    ldns_cluster_stats,
+    log_histogram,
+    weighted_cdf,
+    weighted_mean,
+    weighted_quantile,
+)
+from repro.analysis.clusters import filter_public
+from repro.analysis.stats import linear_grid, log_grid
+from repro.topology import InternetConfig, build_internet
+
+samples = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+              st.floats(min_value=0.01, max_value=100, allow_nan=False)),
+    min_size=1, max_size=50)
+
+
+class TestWeightedStats:
+    def test_mean_matches_hand_computation(self):
+        assert weighted_mean([1, 3], [1, 3]) == pytest.approx(2.5)
+
+    def test_median_weighted(self):
+        # 90% of weight on value 10.
+        assert weighted_quantile([1, 10], [1, 9], 0.5) == 10
+
+    def test_quantile_extremes(self):
+        values, weights = [5, 1, 9], [1, 1, 1]
+        assert weighted_quantile(values, weights, 0.0) == 1
+        assert weighted_quantile(values, weights, 1.0) == 9
+
+    def test_equal_weights_match_unweighted(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        weights = [1] * len(values)
+        assert weighted_quantile(values, weights, 0.5) in values
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            weighted_mean([], [])
+        with pytest.raises(ValueError):
+            weighted_mean([1], [1, 2])
+        with pytest.raises(ValueError):
+            weighted_mean([1], [-1])
+        with pytest.raises(ValueError):
+            weighted_quantile([1], [1], 1.5)
+
+    @given(samples, st.floats(min_value=0, max_value=1))
+    def test_quantile_within_range(self, pairs, q):
+        values = [v for v, _ in pairs]
+        weights = [w for _, w in pairs]
+        result = weighted_quantile(values, weights, q)
+        assert min(values) <= result <= max(values)
+
+    @given(samples)
+    def test_quantiles_monotone(self, pairs):
+        values = [v for v, _ in pairs]
+        weights = [w for _, w in pairs]
+        qs = [weighted_quantile(values, weights, q)
+              for q in (0.1, 0.5, 0.9)]
+        assert qs == sorted(qs)
+
+
+class TestBoxStats:
+    def test_ordering(self):
+        stats = box_stats(list(range(100)), [1] * 100)
+        p5, p25, p50, p75, p95 = stats.as_tuple()
+        assert p5 <= p25 <= p50 <= p75 <= p95
+
+    def test_known_values(self):
+        stats = box_stats([0, 100], [1, 1])
+        assert stats.p5 == 0 and stats.p95 == 100
+
+
+class TestCdfAndHistogram:
+    def test_cdf_monotone_and_bounded(self):
+        cdf = weighted_cdf([10, 20, 30], [1, 1, 1], grid=[5, 15, 25, 35])
+        shares = [s for _, s in cdf]
+        assert shares == sorted(shares)
+        assert shares[0] == 0.0 and shares[-1] == 1.0
+
+    def test_cdf_values(self):
+        cdf = weighted_cdf([10, 20], [3, 1], grid=[10, 20])
+        assert cdf[0][1] == pytest.approx(0.75)
+        assert cdf[1][1] == pytest.approx(1.0)
+
+    def test_histogram_shares_sum_to_one(self):
+        hist = log_histogram([5, 50, 500, 5000], [1, 2, 3, 4])
+        assert sum(share for _, share in hist) == pytest.approx(1.0)
+
+    def test_histogram_clips_out_of_range(self):
+        hist = log_histogram([0.01, 1e9], [1, 1], lo=1, hi=1000)
+        assert sum(share for _, share in hist) == pytest.approx(1.0)
+        assert hist[0][1] == pytest.approx(0.5)
+        assert hist[-1][1] == pytest.approx(0.5)
+
+    def test_histogram_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            log_histogram([1], [1], lo=10, hi=5)
+
+    def test_grids(self):
+        grid = log_grid(1, 1000, 4)
+        assert grid[0] == pytest.approx(1) and grid[-1] == pytest.approx(
+            1000)
+        lin = linear_grid(0, 10, 11)
+        assert lin[1] == pytest.approx(1)
+        with pytest.raises(ValueError):
+            log_grid(0, 10)
+        with pytest.raises(ValueError):
+            linear_grid(5, 5)
+
+
+class TestLdnsClusterStats:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_internet(InternetConfig.tiny(), seed=13)
+
+    @pytest.fixture(scope="class")
+    def stats(self, net):
+        return ldns_cluster_stats(net)
+
+    def test_covers_used_resolvers(self, net, stats):
+        used = {rid for b in net.blocks for rid, _ in b.ldns}
+        assert {s.resolver_id for s in stats} == used
+
+    def test_demand_accounting(self, net, stats):
+        assert sum(s.demand for s in stats) == pytest.approx(
+            net.total_demand)
+
+    def test_public_clusters_bigger(self, net, stats):
+        """Paper Figure 11: public resolvers have larger radii and
+        larger client distances than the general population."""
+        public = filter_public(stats, True)
+        isp = filter_public(stats, False)
+        assert public and isp
+
+        def wmean(rows, attr):
+            total = sum(r.demand for r in rows)
+            return sum(getattr(r, attr) * r.demand for r in rows) / total
+
+        assert wmean(public, "radius_miles") > 3 * wmean(
+            isp, "radius_miles")
+        assert wmean(public, "mean_client_distance_miles") > 3 * wmean(
+            isp, "mean_client_distance_miles")
+
+    def test_public_ldns_not_centrally_placed(self, stats):
+        """Figure 11's second observation: for public resolvers the
+        mean client distance exceeds the cluster radius (the LDNS is
+        not at the centroid)."""
+        public = filter_public(stats, True)
+        total = sum(s.demand for s in public)
+        mean_distance = sum(
+            s.mean_client_distance_miles * s.demand for s in public) / total
+        mean_radius = sum(
+            s.radius_miles * s.demand for s in public) / total
+        assert mean_distance > mean_radius
+
+    def test_min_blocks_filter(self, net):
+        all_stats = ldns_cluster_stats(net, min_blocks=1)
+        multi = ldns_cluster_stats(net, min_blocks=2)
+        assert len(multi) < len(all_stats)
+        assert all(s.n_blocks >= 2 for s in multi)
+
+    def test_filter_public_none_is_identity(self, stats):
+        assert filter_public(stats, None) == list(stats)

@@ -1,0 +1,277 @@
+"""Tests for the CDN substrate: servers, deployments, content, origin."""
+
+import random
+
+import pytest
+
+from repro.cdn import (
+    CDN_BACKBONE_ASN,
+    EdgeServer,
+    LruCache,
+    build_catalog,
+    build_deployments,
+)
+from repro.cdn.origin import deploy_origin, make_origin_allocator
+from repro.geo.cities import city_index
+from repro.geo.database import GeoDatabase
+from repro.topology import InternetConfig, build_internet
+
+
+class TestLruCache:
+    def test_miss_then_hit(self):
+        cache = LruCache(100)
+        assert not cache.access("a", 10)
+        assert cache.access("a", 10)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LruCache(30)
+        cache.access("a", 10)
+        cache.access("b", 10)
+        cache.access("c", 10)
+        cache.access("a", 10)  # refresh a
+        cache.access("d", 10)  # evicts b (least recently used)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+
+    def test_capacity_respected(self):
+        cache = LruCache(100)
+        for i in range(50):
+            cache.access(f"obj{i}", 10)
+        assert cache.used_bytes <= 100
+        assert len(cache) <= 10
+
+    def test_oversized_object_not_stored(self):
+        cache = LruCache(100)
+        assert not cache.access("big", 500)
+        assert "big" not in cache
+        assert cache.used_bytes == 0
+
+    def test_evict_specific(self):
+        cache = LruCache(100)
+        cache.access("a", 10)
+        assert cache.evict("a")
+        assert not cache.evict("a")
+        assert cache.used_bytes == 0
+
+    def test_clear(self):
+        cache = LruCache(100)
+        cache.access("a", 10)
+        cache.clear()
+        assert len(cache) == 0 and cache.used_bytes == 0
+
+    def test_rejects_bad_capacity_and_size(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+        with pytest.raises(ValueError):
+            LruCache(10).access("x", -1)
+
+    def test_hit_rate(self):
+        cache = LruCache(100)
+        cache.access("a", 10)
+        cache.access("a", 10)
+        cache.access("a", 10)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestEdgeServer:
+    def make(self, **kwargs):
+        return EdgeServer(ip=1, cluster_id="c1", **kwargs)
+
+    def test_serve_uses_cache(self):
+        server = self.make()
+        assert not server.serve("obj", 100)
+        assert server.serve("obj", 100)
+
+    def test_dead_server_refuses(self):
+        server = self.make()
+        server.fail()
+        with pytest.raises(RuntimeError):
+            server.serve("obj", 100)
+        server.recover()
+        server.serve("obj", 100)
+
+    def test_load_and_overload(self):
+        server = self.make(capacity_rps=100)
+        assert not server.overloaded
+        server.add_load(150)
+        assert server.overloaded
+        assert server.utilization == pytest.approx(1.5)
+        server.reset_load()
+        assert server.load_rps == 0
+
+    def test_load_never_negative(self):
+        server = self.make()
+        server.add_load(-50)
+        assert server.load_rps == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            self.make(capacity_rps=0)
+
+
+@pytest.fixture(scope="module")
+def small_net():
+    return build_internet(InternetConfig.tiny(), seed=3)
+
+
+class TestDeployments:
+    def test_builds_requested_count(self, small_net):
+        plan = build_deployments(40, small_net.geodb, seed=1)
+        assert len(plan) == 40
+
+    def test_servers_indexed(self, small_net):
+        plan = build_deployments(10, small_net.geodb, seed=1,
+                                 servers_per_cluster=3)
+        for cluster in plan.clusters.values():
+            assert len(cluster.servers) == 3
+            for server in cluster.servers:
+                assert plan.server_index[server.ip] is server
+                assert plan.cluster_of_server(server.ip) is cluster
+
+    def test_clusters_registered_in_geodb(self, small_net):
+        plan = build_deployments(10, small_net.geodb, seed=1)
+        for cluster in plan.clusters.values():
+            rec = small_net.geodb.lookup(cluster.servers[0].ip)
+            assert rec is not None
+            assert rec.city == cluster.city
+
+    def test_in_isp_deployments_use_host_asn(self, small_net):
+        plan = build_deployments(
+            60, small_net.geodb, seed=2,
+            host_ases=list(small_net.ases.values()), in_isp_rate=1.0)
+        asns = {c.asn for c in plan.clusters.values()}
+        # With rate 1.0 every cluster in a country with ISPs uses a
+        # host ASN; the backbone may remain for ISP-less countries.
+        assert any(asn != CDN_BACKBONE_ASN for asn in asns)
+
+    def test_zero_in_isp_rate_uses_backbone(self, small_net):
+        plan = build_deployments(
+            20, small_net.geodb, seed=2,
+            host_ases=list(small_net.ases.values()), in_isp_rate=0.0)
+        assert all(c.asn == CDN_BACKBONE_ASN
+                   for c in plan.clusters.values())
+
+    def test_small_n_hits_major_metros(self, small_net):
+        plan = build_deployments(25, small_net.geodb, seed=5)
+        countries = {c.country for c in plan.clusters.values()}
+        assert len(countries) >= 8  # spread, not one metro
+
+    def test_deterministic(self, small_net):
+        geodb_a = GeoDatabase()
+        geodb_b = GeoDatabase()
+        a = build_deployments(15, geodb_a, seed=9)
+        b = build_deployments(15, geodb_b, seed=9)
+        assert list(a.clusters) == list(b.clusters)
+
+    def test_cluster_capacity_and_liveness(self, small_net):
+        plan = build_deployments(5, small_net.geodb, seed=1,
+                                 servers_per_cluster=2,
+                                 server_capacity_rps=100)
+        cluster = next(iter(plan.clusters.values()))
+        assert cluster.capacity_rps == 200
+        for server in cluster.servers:
+            server.fail()
+        assert not cluster.alive
+        assert cluster not in plan.live_clusters()
+
+    def test_rejects_bad_params(self, small_net):
+        with pytest.raises(ValueError):
+            build_deployments(0, small_net.geodb)
+        with pytest.raises(ValueError):
+            build_deployments(5, small_net.geodb, servers_per_cluster=0)
+
+
+class TestContentCatalog:
+    def test_catalog_size(self):
+        catalog = build_catalog(25, seed=1)
+        assert len(catalog) == 25
+
+    def test_lookup_by_domain_and_hostname(self):
+        catalog = build_catalog(5, seed=1)
+        provider = catalog.providers[0]
+        assert catalog.by_domain(provider.domain) is provider
+        assert catalog.by_cdn_hostname(provider.cdn_hostname) is provider
+        assert catalog.by_domain("nonexistent.example") is None
+
+    def test_popularity_zipf(self):
+        catalog = build_catalog(20, seed=1)
+        pops = [p.popularity for p in catalog.providers]
+        assert pops == sorted(pops, reverse=True)
+        assert pops[0] > 3 * pops[-1]
+
+    def test_pick_provider_weighted(self):
+        catalog = build_catalog(10, seed=1)
+        rng = random.Random(5)
+        counts = {}
+        for _ in range(2000):
+            provider = catalog.pick_provider(rng)
+            counts[provider.name] = counts.get(provider.name, 0) + 1
+        assert counts["provider0"] > counts.get("provider9", 0)
+
+    def test_pages_have_realistic_anatomy(self):
+        catalog = build_catalog(30, seed=2)
+        dynamic_seen = static_seen = False
+        for provider in catalog.providers:
+            assert provider.pages
+            for page in provider.pages:
+                assert page.base_size_bytes > 0
+                assert page.objects
+                dynamic_seen = dynamic_seen or page.dynamic
+                static_seen = static_seen or not page.dynamic
+        assert dynamic_seen and static_seen
+
+    def test_page_pick(self):
+        catalog = build_catalog(3, seed=2)
+        rng = random.Random(0)
+        page = catalog.providers[0].pick_page(rng)
+        assert page in catalog.providers[0].pages
+
+    def test_deterministic(self):
+        a = build_catalog(10, seed=4)
+        b = build_catalog(10, seed=4)
+        assert [p.domain for p in a.providers] == [
+            p.domain for p in b.providers]
+        assert [len(p.pages) for p in a.providers] == [
+            len(p.pages) for p in b.providers]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_catalog(0)
+
+
+class TestOrigin:
+    def test_deploy_registers_geo(self):
+        geodb = GeoDatabase()
+        alloc = make_origin_allocator()
+        origin = deploy_origin("p0", city_index()["Frankfurt"], geodb, alloc)
+        rec = geodb.lookup(origin.ip)
+        assert rec.city == "Frankfurt"
+
+    def test_fetch_time_uses_overlay(self):
+        geodb = GeoDatabase()
+        alloc = make_origin_allocator()
+        origin = deploy_origin("p0", city_index()["Frankfurt"], geodb, alloc,
+                               overlay_speedup=0.5)
+        assert origin.fetch_time_ms(edge_rtt_ms=100, think_ms=30) == 80
+
+    def test_unique_ips(self):
+        geodb = GeoDatabase()
+        alloc = make_origin_allocator()
+        a = deploy_origin("p0", city_index()["Tokyo"], geodb, alloc)
+        b = deploy_origin("p1", city_index()["Tokyo"], geodb, alloc)
+        assert a.ip != b.ip
+
+    def test_rejects_bad_speedup(self):
+        geodb = GeoDatabase()
+        alloc = make_origin_allocator()
+        with pytest.raises(ValueError):
+            deploy_origin("p0", city_index()["Tokyo"], geodb, alloc,
+                          overlay_speedup=0.0)
+
+    def test_rejects_negative_times(self):
+        geodb = GeoDatabase()
+        alloc = make_origin_allocator()
+        origin = deploy_origin("p0", city_index()["Tokyo"], geodb, alloc)
+        with pytest.raises(ValueError):
+            origin.fetch_time_ms(-1, 0)

@@ -1,0 +1,127 @@
+"""Tests for topology discovery (candidate index) and its LB wiring."""
+
+import pytest
+
+from repro.cdn import build_deployments
+from repro.core import (
+    CandidateIndex,
+    GlobalLoadBalancer,
+    MeasurementService,
+    Scorer,
+    nearest_cluster,
+)
+from repro.core.policies import MapTarget
+from repro.net.geometry import great_circle_miles
+from repro.topology import InternetConfig, build_internet
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_internet(InternetConfig.tiny(), seed=9)
+
+
+@pytest.fixture(scope="module")
+def plan(net):
+    return build_deployments(80, net.geodb, seed=4,
+                             host_ases=list(net.ases.values()))
+
+
+@pytest.fixture(scope="module")
+def index(plan):
+    return CandidateIndex(plan, k_nearest=8)
+
+
+def target_for(block):
+    return MapTarget(geo=block.geo, asn=block.asn)
+
+
+class TestCandidateIndex:
+    def test_returns_at_least_k(self, net, plan, index):
+        for block in net.blocks[:50]:
+            candidates = index.candidates(target_for(block))
+            assert len(candidates) >= min(8, len(plan))
+
+    def test_candidates_include_true_nearest(self, net, plan, index):
+        for block in net.blocks[:50]:
+            target = target_for(block)
+            best = nearest_cluster(plan, target.geo)
+            ids = {c.cluster_id for c in index.candidates(target)}
+            assert best.cluster_id in ids
+
+    def test_candidates_are_nearby(self, net, plan, index):
+        block = max(net.blocks, key=lambda b: b.demand)
+        target = target_for(block)
+        candidates = index.candidates(target)[:8]
+        worst = max(great_circle_miles(target.geo, c.geo)
+                    for c in candidates)
+        all_sorted = sorted(
+            great_circle_miles(target.geo, c.geo)
+            for c in plan.clusters.values())
+        # The 8 returned must be within a small factor of the true
+        # 8-nearest radius.
+        assert worst <= 3 * all_sorted[7] + 50
+
+    def test_same_as_clusters_appended(self, net, plan, index):
+        in_network = [c for c in plan.clusters.values()
+                      if c.asn != 20940]
+        if not in_network:
+            pytest.skip("no in-ISP clusters in this plan")
+        cluster = in_network[0]
+        target = MapTarget(geo=cluster.geo, asn=cluster.asn)
+        ids = {c.cluster_id for c in index.candidates(target)}
+        same_as = {c.cluster_id for c in plan.clusters.values()
+                   if c.asn == cluster.asn}
+        assert same_as <= ids
+
+    def test_small_universe_returns_all(self, net):
+        small_plan = build_deployments(5, net.geodb, seed=6)
+        small_index = CandidateIndex(small_plan, k_nearest=16)
+        target = MapTarget(geo=net.blocks[0].geo, asn=net.blocks[0].asn)
+        assert len(small_index.candidates(target)) == 5
+
+    def test_rejects_bad_k(self, plan):
+        with pytest.raises(ValueError):
+            CandidateIndex(plan, k_nearest=0)
+
+    def test_coverage_report(self, index, plan):
+        report = index.coverage_report()
+        assert report["clusters"] == len(plan)
+        assert report["cells"] >= 1
+
+
+class TestLoadBalancerWithIndex:
+    def test_same_choice_as_full_scan_for_typical_targets(self, net,
+                                                          plan, index):
+        measurement = MeasurementService(net.geodb)
+        scorer = Scorer(measurement)
+        full = GlobalLoadBalancer(plan, scorer)
+        pruned = GlobalLoadBalancer(plan, scorer, candidate_index=index)
+        agreements = 0
+        checked = 0
+        for block in net.blocks[:60]:
+            target = target_for(block)
+            a = full.pick_cluster(target)
+            b = pruned.pick_cluster(target)
+            checked += 1
+            if a is b:
+                agreements += 1
+        # The pre-cut may miss a marginally better distant candidate,
+        # but must agree for the overwhelming majority of clients.
+        assert agreements >= 0.85 * checked
+
+    def test_index_fallback_when_candidates_dead(self, net, plan,
+                                                 index):
+        measurement = MeasurementService(net.geodb)
+        scorer = Scorer(measurement)
+        pruned = GlobalLoadBalancer(plan, scorer, candidate_index=index)
+        block = net.blocks[0]
+        target = target_for(block)
+        candidates = index.candidates(target)
+        for cluster in candidates:
+            for server in cluster.servers:
+                server.fail()
+        chosen = pruned.pick_cluster(target)
+        assert chosen is not None and chosen.alive
+        for cluster in candidates:
+            for server in cluster.servers:
+                server.recover()

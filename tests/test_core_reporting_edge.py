@@ -1,0 +1,33 @@
+"""Edge-case tests for reporting helpers on an idle world."""
+
+import pytest
+
+from repro.core.reporting import StatusReport, build_status_report
+from repro.simulation import WorldConfig, build_world
+
+
+class TestIdleWorldReport:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world(WorldConfig.tiny())
+
+    def test_zero_division_free(self, world):
+        """An untouched world must report zeros, not crash."""
+        report = build_status_report(world)
+        assert report.mapping_resolutions == 0
+        assert report.mapping_ecs_share == 0.0
+        assert report.decision_cache_hit_rate == 0.0
+        assert report.ldns_cache_hit_rate == 0.0
+        assert report.authoritative_queries == 0
+
+    def test_lines_on_empty(self, world):
+        lines = build_status_report(world).lines()
+        assert any("resolutions" in line for line in lines)
+
+
+class TestStatusReportDefaults:
+    def test_default_construction(self):
+        report = StatusReport()
+        assert report.mapping_resolutions == 0
+        assert report.hottest_clusters == []
+        assert report.lines()

@@ -1,0 +1,317 @@
+"""Tests for DNS message framing, rdata, EDNS0, and ECS."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dnsproto import (
+    ARdata,
+    CNAMERdata,
+    ClientSubnetOption,
+    EdnsOptions,
+    Flags,
+    Message,
+    NSRdata,
+    OptRecord,
+    Question,
+    Rcode,
+    ResourceRecord,
+    SOARdata,
+    TXTRdata,
+    WireFormatError,
+    make_query,
+    make_response,
+)
+from repro.dnsproto.rdata import OpaqueRdata, decode_rdata
+from repro.dnsproto.types import QType
+from repro.dnsproto.wire import WireReader, WireWriter
+from repro.net.ipv4 import Prefix, parse_ipv4, prefix_of
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+def a_record(name="foo.net", addr="4.5.6.7", ttl=60):
+    return ResourceRecord(name, QType.A, ttl, ARdata(parse_ipv4(addr)))
+
+
+class TestFlags:
+    @given(st.booleans(), st.booleans(), st.booleans(), st.booleans(),
+           st.booleans(), st.integers(min_value=0, max_value=15))
+    def test_roundtrip(self, qr, aa, tc, rd, ra, rcode):
+        flags = Flags(qr=qr, aa=aa, tc=tc, rd=rd, ra=ra, rcode=rcode)
+        assert Flags.decode(flags.encode()) == flags
+
+    def test_known_encoding(self):
+        # Standard recursive query: RD only.
+        assert Flags().encode() == 0x0100
+        # Authoritative response.
+        assert Flags(qr=True, aa=True, rd=True).encode() == 0x8500
+
+
+class TestRdata:
+    def test_a_rdata_roundtrip(self):
+        w = WireWriter()
+        ARdata(parse_ipv4("9.8.7.6")).encode(w, None)
+        out = decode_rdata(WireReader(w.getvalue()), QType.A, 4)
+        assert str(out) == "9.8.7.6"
+
+    def test_a_rdata_rejects_bad_length(self):
+        with pytest.raises(WireFormatError):
+            decode_rdata(WireReader(b"\x01\x02\x03"), QType.A, 3)
+
+    def test_txt_roundtrip(self):
+        txt = TXTRdata.from_text("hello", "world")
+        w = WireWriter()
+        txt.encode(w, None)
+        data = w.getvalue()
+        out = decode_rdata(WireReader(data), QType.TXT, len(data))
+        assert out == txt
+
+    def test_txt_rejects_long_chunk(self):
+        with pytest.raises(WireFormatError):
+            TXTRdata((b"x" * 256,)).encode(WireWriter(), None)
+
+    def test_soa_roundtrip(self):
+        soa = SOARdata("ns1.foo.net", "admin.foo.net", 1, 2, 3, 4, 5)
+        w = WireWriter()
+        soa.encode(w, None)
+        data = w.getvalue()
+        out = decode_rdata(WireReader(data), QType.SOA, len(data))
+        assert out == soa
+
+    def test_unknown_type_is_opaque(self):
+        out = decode_rdata(WireReader(b"\xde\xad"), 99, 2)
+        assert isinstance(out, OpaqueRdata)
+        assert out.payload == b"\xde\xad"
+        assert out.type_code == 99
+
+    def test_rdata_length_mismatch_detected(self):
+        # SOA rdata truncated relative to declared length.
+        w = WireWriter()
+        SOARdata("a", "b", 1, 2, 3, 4, 5).encode(w, None)
+        data = w.getvalue()
+        with pytest.raises(WireFormatError):
+            decode_rdata(WireReader(data), QType.SOA, len(data) + 4)
+
+
+class TestClientSubnetOption:
+    def test_encode_layout_slash24(self):
+        ecs = ClientSubnetOption(Prefix.parse("1.2.3.0/24"))
+        assert ecs.encode() == b"\x00\x01\x18\x00\x01\x02\x03"
+
+    def test_decode_roundtrip(self):
+        ecs = ClientSubnetOption(Prefix.parse("10.20.0.0/20"), 14)
+        out = ClientSubnetOption.decode(ecs.encode())
+        assert out == ecs
+
+    def test_address_truncated_to_bytes(self):
+        # /20 needs 3 address bytes only.
+        ecs = ClientSubnetOption(Prefix.parse("10.20.16.0/20"))
+        assert len(ecs.encode()) == 2 + 1 + 1 + 3
+
+    def test_rejects_nonzero_trailing_bits(self):
+        # /16 with a third address byte set: RFC 7871 FORMERR case.
+        raw = b"\x00\x01\x10\x00\x01\x02\x03"
+        with pytest.raises(WireFormatError):
+            ClientSubnetOption.decode(raw)
+
+    def test_rejects_ipv6_family(self):
+        raw = b"\x00\x02\x18\x00\x01\x02\x03"
+        with pytest.raises(WireFormatError):
+            ClientSubnetOption.decode(raw)
+
+    def test_rejects_bad_source_length(self):
+        raw = b"\x00\x01\x40\x00" + b"\x00" * 4
+        with pytest.raises(WireFormatError):
+            ClientSubnetOption.decode(raw)
+
+    def test_scope_prefix(self):
+        ecs = ClientSubnetOption(Prefix.parse("1.2.3.0/24"), 20)
+        assert ecs.scope_prefix == Prefix.parse("1.2.0.0/20")
+
+    def test_scope_wider_than_source_clamped(self):
+        ecs = ClientSubnetOption(Prefix.parse("1.2.3.0/24"), 28)
+        assert ecs.scope_prefix.length == 24
+
+    def test_for_response_preserves_source(self):
+        query = ClientSubnetOption(Prefix.parse("1.2.3.0/24"))
+        resp = query.for_response(20)
+        assert resp.prefix == query.prefix
+        assert resp.scope_prefix_len == 20
+
+    @given(addresses, st.integers(min_value=0, max_value=32),
+           st.integers(min_value=0, max_value=32))
+    def test_roundtrip_property(self, addr, source, scope):
+        ecs = ClientSubnetOption(prefix_of(addr, source), scope)
+        assert ClientSubnetOption.decode(ecs.encode()) == ecs
+
+
+class TestMessageCodec:
+    def test_query_roundtrip(self):
+        query = make_query("www.foo.net", msg_id=77)
+        out = Message.decode(query.encode())
+        assert out.msg_id == 77
+        assert out.question.name == "www.foo.net"
+        assert out.question.qtype == QType.A
+        assert not out.flags.qr
+        assert out.opt is not None
+
+    def test_query_with_ecs_roundtrip(self):
+        ecs = ClientSubnetOption(Prefix.parse("9.9.9.0/24"))
+        query = make_query("foo.net", ecs=ecs, msg_id=3)
+        out = Message.decode(query.encode())
+        assert out.client_subnet == ecs
+
+    def test_response_roundtrip(self):
+        query = make_query("foo.net", msg_id=5)
+        response = make_response(query, [a_record(), a_record(
+            addr="4.5.6.8")])
+        out = Message.decode(response.encode())
+        assert out.flags.qr and out.flags.aa
+        assert out.msg_id == 5
+        assert [str(r.rdata) for r in out.answers] == ["4.5.6.7", "4.5.6.8"]
+        assert out.questions == query.questions
+
+    def test_response_echoes_ecs_with_scope(self):
+        ecs = ClientSubnetOption(Prefix.parse("9.9.9.0/24"))
+        query = make_query("foo.net", ecs=ecs)
+        response = make_response(query, [a_record()], scope_prefix_len=20)
+        out = Message.decode(response.encode())
+        assert out.client_subnet.prefix == ecs.prefix
+        assert out.client_subnet.scope_prefix_len == 20
+
+    def test_response_without_query_ecs_has_no_ecs(self):
+        query = make_query("foo.net")
+        response = make_response(query, [a_record()])
+        out = Message.decode(response.encode())
+        assert out.client_subnet is None
+
+    def test_cname_chain_roundtrip(self):
+        query = make_query("www.provider.com")
+        chain = [
+            ResourceRecord("www.provider.com", QType.CNAME, 300,
+                           CNAMERdata("e123.cdn.net")),
+            a_record("e123.cdn.net"),
+        ]
+        out = Message.decode(make_response(query, chain).encode())
+        assert isinstance(out.answers[0].rdata, CNAMERdata)
+        assert out.answers[0].rdata.target == "e123.cdn.net"
+        assert str(out.answers[1].rdata) == "4.5.6.7"
+
+    def test_ns_records_in_authority(self):
+        query = make_query("foo.net")
+        response = make_response(
+            query,
+            authorities=[ResourceRecord("foo.net", QType.NS, 600,
+                                        NSRdata("ns1.cdn.net"))],
+            additionals=[a_record("ns1.cdn.net", "1.1.1.1")],
+        )
+        out = Message.decode(response.encode())
+        assert out.authorities[0].rdata.nsdname == "ns1.cdn.net"
+        assert str(out.additionals[0].rdata) == "1.1.1.1"
+
+    def test_nxdomain_response(self):
+        query = make_query("nope.example")
+        out = Message.decode(
+            make_response(query, rcode=Rcode.NXDOMAIN).encode())
+        assert out.flags.rcode == Rcode.NXDOMAIN
+        assert not out.answers
+
+    def test_compression_shrinks_messages(self):
+        query = make_query("www.really-long-domain-name.example.com")
+        records = [a_record("www.really-long-domain-name.example.com",
+                            f"1.2.3.{i}") for i in range(4)]
+        encoded = make_response(query, records).encode()
+        # Name appears 5 times; without compression that alone is
+        # ~5 * 42 bytes.  With compression the message must be small.
+        assert len(encoded) < 180
+
+    def test_trailing_garbage_rejected(self):
+        data = make_query("foo.net").encode() + b"\x00"
+        with pytest.raises(WireFormatError):
+            Message.decode(data)
+
+    def test_truncated_message_rejected(self):
+        data = make_query("foo.net").encode()
+        with pytest.raises(WireFormatError):
+            Message.decode(data[:-3])
+
+    def test_duplicate_opt_rejected(self):
+        message = make_query("foo.net")
+        # Hand-craft two OPT records.
+        writer = WireWriter()
+        writer.u16(1)
+        writer.u16(Flags().encode())
+        writer.u16(0)
+        writer.u16(0)
+        writer.u16(0)
+        writer.u16(2)
+        OptRecord().encode(writer)
+        OptRecord().encode(writer)
+        with pytest.raises(WireFormatError):
+            Message.decode(writer.getvalue())
+        del message
+
+    def test_opt_with_nonroot_name_rejected(self):
+        writer = WireWriter()
+        writer.u16(1)
+        writer.u16(0)
+        writer.u16(0)
+        writer.u16(0)
+        writer.u16(0)
+        writer.u16(1)
+        # Non-root owner name followed by OPT type.
+        writer.u8(1)
+        writer.write(b"x")
+        writer.u8(0)
+        writer.u16(QType.OPT)
+        writer.u16(4096)
+        writer.u32(0)
+        writer.u16(0)
+        with pytest.raises(WireFormatError):
+            Message.decode(writer.getvalue())
+
+    def test_question_accessor_requires_question(self):
+        with pytest.raises(WireFormatError):
+            Message().question
+
+    def test_str_renders(self):
+        ecs = ClientSubnetOption(Prefix.parse("9.9.9.0/24"))
+        query = make_query("foo.net", ecs=ecs)
+        text = str(make_response(query, [a_record()], scope_prefix_len=16))
+        assert "foo.net" in text and "ECS" in text
+
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.lists(addresses, min_size=0, max_size=5),
+           st.integers(min_value=0, max_value=86400))
+    def test_roundtrip_property(self, msg_id, addrs, ttl):
+        query = make_query("a.b.example", msg_id=msg_id)
+        records = [ResourceRecord("a.b.example", QType.A, ttl,
+                                  ARdata(addr)) for addr in addrs]
+        response = make_response(query, records)
+        out = Message.decode(response.encode())
+        assert out.msg_id == msg_id
+        assert [r.rdata for r in out.answers] == [r.rdata for r in records]
+        assert all(r.ttl == ttl for r in out.answers)
+
+
+class TestEdnsOptions:
+    def test_unknown_options_roundtrip(self):
+        opt = OptRecord(EdnsOptions(
+            payload_size=1232,
+            unknown_options=((65001, b"\x01\x02"),),
+        ))
+        message = Message(msg_id=1, questions=[Question("x.y")], opt=opt)
+        out = Message.decode(message.encode())
+        assert out.opt.options.payload_size == 1232
+        assert out.opt.options.unknown_options == ((65001, b"\x01\x02"),)
+
+    def test_dnssec_ok_flag(self):
+        opt = OptRecord(EdnsOptions(dnssec_ok=True))
+        message = Message(msg_id=1, questions=[Question("x.y")], opt=opt)
+        out = Message.decode(message.encode())
+        assert out.opt.options.dnssec_ok
+
+    def test_ttl_out_of_range_rejected(self):
+        with pytest.raises(WireFormatError):
+            ResourceRecord("x", QType.A, -1, ARdata(1))

@@ -1,0 +1,151 @@
+"""Tests for domain-name encoding, decoding, and compression."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dnsproto.name import decode_name, encode_name, normalize_name
+from repro.dnsproto.wire import WireFormatError, WireReader, WireWriter
+
+label = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+    max_size=20)
+names = st.lists(label, min_size=0, max_size=6).map(".".join)
+
+
+def roundtrip(name, compress=None):
+    w = WireWriter()
+    encode_name(w, name, compress)
+    return decode_name(WireReader(w.getvalue()))
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize_name("WWW.Example.COM") == "www.example.com"
+
+    def test_strips_trailing_dot(self):
+        assert normalize_name("example.com.") == "example.com"
+
+    def test_root(self):
+        assert normalize_name(".") == ""
+        assert normalize_name("") == ""
+
+
+class TestEncodeDecode:
+    def test_simple_roundtrip(self):
+        assert roundtrip("foo.net") == "foo.net"
+
+    def test_root_roundtrip(self):
+        assert roundtrip("") == ""
+
+    def test_wire_layout(self):
+        w = WireWriter()
+        encode_name(w, "ab.c", None)
+        assert w.getvalue() == b"\x02ab\x01c\x00"
+
+    def test_case_normalized(self):
+        assert roundtrip("FOO.Net") == "foo.net"
+
+    def test_rejects_oversized_label(self):
+        with pytest.raises(WireFormatError):
+            roundtrip("a" * 64 + ".com")
+
+    def test_accepts_63_byte_label(self):
+        name = "a" * 63 + ".com"
+        assert roundtrip(name) == name
+
+    def test_rejects_name_over_255(self):
+        name = ".".join(["a" * 60] * 5)
+        with pytest.raises(WireFormatError):
+            roundtrip(name)
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(WireFormatError):
+            roundtrip("foo..bar")
+
+    def test_rejects_non_ascii(self):
+        with pytest.raises(WireFormatError):
+            roundtrip("füü.net")
+
+    @given(names)
+    def test_roundtrip_property(self, name):
+        assert roundtrip(name) == name
+
+
+class TestCompression:
+    def test_pointer_emitted_for_repeat(self):
+        w = WireWriter()
+        compress = {}
+        encode_name(w, "www.example.com", compress)
+        first_len = w.offset
+        encode_name(w, "www.example.com", compress)
+        # Second copy should be a bare 2-byte pointer.
+        assert w.offset == first_len + 2
+
+    def test_suffix_sharing(self):
+        w = WireWriter()
+        compress = {}
+        encode_name(w, "a.example.com", compress)
+        before = w.offset
+        encode_name(w, "b.example.com", compress)
+        # 'b' label (2 bytes) + pointer (2 bytes) = 4 bytes.
+        assert w.offset == before + 4
+
+    def test_compressed_names_decode(self):
+        w = WireWriter()
+        compress = {}
+        names_in = ["a.example.com", "b.example.com", "example.com",
+                    "com", "a.example.com"]
+        for name in names_in:
+            encode_name(w, name, compress)
+        r = WireReader(w.getvalue())
+        assert [decode_name(r) for _ in names_in] == names_in
+        assert r.remaining == 0
+
+    def test_reader_position_after_pointer(self):
+        """After reading a compressed name the reader must continue
+        just past the pointer, not past the jump target."""
+        w = WireWriter()
+        compress = {}
+        encode_name(w, "example.com", compress)
+        encode_name(w, "example.com", compress)
+        w.u16(0xABCD)
+        r = WireReader(w.getvalue())
+        decode_name(r)
+        decode_name(r)
+        assert r.u16() == 0xABCD
+
+    def test_forward_pointer_rejected(self):
+        # Pointer at offset 0 pointing to offset 10 (forward).
+        data = b"\xc0\x0a" + b"\x00" * 12
+        with pytest.raises(WireFormatError):
+            decode_name(WireReader(data))
+
+    def test_self_pointer_rejected(self):
+        data = b"\xc0\x00"
+        with pytest.raises(WireFormatError):
+            decode_name(WireReader(data))
+
+    def test_reserved_label_type_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_name(WireReader(b"\x80abc"))
+
+    @given(st.lists(names, min_size=1, max_size=8))
+    def test_many_names_roundtrip_compressed(self, name_list):
+        w = WireWriter()
+        compress = {}
+        for name in name_list:
+            encode_name(w, name, compress)
+        r = WireReader(w.getvalue())
+        assert [decode_name(r) for _ in name_list] == name_list
+
+    @given(st.lists(names, min_size=2, max_size=8))
+    def test_compression_never_larger(self, name_list):
+        plain = WireWriter()
+        for name in name_list:
+            encode_name(plain, name, None)
+        packed = WireWriter()
+        compress = {}
+        for name in name_list:
+            encode_name(packed, name, compress)
+        assert packed.offset <= plain.offset

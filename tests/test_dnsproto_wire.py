@@ -1,0 +1,92 @@
+"""Tests for the byte-level wire reader/writer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dnsproto.wire import WireFormatError, WireReader, WireWriter
+
+
+class TestWireWriter:
+    def test_big_endian_layout(self):
+        w = WireWriter()
+        w.u8(0x01)
+        w.u16(0x0203)
+        w.u32(0x04050607)
+        w.write(b"\xff")
+        assert w.getvalue() == b"\x01\x02\x03\x04\x05\x06\x07\xff"
+
+    def test_offset_tracks_writes(self):
+        w = WireWriter()
+        assert w.offset == 0
+        w.u16(0)
+        assert w.offset == 2
+
+    def test_patch_u16(self):
+        w = WireWriter()
+        w.u16(0)
+        w.u8(9)
+        w.patch_u16(0, 0xBEEF)
+        assert w.getvalue() == b"\xbe\xef\x09"
+
+    @pytest.mark.parametrize("method,value", [
+        ("u8", -1), ("u8", 256), ("u16", -1), ("u16", 1 << 16),
+        ("u32", -1), ("u32", 1 << 32),
+    ])
+    def test_range_checks(self, method, value):
+        w = WireWriter()
+        with pytest.raises(WireFormatError):
+            getattr(w, method)(value)
+
+    def test_patch_out_of_bounds(self):
+        w = WireWriter()
+        w.u8(1)
+        with pytest.raises(WireFormatError):
+            w.patch_u16(0, 5)
+
+
+class TestWireReader:
+    def test_sequential_reads(self):
+        r = WireReader(b"\x01\x02\x03\x04\x05\x06\x07")
+        assert r.u8() == 0x01
+        assert r.u16() == 0x0203
+        assert r.u32() == 0x04050607
+        assert r.remaining == 0
+
+    def test_truncation_raises(self):
+        r = WireReader(b"\x01")
+        with pytest.raises(WireFormatError):
+            r.u16()
+
+    def test_read_bytes(self):
+        r = WireReader(b"hello")
+        assert r.read(5) == b"hello"
+        with pytest.raises(WireFormatError):
+            r.read(1)
+
+    def test_negative_read(self):
+        with pytest.raises(WireFormatError):
+            WireReader(b"x").read(-1)
+
+    def test_seek(self):
+        r = WireReader(b"\x01\x02\x03")
+        r.read(3)
+        r.seek(1)
+        assert r.u8() == 0x02
+        with pytest.raises(WireFormatError):
+            r.seek(4)
+
+    @given(st.binary(max_size=64))
+    def test_writer_reader_roundtrip(self, payload):
+        w = WireWriter()
+        w.u16(len(payload))
+        w.write(payload)
+        r = WireReader(w.getvalue())
+        assert r.read(r.u16()) == payload
+        assert r.remaining == 0
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_u32_roundtrip(self, value):
+        w = WireWriter()
+        w.u32(value)
+        assert WireReader(w.getvalue()).u32() == value

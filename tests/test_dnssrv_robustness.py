@@ -1,0 +1,154 @@
+"""Resolver robustness: failover, TCP fallback, negative caching."""
+
+import pytest
+
+from repro.dnsproto.message import ResourceRecord
+from repro.dnsproto.rdata import ARdata, TXTRdata
+from repro.dnsproto.types import QType, Rcode
+from repro.dnssrv import (
+    AuthoritativeServer,
+    AuthorityDirectory,
+    Network,
+    RecursiveResolver,
+    StaticZone,
+    ZoneAnswer,
+)
+from repro.geo.cities import city_index
+from repro.geo.database import GeoDatabase, GeoRecord
+from repro.net.ipv4 import Prefix, parse_ipv4
+
+CLIENT = parse_ipv4("10.0.0.5")
+LDNS_IP = parse_ipv4("20.0.0.1")
+AUTH_NEAR = parse_ipv4("30.0.0.1")
+AUTH_FAR = parse_ipv4("30.0.1.1")
+
+
+def geo(city_name, asn):
+    city = city_index()[city_name]
+    return GeoRecord(geo=city.geo, city=city.name, country=city.country,
+                     continent=city.continent, asn=asn)
+
+
+@pytest.fixture
+def world():
+    geodb = GeoDatabase()
+    geodb.register(Prefix.parse("10.0.0.0/24"), geo("New York", 100))
+    geodb.register(Prefix.parse("20.0.0.0/24"), geo("New York", 100))
+    geodb.register(Prefix.parse("30.0.0.0/24"), geo("New York", 200))
+    geodb.register(Prefix.parse("30.0.1.0/24"), geo("London", 200))
+    network = Network(geodb)
+    directory = AuthorityDirectory()
+    zone = StaticZone().add(ResourceRecord(
+        "a.cdn.example", QType.A, 60, ARdata(parse_ipv4("5.5.5.5"))))
+    near = AuthoritativeServer(AUTH_NEAR)
+    far = AuthoritativeServer(AUTH_FAR)
+    for server in (near, far):
+        server.attach_zone("cdn.example", zone)
+        network.register(server)
+    directory.delegate("cdn.example", [AUTH_NEAR, AUTH_FAR])
+    ldns = RecursiveResolver(LDNS_IP, network, directory)
+    return network, ldns, near, far
+
+
+class TestFailover:
+    def test_failover_to_second_authority(self, world):
+        _network, ldns, near, far = world
+        near.fail()
+        result = ldns.resolve("a.cdn.example", QType.A, CLIENT, now=0)
+        assert result.rcode == Rcode.NOERROR
+        assert result.addresses == [parse_ipv4("5.5.5.5")]
+        assert ldns.failovers == 1
+        assert far.queries_received == 1
+        # The failed attempt costs the timeout penalty.
+        assert result.upstream_rtt_ms > 400
+
+    def test_all_dead_servfail(self, world):
+        _network, ldns, near, far = world
+        near.fail()
+        far.fail()
+        result = ldns.resolve("a.cdn.example", QType.A, CLIENT, now=0)
+        assert result.rcode == Rcode.SERVFAIL
+        assert ldns.failovers == 2
+
+    def test_recovery_restores_service(self, world):
+        _network, ldns, near, _far = world
+        near.fail()
+        near.recover()
+        result = ldns.resolve("a.cdn.example", QType.A, CLIENT, now=0)
+        assert result.rcode == Rcode.NOERROR
+        assert ldns.failovers == 0
+
+
+class BigAnswerSource:
+    """Answer source producing a response too large for UDP."""
+
+    def answer(self, qname, qtype, ecs, src_ip, now):
+        texts = [f"filler-{i:04d}-" + "x" * 40 for i in range(120)]
+        record = ResourceRecord(qname, QType.TXT, 60,
+                                TXTRdata.from_text(*texts))
+        return ZoneAnswer(records=(record,))
+
+
+class TestTcpFallback:
+    def test_truncated_then_tcp(self, world):
+        network, ldns, near, _far = world
+        near.attach_zone("big.cdn.example", BigAnswerSource())
+        result = ldns.resolve("big.cdn.example", QType.TXT, CLIENT,
+                              now=0)
+        assert result.rcode == Rcode.NOERROR
+        assert result.records  # full answer arrived over TCP
+        assert ldns.tcp_retries == 1
+        assert near.truncated_count == 1
+        assert near.tcp_queries == 1
+
+    def test_tcp_retry_costs_extra_rtt(self, world):
+        network, ldns, near, _far = world
+        near.attach_zone("big.cdn.example", BigAnswerSource())
+        small = ldns.resolve("a.cdn.example", QType.A, CLIENT, now=0)
+        big = ldns.resolve("big.cdn.example", QType.TXT, CLIENT, now=0)
+        # UDP attempt (1 RTT) + TCP handshake and exchange (2 RTT).
+        assert big.upstream_rtt_ms == pytest.approx(
+            3 * small.upstream_rtt_ms)
+
+    def test_small_answers_stay_udp(self, world):
+        _network, ldns, near, _far = world
+        ldns.resolve("a.cdn.example", QType.A, CLIENT, now=0)
+        assert near.truncated_count == 0
+        assert ldns.tcp_retries == 0
+
+
+class TestNegativeCaching:
+    def test_nxdomain_cached(self, world):
+        _network, ldns, near, _far = world
+        first = ldns.resolve("missing.cdn.example", QType.A, CLIENT, 0)
+        second = ldns.resolve("missing.cdn.example", QType.A, CLIENT, 5)
+        assert first.rcode == Rcode.NXDOMAIN
+        assert second.rcode == Rcode.NXDOMAIN
+        assert second.cache_hit
+        assert near.queries_received == 1
+
+    def test_negative_entry_expires(self, world):
+        _network, ldns, near, _far = world
+        ldns.resolve("missing.cdn.example", QType.A, CLIENT, 0)
+        later = ldns.resolve("missing.cdn.example", QType.A, CLIENT, 60)
+        assert not later.cache_hit
+        assert near.queries_received == 2
+
+    def test_nodata_cached(self, world):
+        _network, ldns, near, _far = world
+        # Name exists (A record) but has no TXT data -> NODATA.
+        first = ldns.resolve("a.cdn.example", QType.TXT, CLIENT, 0)
+        second = ldns.resolve("a.cdn.example", QType.TXT, CLIENT, 5)
+        assert first.rcode == Rcode.NOERROR and not first.records
+        assert second.cache_hit
+        assert near.queries_received == 1
+
+    def test_servfail_not_cached(self, world):
+        _network, ldns, near, far = world
+        near.fail()
+        far.fail()
+        ldns.resolve("a.cdn.example", QType.A, CLIENT, 0)
+        near.recover()
+        far.recover()
+        result = ldns.resolve("a.cdn.example", QType.A, CLIENT, 1)
+        assert result.rcode == Rcode.NOERROR

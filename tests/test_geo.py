@@ -1,0 +1,111 @@
+"""Tests for the city gazetteer and geolocation database."""
+
+import pytest
+
+from repro.geo import (
+    City,
+    GeoDatabase,
+    GeoRecord,
+    WORLD_CITIES,
+    cities_by_country,
+    city_index,
+)
+from repro.net.geometry import GeoPoint, great_circle_miles
+from repro.net.ipv4 import Prefix, parse_ipv4
+
+PAPER_COUNTRIES = [
+    "IN", "TR", "VN", "MX", "BR", "ID", "AU", "RU", "IT", "JP", "US", "MY",
+    "CA", "DE", "FR", "GB", "NL", "AR", "TH", "CH", "ES", "HK", "KR", "SG",
+    "TW",
+]
+
+
+class TestGazetteer:
+    def test_covers_paper_countries(self):
+        countries = {city.country for city in WORLD_CITIES}
+        for code in PAPER_COUNTRIES:
+            assert code in countries, f"missing paper country {code}"
+
+    def test_unique_names(self):
+        names = [city.name for city in WORLD_CITIES]
+        assert len(names) == len(set(names))
+
+    def test_positive_weights(self):
+        assert all(city.weight > 0 for city in WORLD_CITIES)
+
+    def test_reasonable_size(self):
+        assert len(WORLD_CITIES) >= 150
+
+    def test_grouping(self):
+        grouped = cities_by_country()
+        assert sum(len(v) for v in grouped.values()) == len(WORLD_CITIES)
+        assert len(grouped["US"]) >= 15
+        assert len(grouped["IN"]) >= 10
+
+    def test_index(self):
+        assert city_index()["Tokyo"].country == "JP"
+
+    def test_continents_valid(self):
+        valid = {"NA", "SA", "EU", "AS", "OC", "AF"}
+        assert all(city.continent in valid for city in WORLD_CITIES)
+
+    def test_spot_check_coordinates(self):
+        # Sanity-check a few well-known city coordinates.
+        tokyo = city_index()["Tokyo"]
+        assert tokyo.geo.lat == pytest.approx(35.7, abs=0.5)
+        sydney = city_index()["Sydney"]
+        assert sydney.geo.lat < 0  # southern hemisphere
+
+
+def _record(city_name: str, asn: int) -> GeoRecord:
+    city = city_index()[city_name]
+    return GeoRecord(geo=city.geo, city=city.name, country=city.country,
+                     continent=city.continent, asn=asn)
+
+
+class TestGeoDatabase:
+    def test_lookup_longest_prefix(self):
+        db = GeoDatabase()
+        db.register(Prefix.parse("10.0.0.0/8"), _record("New York", 1))
+        db.register(Prefix.parse("10.5.0.0/16"), _record("Tokyo", 2))
+        assert db.lookup(parse_ipv4("10.5.1.1")).city == "Tokyo"
+        assert db.lookup(parse_ipv4("10.6.1.1")).city == "New York"
+        assert db.lookup(parse_ipv4("11.0.0.0")) is None
+
+    def test_lookup_prefix(self):
+        db = GeoDatabase()
+        db.register(Prefix.parse("10.5.0.0/16"), _record("Tokyo", 2))
+        rec = db.lookup_prefix(Prefix.parse("10.5.7.0/24"))
+        assert rec.city == "Tokyo"
+
+    def test_len_and_items(self):
+        db = GeoDatabase()
+        db.register(Prefix.parse("10.0.0.0/8"), _record("New York", 1))
+        db.register(Prefix.parse("20.0.0.0/8"), _record("Tokyo", 2))
+        assert len(db) == 2
+        listed = list(db.items())
+        assert [str(p) for p, _ in listed] == ["10.0.0.0/8", "20.0.0.0/8"]
+
+    def test_with_error_displaces_within_bound(self):
+        db = GeoDatabase()
+        db.register(Prefix.parse("10.0.0.0/8"), _record("New York", 1))
+        noisy = db.with_error(error_miles=50, seed=3)
+        original = db.lookup(parse_ipv4("10.1.1.1"))
+        displaced = noisy.lookup(parse_ipv4("10.1.1.1"))
+        moved = great_circle_miles(original.geo, displaced.geo)
+        assert 0 <= moved <= 51
+        # Labels must survive.
+        assert displaced.city == original.city
+        assert displaced.asn == original.asn
+
+    def test_with_error_zero_is_identity(self):
+        db = GeoDatabase()
+        db.register(Prefix.parse("10.0.0.0/8"), _record("New York", 1))
+        clone = db.with_error(error_miles=0, seed=1)
+        a = db.lookup(parse_ipv4("10.1.1.1")).geo
+        b = clone.lookup(parse_ipv4("10.1.1.1")).geo
+        assert great_circle_miles(a, b) == pytest.approx(0, abs=1e-6)
+
+    def test_with_error_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GeoDatabase().with_error(error_miles=-1)

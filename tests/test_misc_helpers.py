@@ -1,0 +1,58 @@
+"""Small helpers not covered elsewhere."""
+
+import pytest
+
+from repro.dnsproto.rdata import (
+    CNAMERdata,
+    NSRdata,
+    ARdata,
+    canonical_rdata,
+)
+from repro.net.geometry import displace, great_circle_miles, GeoPoint
+from repro.net.latency import _mix64, _pair_unit
+
+
+class TestCanonicalRdata:
+    def test_ns_normalized(self):
+        assert canonical_rdata(NSRdata("NS1.Foo.NET.")).nsdname == \
+            "ns1.foo.net"
+
+    def test_cname_normalized(self):
+        assert canonical_rdata(CNAMERdata("E1.CDN.Example")).target == \
+            "e1.cdn.example"
+
+    def test_passthrough_for_address_records(self):
+        rdata = ARdata(42)
+        assert canonical_rdata(rdata) is rdata
+
+
+class TestDisplace:
+    def test_distance_preserved(self):
+        origin = GeoPoint(40.0, -75.0)
+        for bearing in (0.0, 1.0, 2.5, 4.7):
+            moved = displace(origin, 100.0, bearing)
+            assert great_circle_miles(origin, moved) == pytest.approx(
+                100.0, rel=1e-3)
+
+    def test_zero_distance_identity(self):
+        origin = GeoPoint(40.0, -75.0)
+        moved = displace(origin, 0.0, 1.0)
+        assert great_circle_miles(origin, moved) < 1e-6
+
+    def test_longitude_wraps(self):
+        near_dateline = GeoPoint(0.0, 179.9)
+        moved = displace(near_dateline, 50.0, 1.5708)  # due east
+        assert -180.0 <= moved.lon <= 180.0
+
+
+class TestHashHelpers:
+    def test_mix64_deterministic_and_spread(self):
+        values = {_mix64(i) for i in range(1000)}
+        assert len(values) == 1000
+        assert _mix64(42) == _mix64(42)
+
+    def test_pair_unit_symmetric_uniform(self):
+        a = _pair_unit(10, 20, 1)
+        assert a == _pair_unit(20, 10, 1)
+        assert 0.0 <= a < 1.0
+        assert _pair_unit(10, 20, 2) != a  # salt matters

@@ -1,0 +1,123 @@
+"""Tests for great-circle geometry helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.geometry import (
+    GeoPoint,
+    cluster_radius_miles,
+    great_circle_km,
+    great_circle_miles,
+    mean_distance_miles,
+    weighted_centroid,
+)
+
+lats = st.floats(min_value=-90, max_value=90, allow_nan=False)
+lons = st.floats(min_value=-180, max_value=180, allow_nan=False)
+points = st.builds(GeoPoint, lats, lons)
+
+NYC = GeoPoint(40.71, -74.01)
+LONDON = GeoPoint(51.51, -0.13)
+SYDNEY = GeoPoint(-33.87, 151.21)
+
+
+class TestGeoPoint:
+    @pytest.mark.parametrize("lat,lon", [(91, 0), (-91, 0), (0, 181),
+                                         (0, -181)])
+    def test_rejects_out_of_range(self, lat, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, lon)
+
+
+class TestGreatCircle:
+    def test_known_distance_nyc_london(self):
+        # Actual great-circle distance is ~3460 miles.
+        assert great_circle_miles(NYC, LONDON) == pytest.approx(3460, rel=0.02)
+
+    def test_known_distance_london_sydney(self):
+        assert great_circle_miles(LONDON, SYDNEY) == pytest.approx(
+            10560, rel=0.02)
+
+    def test_km_miles_consistent(self):
+        ratio = great_circle_km(NYC, LONDON) / great_circle_miles(NYC, LONDON)
+        assert ratio == pytest.approx(1.60934, rel=1e-3)
+
+    @given(points)
+    def test_zero_at_same_point(self, p):
+        assert great_circle_miles(p, p) == pytest.approx(0, abs=1e-6)
+
+    @given(points, points)
+    def test_symmetric(self, a, b):
+        assert great_circle_miles(a, b) == pytest.approx(
+            great_circle_miles(b, a), rel=1e-9, abs=1e-9)
+
+    @given(points, points)
+    def test_bounded_by_half_circumference(self, a, b):
+        assert great_circle_miles(a, b) <= math.pi * 3958.7613 + 1e-6
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        ab = great_circle_miles(a, b)
+        bc = great_circle_miles(b, c)
+        ac = great_circle_miles(a, c)
+        assert ac <= ab + bc + 1e-6
+
+
+class TestCentroid:
+    def test_single_point(self):
+        c = weighted_centroid([NYC], [5.0])
+        assert c.lat == pytest.approx(NYC.lat, abs=1e-6)
+        assert c.lon == pytest.approx(NYC.lon, abs=1e-6)
+
+    def test_weighting_pulls_centroid(self):
+        heavy_nyc = weighted_centroid([NYC, LONDON], [10.0, 0.1])
+        balanced = weighted_centroid([NYC, LONDON], [1.0, 1.0])
+        assert great_circle_miles(heavy_nyc, NYC) < great_circle_miles(
+            balanced, NYC)
+
+    def test_antimeridian(self):
+        # Two points straddling the date line: centroid must stay near
+        # the date line, not jump to lon ~0.
+        west = GeoPoint(0.0, 179.0)
+        east = GeoPoint(0.0, -179.0)
+        c = weighted_centroid([west, east], [1.0, 1.0])
+        assert abs(abs(c.lon) - 180.0) < 1.5
+
+    def test_rejects_empty_and_mismatched(self):
+        with pytest.raises(ValueError):
+            weighted_centroid([], [])
+        with pytest.raises(ValueError):
+            weighted_centroid([NYC], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_centroid([NYC], [0.0])
+
+
+class TestClusterRadius:
+    def test_zero_for_cohesive_cluster(self):
+        assert cluster_radius_miles([NYC, NYC], [1, 1]) == pytest.approx(
+            0, abs=1e-6)
+
+    def test_two_point_cluster(self):
+        # Equal weights: centroid at midpoint, radius = half the distance.
+        radius = cluster_radius_miles([NYC, LONDON], [1, 1])
+        assert radius == pytest.approx(
+            great_circle_miles(NYC, LONDON) / 2, rel=0.01)
+
+    @given(st.lists(points, min_size=1, max_size=8))
+    def test_radius_nonnegative(self, pts):
+        weights = [1.0] * len(pts)
+        assert cluster_radius_miles(pts, weights) >= 0
+
+
+class TestMeanDistance:
+    def test_weighted_mean(self):
+        d = mean_distance_miles(NYC, [(NYC, 1.0), (LONDON, 1.0)])
+        assert d == pytest.approx(great_circle_miles(NYC, LONDON) / 2,
+                                  rel=1e-6)
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            mean_distance_miles(NYC, [(LONDON, 0.0)])

@@ -1,0 +1,121 @@
+"""Unit and property tests for repro.net.ipv4."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ipv4 import Prefix, format_ipv4, mask_of, parse_ipv4, prefix_of
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+prefix_lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestParseFormat:
+    def test_parse_basic(self):
+        assert parse_ipv4("1.2.3.4") == 0x01020304
+
+    def test_parse_extremes(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == (1 << 32) - 1
+
+    def test_format_basic(self):
+        assert format_ipv4(0x01020304) == "1.2.3.4"
+
+    @pytest.mark.parametrize("bad", [
+        "1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d", "1.2.3.-1",
+        "01.2.3.4", "", "1..2.3",
+    ])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv4(bad)
+
+    @pytest.mark.parametrize("bad", [-1, 1 << 32])
+    def test_format_rejects(self, bad):
+        with pytest.raises(ValueError):
+            format_ipv4(bad)
+
+    @given(addresses)
+    def test_roundtrip(self, addr):
+        assert parse_ipv4(format_ipv4(addr)) == addr
+
+
+class TestMask:
+    def test_mask_values(self):
+        assert mask_of(0) == 0
+        assert mask_of(24) == 0xFFFFFF00
+        assert mask_of(32) == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("bad", [-1, 33])
+    def test_mask_rejects(self, bad):
+        with pytest.raises(ValueError):
+            mask_of(bad)
+
+
+class TestPrefix:
+    def test_parse_cidr(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.network == 0x0A000000
+        assert p.length == 8
+
+    def test_parse_bare_address_is_host(self):
+        assert Prefix.parse("1.2.3.4").length == 32
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Prefix(parse_ipv4("10.0.0.1"), 24)
+
+    def test_contains_and_bounds(self):
+        p = Prefix.parse("192.168.1.0/24")
+        assert p.first == parse_ipv4("192.168.1.0")
+        assert p.last == parse_ipv4("192.168.1.255")
+        assert p.contains(parse_ipv4("192.168.1.77"))
+        assert not p.contains(parse_ipv4("192.168.2.0"))
+
+    def test_covers(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.42.0.0/16")
+        assert outer.covers(inner)
+        assert outer.covers(outer)
+        assert not inner.covers(outer)
+
+    def test_supernet(self):
+        p = Prefix.parse("10.42.7.0/24")
+        assert p.supernet(16) == Prefix.parse("10.42.0.0/16")
+        with pytest.raises(ValueError):
+            p.supernet(28)
+
+    def test_subnets(self):
+        p = Prefix.parse("10.0.0.0/22")
+        subs = list(p.subnets(24))
+        assert len(subs) == 4
+        assert subs[0] == Prefix.parse("10.0.0.0/24")
+        assert subs[-1] == Prefix.parse("10.0.3.0/24")
+        with pytest.raises(ValueError):
+            list(p.subnets(20))
+
+    def test_str(self):
+        assert str(Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_ordering_is_total(self):
+        prefixes = [Prefix.parse(s) for s in
+                    ["10.0.0.0/8", "10.0.0.0/16", "9.0.0.0/8"]]
+        ordered = sorted(prefixes)
+        assert str(ordered[0]) == "9.0.0.0/8"
+
+    @given(addresses, prefix_lengths)
+    def test_prefix_of_contains_addr(self, addr, length):
+        p = prefix_of(addr, length)
+        assert p.contains(addr)
+        assert p.length == length
+
+    @given(addresses, prefix_lengths, prefix_lengths)
+    def test_supernet_nesting(self, addr, len_a, len_b):
+        longer, shorter = max(len_a, len_b), min(len_a, len_b)
+        inner = prefix_of(addr, longer)
+        outer = prefix_of(addr, shorter)
+        assert inner.supernet(shorter) == outer
+        assert outer.covers(inner)
+
+    @given(addresses)
+    def test_slash24_block_size(self, addr):
+        assert prefix_of(addr, 24).num_addresses == 256

@@ -1,0 +1,111 @@
+"""Tests for the latency model."""
+
+import random
+
+import pytest
+
+from repro.net.geometry import GeoPoint, great_circle_miles
+from repro.net.latency import FIBER_MILES_PER_MS, LatencyModel, LatencyParams
+
+NYC = GeoPoint(40.71, -74.01)
+LONDON = GeoPoint(51.51, -0.13)
+BOSTON = GeoPoint(42.36, -71.06)
+TOKYO = GeoPoint(35.68, 139.69)
+
+
+@pytest.fixture
+def model():
+    return LatencyModel()
+
+
+class TestInflation:
+    def test_short_paths_more_inflated(self, model):
+        assert model.inflation(10) > model.inflation(1000) > model.inflation(
+            8000)
+
+    def test_clamped_at_regime_edges(self, model):
+        p = model.params
+        assert model.inflation(1) == p.short_inflation
+        assert model.inflation(50000) == p.long_inflation
+
+    def test_monotone_nonincreasing(self, model):
+        values = [model.inflation(d) for d in (1, 10, 100, 1000, 5000, 9000)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestPeering:
+    def test_same_as_free(self, model):
+        assert model.peering_penalty_ms(100, 100) == 0.0
+
+    def test_symmetric_and_deterministic(self, model):
+        a = model.peering_penalty_ms(100, 200)
+        b = model.peering_penalty_ms(200, 100)
+        assert a == b
+        assert model.peering_penalty_ms(100, 200) == a
+
+    def test_bounded(self, model):
+        for asn in range(1, 200):
+            penalty = model.peering_penalty_ms(1, asn)
+            assert 0 <= penalty <= model.params.peering_penalty_max_ms
+
+    def test_varies_across_pairs(self, model):
+        penalties = {round(model.peering_penalty_ms(1, asn), 4)
+                     for asn in range(2, 50)}
+        assert len(penalties) > 10
+
+
+class TestRTT:
+    def test_floor_for_colocated(self, model):
+        rtt = model.base_rtt_ms(NYC, 1, NYC, 1)
+        assert rtt == model.params.same_as_floor_ms
+
+    def test_speed_of_light_lower_bound(self, model):
+        dist = great_circle_miles(NYC, TOKYO)
+        rtt = model.base_rtt_ms(NYC, 1, TOKYO, 1)
+        assert rtt >= 2 * dist / FIBER_MILES_PER_MS
+
+    def test_longer_distance_longer_rtt(self, model):
+        assert model.base_rtt_ms(NYC, 1, TOKYO, 1) > model.base_rtt_ms(
+            NYC, 1, LONDON, 1) > model.base_rtt_ms(NYC, 1, BOSTON, 1)
+
+    def test_last_mile_added(self, model):
+        base = model.base_rtt_ms(NYC, 1, LONDON, 1)
+        assert model.base_rtt_ms(NYC, 1, LONDON, 1, last_mile_ms=30) == (
+            pytest.approx(base + 30))
+
+    def test_deterministic_without_rng(self, model):
+        assert model.rtt_ms(NYC, 1, LONDON, 2) == model.rtt_ms(
+            NYC, 1, LONDON, 2)
+
+    def test_noise_is_mean_preserving(self, model):
+        rng = random.Random(7)
+        base = model.base_rtt_ms(NYC, 1, LONDON, 2)
+        samples = [model.rtt_ms(NYC, 1, LONDON, 2, rng=rng)
+                   for _ in range(4000)]
+        assert sum(samples) / len(samples) == pytest.approx(base, rel=0.03)
+        assert min(samples) < base < max(samples)
+
+    def test_realistic_transatlantic(self, model):
+        # NYC-London RTT should land in the real-world 60-110 ms band.
+        rtt = model.base_rtt_ms(NYC, 1, LONDON, 1)
+        assert 55 <= rtt <= 120
+
+
+class TestParams:
+    def test_rejects_bad_inflation(self):
+        with pytest.raises(ValueError):
+            LatencyParams(short_inflation=0.5)
+
+    def test_rejects_inverted_regimes(self):
+        with pytest.raises(ValueError):
+            LatencyParams(short_miles=5000, long_miles=100)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            LatencyParams(congestion_sigma=-1)
+
+    def test_zero_sigma_disables_noise(self):
+        model = LatencyModel(LatencyParams(congestion_sigma=0.0))
+        rng = random.Random(1)
+        assert model.rtt_ms(NYC, 1, LONDON, 2, rng=rng) == model.base_rtt_ms(
+            NYC, 1, LONDON, 2)

@@ -1,0 +1,117 @@
+"""Unit tests for the Figure 13-20 builders over synthetic RUM data.
+
+These exercise the daily-mean and CDF figure machinery without
+building a world: a hand-crafted roll-out result with a known step
+change in each metric must produce the right summaries and pass/fail
+the right checks.
+"""
+
+import datetime
+
+import pytest
+
+from repro.experiments.rollout_figs import (
+    cdf_figure,
+    daily_mean_figure,
+    window_means,
+)
+from repro.experiments.shared import _rollout_cache
+from repro.measurement.querylog import QueryLog
+from repro.measurement.rum import RumBeacon, RumCollector
+from repro.net.ipv4 import Prefix
+from repro.simulation.rollout import RolloutConfig, RolloutResult
+
+
+def synthetic_rollout(improvement: float = 2.0) -> RolloutResult:
+    """A 60-day roll-out whose metrics improve by ``improvement`` after
+    day 40 for the high-expectation group (1.05x for low)."""
+    config = RolloutConfig(
+        start_date=datetime.date(2014, 3, 1),
+        end_date=datetime.date(2014, 4, 29),
+        rollout_start=datetime.date(2014, 3, 31),
+        rollout_end=datetime.date(2014, 4, 9),
+        sessions_per_day=10,
+    )
+    rum = RumCollector()
+    cutover = config.day_index(config.rollout_end)
+    for day in range(config.n_days):
+        for i in range(10):
+            for high in (True, False):
+                factor = improvement if high else 1.05
+                scale = 1.0 / factor if day > cutover else 1.0
+                jitter = 1.0 + 0.02 * ((i % 5) - 2)
+                rum.record(RumBeacon(
+                    day=day,
+                    block=Prefix.parse("1.0.0.0/24"),
+                    country="IN" if high else "DE",
+                    domain="www.x.example",
+                    high_expectation=high,
+                    via_public_resolver=True,
+                    dns_ms=30.0,
+                    rtt_ms=200.0 * scale * jitter,
+                    ttfb_ms=1000.0 * scale * jitter,
+                    download_ms=300.0 * scale * jitter,
+                    mapping_distance_miles=2000.0 * scale * jitter,
+                    server_ip=1,
+                    ecs_used=day > cutover,
+                ))
+    return RolloutResult(config=config, rum=rum,
+                         query_log=QueryLog(authoritative_ips=set()))
+
+
+@pytest.fixture()
+def patched_rollout(monkeypatch):
+    result = synthetic_rollout()
+    _rollout_cache["synthetic"] = result
+    yield result
+    _rollout_cache.pop("synthetic", None)
+
+
+class TestWindowMeans:
+    def test_before_after_split(self, patched_rollout):
+        before, after = window_means(patched_rollout, "rtt_ms", True)
+        assert before == pytest.approx(200.0, rel=0.05)
+        assert after == pytest.approx(100.0, rel=0.05)
+
+
+class TestDailyMeanFigure:
+    def test_passing_checks(self, patched_rollout):
+        result = daily_mean_figure(
+            "figT", "t", "claim", "synthetic",
+            metric="mapping_distance_miles",
+            min_improvement_factor=1.8)
+        assert result.passed
+        assert result.summary["high_improvement_factor"] == (
+            pytest.approx(2.0, rel=0.05))
+
+    def test_failing_threshold(self, patched_rollout):
+        result = daily_mean_figure(
+            "figT", "t", "claim", "synthetic",
+            metric="rtt_ms",
+            min_improvement_factor=5.0)
+        assert not result.passed
+
+    def test_rows_cover_every_day(self, patched_rollout):
+        result = daily_mean_figure(
+            "figT", "t", "claim", "synthetic", metric="rtt_ms",
+            min_improvement_factor=1.5)
+        assert len(result.rows) == patched_rollout.config.n_days
+
+
+class TestCdfFigure:
+    def test_cdf_shifts_left(self, patched_rollout):
+        result = cdf_figure(
+            "figT", "t", "claim", "synthetic",
+            metric="download_ms",
+            grid=[50, 100, 150, 200, 250, 300, 350],
+            p75_min_factor=1.5)
+        assert result.passed
+        assert result.summary["high_p75_before"] > (
+            result.summary["high_p75_after"])
+
+    def test_p90_check_optional(self, patched_rollout):
+        result = cdf_figure(
+            "figT", "t", "claim", "synthetic",
+            metric="download_ms", grid=[100, 300],
+            p75_min_factor=1.5, p90_min_factor=50.0)
+        assert not result.passed  # absurd p90 requirement fails
