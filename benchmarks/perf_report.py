@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Thin wrapper for the perf-trajectory harness.
+
+The logic lives in :mod:`repro.bench.perf_report` so it is importable
+and runnable as ``python -m repro.bench.perf_report``; this script
+exists so the harness is discoverable next to the pytest benchmarks
+(``benchmarks/`` itself must stay a non-package for conftest imports).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_report.py --scales tiny,small
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.bench.perf_report import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ from repro.analysis.stats import (
     weighted_cdf,
     weighted_mean,
     weighted_quantile,
+    weighted_quantiles,
 )
 from repro.analysis.clusters import (
     LdnsClusterStats,
@@ -24,4 +25,5 @@ __all__ = [
     "weighted_cdf",
     "weighted_mean",
     "weighted_quantile",
+    "weighted_quantiles",
 ]

@@ -11,11 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.net.geometry import (
-    cluster_radius_miles,
-    great_circle_miles,
-    weighted_centroid,
-)
+import numpy as np
+
+from repro.net import batch
 from repro.topology.internet import Internet
 
 
@@ -39,34 +37,37 @@ def ldns_cluster_stats(
     min_blocks: int = 1,
 ) -> List[LdnsClusterStats]:
     """Cluster stats for every LDNS with at least ``min_blocks`` members."""
+    columns = internet.block_columns()
     members: Dict[str, List] = {}
-    for block in internet.blocks:
+    for row, block in enumerate(internet.blocks):
         for resolver_id, weight in block.ldns:
-            members.setdefault(resolver_id, []).append(
-                (block.geo, block.demand * weight))
+            members.setdefault(resolver_id, []).append((row, weight))
     public = internet.public_resolver_ids()
     out: List[LdnsClusterStats] = []
     for resolver_id, entries in members.items():
         if len(entries) < min_blocks:
             continue
         resolver = internet.resolvers[resolver_id]
-        points = [geo for geo, _ in entries]
-        weights = [w for _, w in entries]
-        demand = sum(weights)
-        radius = cluster_radius_miles(points, weights)
-        mean_distance = sum(
-            w * great_circle_miles(geo, resolver.geo)
-            for geo, w in entries) / demand
-        centroid = weighted_centroid(points, weights)
+        rows = np.fromiter((r for r, _ in entries), dtype=np.int64,
+                           count=len(entries))
+        shares = np.fromiter((s for _, s in entries), dtype=float,
+                             count=len(entries))
+        lats = columns.lat[rows]
+        lons = columns.lon[rows]
+        weights = columns.demand[rows] * shares
+        demand = float(weights.sum())
+        c_lat, c_lon = batch.weighted_centroid_arrays(lats, lons, weights)
         out.append(LdnsClusterStats(
             resolver_id=resolver_id,
             is_public=resolver_id in public,
             demand=demand,
             n_blocks=len(entries),
-            radius_miles=radius,
-            mean_client_distance_miles=mean_distance,
-            centroid_distance_miles=great_circle_miles(
-                centroid, resolver.geo),
+            radius_miles=batch.mean_distance_miles_arrays(
+                c_lat, c_lon, lats, lons, weights),
+            mean_client_distance_miles=batch.mean_distance_miles_arrays(
+                resolver.geo.lat, resolver.geo.lon, lats, lons, weights),
+            centroid_distance_miles=float(batch.haversine_miles(
+                c_lat, c_lon, resolver.geo.lat, resolver.geo.lon)),
         ))
     return out
 

@@ -1,0 +1,6 @@
+"""Performance-trajectory harness.
+
+:mod:`repro.bench.perf_report` times the hot paths (vectorized and
+scalar-reference) and writes a ``BENCH_*.json`` snapshot so each PR can
+diff wall-clock against its predecessors.
+"""

@@ -1,0 +1,243 @@
+"""Perf-trajectory harness: time the hot paths, write ``BENCH_*.json``.
+
+Run as::
+
+    PYTHONPATH=src python -m repro.bench.perf_report [--scales tiny,small]
+                                                     [--out BENCH_PR1.json]
+
+Each bench is recorded as ``{bench_name: {"wall_s": ..., "calls": ...,
+"scale": ...}}``.  ``calls`` is the number of elementary operations the
+bench performed (scalar-equivalent pair evaluations, blocks assigned,
+targets scored...), so per-call cost is comparable across scales and
+PRs even when absolute workloads change.
+
+Paired benches -- ``X_scalar`` (the per-pair reference implementation,
+the pre-vectorization hot path) and ``X_batch`` (the
+:mod:`repro.net.batch` kernels) -- run the *same workload*, so their
+``wall_s`` ratio is the speedup this PR's vectorization delivers, and
+the ``_scalar`` rows double as the "before" numbers for future PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.cdn.deployments import build_deployments
+from repro.core.measurement import (
+    MeasurementService,
+    TargetGrid,
+    build_ping_targets,
+    nearest_target_id,
+)
+from repro.core.policies import MapTarget
+from repro.core.scoring import Scorer
+from repro.experiments import fig25
+from repro.experiments.scales import get_scale
+from repro.net import batch
+from repro.net.geometry import great_circle_miles
+from repro.net.latency import LatencyModel
+from repro.topology.internet import Internet, build_internet
+
+BenchResult = Dict[str, float]
+
+
+def _timed(fn: Callable[[], int]) -> Tuple[float, int]:
+    start = time.perf_counter()
+    calls = fn()
+    return time.perf_counter() - start, calls
+
+
+class PerfReport:
+    def __init__(self) -> None:
+        self.results: Dict[str, BenchResult] = {}
+
+    def bench(self, name: str, scale: str, fn: Callable[[], int]) -> None:
+        wall, calls = _timed(fn)
+        # Bench names are namespaced by scale so one report can hold
+        # the same bench at several scales.
+        self.results[f"{scale}/{name}"] = {
+            "wall_s": round(wall, 6), "calls": calls, "scale": scale}
+        print(f"  {name:44s} {wall:9.3f}s  ({calls:,} calls)",
+              file=sys.stderr)
+
+
+def _fig25_inputs(internet: Internet, spec):
+    universe = build_deployments(
+        spec.universe_size, internet.geodb, seed=31,
+        host_ases=list(internet.ases.values()))
+    clusters = list(universe.clusters.values())
+    targets, _ = build_ping_targets(internet, spec.n_targets)
+    return clusters, targets
+
+
+def run_scale(report: PerfReport, scale: str) -> None:
+    print(f"[{scale}]", file=sys.stderr)
+    spec = get_scale(scale)
+    model = LatencyModel()
+
+    # -- world build (topology generation + ping-target selection) -----
+    holder: List[Internet] = []
+
+    def _build() -> int:
+        holder.append(build_internet(spec.internet, seed=2014))
+        return len(holder[-1].blocks)
+
+    report.bench("world_build", scale, _build)
+    internet = holder[-1]
+
+    clusters, targets = _fig25_inputs(internet, spec.fig25)
+    columns = internet.block_columns()
+
+    # -- fig25 RTT matrix: scalar reference vs shared batch kernel -----
+    n_pairs = len(clusters) * len(targets)
+
+    def _rtt_scalar() -> int:
+        for cluster in clusters:
+            for target in targets:
+                model.base_rtt_ms(cluster.geo, cluster.asn,
+                                  target.geo, target.asn)
+        return n_pairs
+
+    def _rtt_batch() -> int:
+        lat_c, lon_c = batch.geo_columns([c.geo for c in clusters])
+        lat_t, lon_t = batch.geo_columns([t.geo for t in targets])
+        batch.rtt_matrix(lat_c, lon_c, [c.asn for c in clusters],
+                         lat_t, lon_t, [t.asn for t in targets],
+                         params=model.params)
+        return n_pairs
+
+    report.bench("fig25_rtt_matrix_scalar", scale, _rtt_scalar)
+    report.bench("fig25_rtt_matrix_batch", scale, _rtt_batch)
+
+    # -- block -> ping-target assignment -------------------------------
+    n_blocks = len(internet.blocks)
+    grid = TargetGrid(targets)
+
+    def _assign_scalar() -> int:
+        for block in internet.blocks:
+            nearest_target_id(block.geo, block.asn, targets)
+        return n_blocks
+
+    def _assign_batch() -> int:
+        grid.nearest_bulk(columns.lat, columns.lon, columns.asn)
+        return n_blocks
+
+    report.bench("ping_target_assignment_scalar", scale, _assign_scalar)
+    report.bench("ping_target_assignment_batch", scale, _assign_batch)
+
+    # -- batch scoring (cluster x target score matrix) ------------------
+    measurement = MeasurementService(internet.geodb, model)
+    scorer = Scorer(measurement)
+    map_targets = [MapTarget(geo=t.geo, asn=t.asn) for t in targets]
+    n_scores = len(clusters) * len(map_targets)
+
+    def _score_scalar() -> int:
+        for cluster in clusters:
+            for target in map_targets:
+                scorer.score(cluster, target)
+        return n_scores
+
+    def _score_batch() -> int:
+        scorer.score_targets(clusters, map_targets)
+        return n_scores
+
+    report.bench("score_targets_scalar", scale, _score_scalar)
+    measurement.flush()
+    report.bench("score_targets_batch", scale, _score_batch)
+
+    # -- end-to-end fig25 experiment ------------------------------------
+    def _fig25_run() -> int:
+        fig25.run(scale)
+        return spec.fig25.n_client_samples * spec.fig25.n_runs
+
+    report.bench("fig25_experiment", scale, _fig25_run)
+
+
+def run_kernel_micro(report: PerfReport) -> None:
+    """Kernel microbenchmarks on synthetic point sets (scale-free)."""
+    print("[micro]", file=sys.stderr)
+    rng = np.random.default_rng(7)
+    n_a, n_b = 400, 2000
+    lat_a = rng.uniform(-60, 70, n_a)
+    lon_a = rng.uniform(-180, 180, n_a)
+    lat_b = rng.uniform(-60, 70, n_b)
+    lon_b = rng.uniform(-180, 180, n_b)
+    asn_a = rng.integers(100, 2400, n_a)
+    asn_b = rng.integers(100, 2400, n_b)
+    from repro.net.geometry import GeoPoint
+    points_a = [GeoPoint(lat, lon) for lat, lon in zip(lat_a, lon_a)]
+    points_b = [GeoPoint(lat, lon) for lat, lon in zip(lat_b, lon_b)]
+    n_pairs = n_a * n_b
+
+    def _hav_scalar() -> int:
+        for pa in points_a:
+            for pb in points_b:
+                great_circle_miles(pa, pb)
+        return n_pairs
+
+    def _hav_batch() -> int:
+        batch.haversine_matrix_miles(lat_a, lon_a, lat_b, lon_b)
+        return n_pairs
+
+    report.bench("haversine_matrix_scalar", "micro", _hav_scalar)
+    report.bench("haversine_matrix_batch", "micro", _hav_batch)
+
+    model = LatencyModel()
+
+    def _peer_scalar() -> int:
+        for a in asn_a:
+            for b in asn_b:
+                model.peering_penalty_ms(int(a), int(b))
+        return n_pairs
+
+    def _peer_batch() -> int:
+        batch.peering_penalty_matrix(asn_a, asn_b, model.params)
+        return n_pairs
+
+    report.bench("peering_penalty_scalar", "micro", _peer_scalar)
+    report.bench("peering_penalty_batch", "micro", _peer_batch)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scales", default="tiny,small",
+                        help="comma-separated scale names")
+    parser.add_argument("--out", default="BENCH_PR1.json",
+                        help="output JSON path")
+    parser.add_argument("--skip-micro", action="store_true",
+                        help="skip the kernel microbenchmarks")
+    args = parser.parse_args(argv)
+
+    report = PerfReport()
+    if not args.skip_micro:
+        run_kernel_micro(report)
+    for scale in [s.strip() for s in args.scales.split(",") if s.strip()]:
+        run_scale(report, scale)
+
+    with open(args.out, "w") as handle:
+        json.dump(report.results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(report.results)} benches)",
+          file=sys.stderr)
+
+    # Speedup summary for the paired scalar/batch benches.
+    for name in sorted(report.results):
+        if not name.endswith("_batch"):
+            continue
+        scalar = report.results.get(name[:-6] + "_scalar")
+        if scalar is None or report.results[name]["wall_s"] == 0:
+            continue
+        speedup = scalar["wall_s"] / max(report.results[name]["wall_s"],
+                                         1e-9)
+        print(f"  {name[:-6]:48s} {speedup:8.1f}x", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,7 +36,9 @@ from repro.core.mapunits import (
 from repro.core.measurement import (
     MeasurementService,
     PingTarget,
+    TargetGrid,
     build_ping_targets,
+    nearest_target_id,
 )
 from repro.core.redirection import (
     RedirectionKind,
@@ -73,6 +75,8 @@ __all__ = [
     "MeasurementService",
     "NSMappingPolicy",
     "PingTarget",
+    "TargetGrid",
+    "nearest_target_id",
     "RedirectionKind",
     "RedirectionMapper",
     "StatusReport",

@@ -16,7 +16,10 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.net.geometry import GeoPoint, cluster_radius_miles
+import numpy as np
+
+from repro.net import batch
+from repro.net.geometry import GeoPoint
 from repro.net.ipv4 import Prefix
 from repro.topology.internet import Internet
 
@@ -44,9 +47,10 @@ class MapUnit:
         """Demand-weighted cluster radius (paper Section 3.3 metric)."""
         if not self.members:
             raise ValueError(f"unit {self.key} has no members")
-        points = [geo for geo, _ in self.members]
-        weights = [w for _, w in self.members]
-        return cluster_radius_miles(points, weights)
+        lats, lons = batch.geo_columns([geo for geo, _ in self.members])
+        weights = np.fromiter((w for _, w in self.members), dtype=float,
+                              count=len(self.members))
+        return batch.cluster_radius_miles_arrays(lats, lons, weights)
 
 
 def build_ldns_units(internet: Internet) -> List[MapUnit]:

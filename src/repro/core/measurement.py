@@ -10,6 +10,12 @@ this mapping target?", "which servers are live and how loaded?".
 Ping targets (Section 6's simulation methodology) are also built here:
 the paper clusters ~20K top /24 blocks into 8K representative targets
 and uses the nearest target as a latency proxy for any client or LDNS.
+
+Hot paths run on the vectorized kernels in :mod:`repro.net.batch`
+(cluster x target RTT matrices, bulk nearest-target assignment); the
+scalar per-pair code (:func:`nearest_target_id`,
+:meth:`MeasurementService.rtt_cluster_to_point`) is the reference
+implementation the equivalence tests pin the kernels against.
 """
 
 from __future__ import annotations
@@ -19,8 +25,11 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.cdn.deployments import Cluster, DeploymentPlan
 from repro.geo.database import GeoDatabase
+from repro.net import batch
 from repro.net.geometry import GeoPoint, great_circle_miles
 from repro.net.latency import LatencyModel
 from repro.net.ipv4 import Prefix
@@ -99,6 +108,76 @@ class MeasurementService:
             return None
         return self.rtt_cluster_to_point(cluster, record.geo, record.asn)
 
+    # -- batch latency ----------------------------------------------------
+
+    def rtt_cluster_to_points(self, cluster: Cluster, lats, lons,
+                              asns) -> np.ndarray:
+        """RTT (ms) from one cluster to many targets, vectorized.
+
+        Noise-free measurements are pure functions of the endpoints and
+        the vectorized kernel is bit-identical to the scalar path, so
+        no cache interaction is needed for coherence.  With measurement
+        noise enabled, the frozen-at-first-measurement semantics of
+        :meth:`rtt_cluster_to_point` require the memo cache: cached
+        entries win, new entries draw their noise factor and are
+        frozen into the cache.
+        """
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        asns = np.asarray(asns)
+        rtt = batch.rtt_point_to_many(
+            cluster.geo.lat, cluster.geo.lon, cluster.asn,
+            lats, lons, asns, params=self._latency.params)
+        if self._noise <= 0:
+            return rtt
+        cache = self._cache
+        cid = cluster.cluster_id
+        for i in range(rtt.size):
+            key = (cid, float(lats[i]), float(lons[i]), int(asns[i]))
+            cached = cache.get(key)
+            if cached is None:
+                value = float(rtt[i]) * math.exp(
+                    self._rng.gauss(0.0, self._noise))
+                cache[key] = value
+                rtt[i] = value
+            else:
+                rtt[i] = cached
+        return rtt
+
+    def rtt_matrix(self, clusters: Sequence[Cluster], lats, lons,
+                   asns) -> np.ndarray:
+        """Cluster x target RTT matrix: shape (len(clusters), n_targets).
+
+        The precomputed form the batch scoring path consumes; rows obey
+        the same memoized-noise semantics as the scalar calls.
+        """
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        asns = np.asarray(asns)
+        if self._noise <= 0:
+            cluster_lats = np.fromiter((c.geo.lat for c in clusters),
+                                       dtype=float, count=len(clusters))
+            cluster_lons = np.fromiter((c.geo.lon for c in clusters),
+                                       dtype=float, count=len(clusters))
+            cluster_asns = np.fromiter((c.asn for c in clusters),
+                                       dtype=np.int64, count=len(clusters))
+            return batch.rtt_matrix(
+                cluster_lats, cluster_lons, cluster_asns,
+                lats, lons, asns, params=self._latency.params)
+        return np.stack([
+            self.rtt_cluster_to_points(cluster, lats, lons, asns)
+            for cluster in clusters
+        ]) if clusters else np.empty((0, lats.size))
+
+    def rtt_matrix_to_targets(self, clusters: Sequence[Cluster],
+                              targets: Sequence) -> np.ndarray:
+        """Cluster x target matrix for objects exposing ``geo``/``asn``
+        (``PingTarget``, ``MapTarget``, resolvers, blocks...)."""
+        lats, lons = batch.geo_columns([t.geo for t in targets])
+        asns = np.fromiter((t.asn for t in targets), dtype=np.int64,
+                           count=len(targets))
+        return self.rtt_matrix(clusters, lats, lons, asns)
+
     # -- liveness / load ----------------------------------------------------
 
     def liveness_snapshot(
@@ -133,6 +212,11 @@ def build_ping_targets(
     "so as to cover all major geographical areas and networks", and map
     every block to its nearest target.  Returns the target list and the
     block->target assignment.
+
+    Selection is deterministic (demand order with a spacing
+    constraint); ``seed`` is kept for API stability but unused.  The
+    block->target assignment runs as one vectorized bulk pass over the
+    Internet's columnar block arrays.
     """
     if n_targets < 1:
         raise ValueError("need at least one ping target")
@@ -143,34 +227,48 @@ def build_ping_targets(
 
     # Greedy demand-first selection with a spacing constraint keeps the
     # target set geographically diverse instead of 50 targets in Tokyo.
-    rng = random.Random(seed)
+    # The constraint only ever compares same-AS candidates, so chosen
+    # targets are bucketed per ASN and checked with one vector op.
     targets: List[PingTarget] = []
     min_spacing = 30.0  # miles
+    chosen_by_asn: Dict[int, List[Tuple[float, float]]] = {}
     for block in blocks:
         if len(targets) >= n_targets:
             break
-        if any(great_circle_miles(block.geo, t.geo) < min_spacing
-               and t.asn == block.asn for t in targets):
-            continue
+        same_as = chosen_by_asn.get(block.asn)
+        if same_as:
+            lats, lons = zip(*same_as)
+            spacing = batch.haversine_miles(
+                np.array(lats), np.array(lons),
+                block.geo.lat, block.geo.lon)
+            if bool(np.any(spacing < min_spacing)):
+                continue
         targets.append(PingTarget(
             target_id=len(targets), geo=block.geo, asn=block.asn,
             demand=block.demand))
+        chosen_by_asn.setdefault(block.asn, []).append(
+            (block.geo.lat, block.geo.lon))
     # Relax spacing if the constraint starved the target budget.
+    taken = {(t.geo.lat, t.geo.lon, t.asn) for t in targets}
     index = 0
     while len(targets) < n_targets and index < len(blocks):
         block = blocks[index]
         index += 1
-        if any(t.geo == block.geo and t.asn == block.asn for t in targets):
+        key = (block.geo.lat, block.geo.lon, block.asn)
+        if key in taken:
             continue
+        taken.add(key)
         targets.append(PingTarget(
             target_id=len(targets), geo=block.geo, asn=block.asn,
             demand=block.demand))
-    del rng  # selection is deterministic; rng reserved for future use
 
-    grid = _TargetGrid(targets)
-    assignment: Dict[Prefix, int] = {}
-    for block in internet.blocks:
-        assignment[block.prefix] = grid.nearest(block)
+    grid = TargetGrid(targets)
+    columns = internet.block_columns()
+    nearest = grid.nearest_bulk(columns.lat, columns.lon, columns.asn)
+    assignment: Dict[Prefix, int] = {
+        block.prefix: int(target_id)
+        for block, target_id in zip(internet.blocks, nearest)
+    }
     return targets, assignment
 
 
@@ -178,8 +276,11 @@ def nearest_target_id(geo: GeoPoint, asn: int,
                       targets: Sequence[PingTarget]) -> int:
     """Nearest ping target to an arbitrary point (LDNS proxy lookup).
 
-    Same metric as the block assignment (same-AS preference); linear
-    scan, intended for the comparatively small LDNS population.
+    Scalar reference implementation: linear scan with the same-AS
+    preference metric.  :class:`TargetGrid` computes the identical
+    result vectorized; the equivalence tests use this scan as the
+    oracle.  Prefer building one :class:`TargetGrid` when issuing many
+    lookups against the same target set.
     """
     if not targets:
         raise ValueError("no ping targets")
@@ -195,58 +296,65 @@ def nearest_target_id(geo: GeoPoint, asn: int,
     return best_id
 
 
-class _TargetGrid:
-    """Spatial hash over ping targets for nearest-target queries.
+class TargetGrid:
+    """Columnar index over ping targets for nearest-target queries.
 
-    Buckets targets into 5-degree lat/lon cells and searches outward in
-    rings; exact nearest within the searched radius, which is ample for
-    the 'latency proxy' role targets play.
+    Holds the target set as lat/lon/asn arrays and answers
+    nearest-target queries with the vectorized haversine kernel --
+    exact over the full target set (the scalar scan in
+    :func:`nearest_target_id` is the reference oracle; results are
+    identical, including the +25 mile off-AS penalty and the
+    lowest-target-id tie break).
+
+    Used for both the bulk block->target assignment in
+    :func:`build_ping_targets` and single-point LDNS proxy lookups.
     """
 
-    _CELL_DEG = 5.0
+    OFF_AS_PENALTY_MILES = 25.0
 
     def __init__(self, targets: Sequence[PingTarget]) -> None:
+        if not targets:
+            raise ValueError("no ping targets")
         self._targets = list(targets)
-        self._cells: Dict[Tuple[int, int], List[PingTarget]] = {}
-        for target in targets:
-            self._cells.setdefault(self._cell(target.geo), []).append(target)
+        self._lat, self._lon = batch.geo_columns(
+            [t.geo for t in self._targets])
+        self._asn = np.fromiter((t.asn for t in self._targets),
+                                dtype=np.int64, count=len(self._targets))
+        self._ids = np.fromiter((t.target_id for t in self._targets),
+                                dtype=np.int64, count=len(self._targets))
 
-    def _cell(self, geo: GeoPoint) -> Tuple[int, int]:
-        return (int(geo.lat // self._CELL_DEG),
-                int(geo.lon // self._CELL_DEG))
+    def __len__(self) -> int:
+        return len(self._targets)
 
-    def nearest(self, block: ClientBlock) -> int:
-        home = self._cell(block.geo)
-        best_id = -1
-        best = math.inf
-        for ring in range(0, 40):
-            candidates: List[PingTarget] = []
-            for dy in range(-ring, ring + 1):
-                for dx in range(-ring, ring + 1):
-                    if max(abs(dy), abs(dx)) != ring:
-                        continue
-                    cell = (home[0] + dy, (home[1] + dx + 36) % 72 - 36)
-                    candidates.extend(self._cells.get(cell, ()))
-            for target in candidates:
-                # Same-AS targets preferred at equal distance (network
-                # proximity matters, not just geography).
-                distance = great_circle_miles(block.geo, target.geo)
-                if target.asn != block.asn:
-                    distance += 25.0
-                if distance < best:
-                    best = distance
-                    best_id = target.target_id
-            if best_id >= 0 and ring >= 1:
-                # One extra ring after the first hit guards the cell-
-                # boundary case; then stop.
-                break
-        if best_id < 0:
-            # Sparse target set: fall back to a full scan.
-            for target in self._targets:
-                distance = great_circle_miles(block.geo, target.geo)
-                if target.asn != block.asn:
-                    distance += 25.0
-                if distance < best:
-                    best = distance
-                    best_id = target.target_id
-        return best_id
+    def nearest(self, geo: GeoPoint, asn: int) -> int:
+        """Nearest target id to one point (same-AS preference metric)."""
+        distance = batch.haversine_miles(self._lat, self._lon,
+                                         geo.lat, geo.lon)
+        distance = distance + np.where(self._asn != asn,
+                                       self.OFF_AS_PENALTY_MILES, 0.0)
+        return int(self._ids[int(np.argmin(distance))])
+
+    def nearest_block(self, block: ClientBlock) -> int:
+        """Nearest target for a client block (assignment metric)."""
+        return self.nearest(block.geo, block.asn)
+
+    def nearest_bulk(self, lats, lons, asns,
+                     chunk_rows: int = 2048) -> np.ndarray:
+        """Nearest target ids for many points in one matrix pass.
+
+        Chunked over query rows so the query x target distance matrix
+        stays within a bounded memory footprint at ``paper`` scale.
+        """
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        asns = np.asarray(asns)
+        out = np.empty(lats.size, dtype=np.int64)
+        for start in range(0, lats.size, chunk_rows):
+            stop = min(start + chunk_rows, lats.size)
+            distance = batch.haversine_matrix_miles(
+                lats[start:stop], lons[start:stop], self._lat, self._lon)
+            distance += np.where(
+                asns[start:stop, None] != self._asn[None, :],
+                self.OFF_AS_PENALTY_MILES, 0.0)
+            out[start:stop] = self._ids[np.argmin(distance, axis=1)]
+        return out

@@ -14,6 +14,9 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.cdn.deployments import Cluster
 from repro.core.measurement import MeasurementService
@@ -84,6 +87,43 @@ class Scorer:
             + weights.loss_penalty_ms * loss
             + weights.throughput_sensitivity * rtt
         )
+
+    def scores_from_rtt(self, rtt_ms: np.ndarray) -> np.ndarray:
+        """Vectorized score from precomputed RTTs (any array shape).
+
+        Same component order as :meth:`score`, so noise-free batch
+        scores are bit-identical to the scalar path.
+        """
+        rtt = np.asarray(rtt_ms, dtype=float)
+        loss = 0.05 + 0.004 * np.sqrt(np.maximum(rtt, 0.0))
+        weights = self.weights
+        return (
+            weights.latency * rtt
+            + weights.loss_penalty_ms * loss
+            + weights.throughput_sensitivity * rtt
+        )
+
+    def score_targets(self, clusters: Sequence[Cluster],
+                      targets: Sequence[MapTarget]) -> np.ndarray:
+        """Score matrix, shape (len(clusters), len(targets)).
+
+        One RTT-matrix pass through the measurement service's batch API
+        plus one vectorized scoring pass; ``scores[i, j]`` equals
+        ``self.score(clusters[i], targets[j])`` (exactly when
+        measurement noise is off -- noise draws still go through the
+        memo cache, so the two paths agree entry-by-entry either way).
+        Aggregate targets are not supported here; score those via
+        :meth:`score_weighted`.
+        """
+        for target in targets:
+            if target.is_aggregate:
+                raise ValueError(
+                    "score_targets handles point targets only; use "
+                    "score_weighted for aggregate targets")
+        if not clusters or not targets:
+            return np.empty((len(clusters), len(targets)))
+        rtt = self.measurement.rtt_matrix_to_targets(clusters, targets)
+        return self.scores_from_rtt(rtt)
 
     def score_weighted(self, cluster: Cluster,
                        targets: list[tuple[MapTarget, float]]) -> float:

@@ -24,12 +24,14 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.analysis.stats import weighted_quantiles
 from repro.cdn.deployments import build_deployments
-from repro.core.measurement import build_ping_targets, nearest_target_id
+from repro.core.measurement import TargetGrid, build_ping_targets
 from repro.experiments.base import ExperimentResult, ratio
 from repro.experiments.scales import get_scale
 from repro.experiments.shared import get_internet
-from repro.net.latency import FIBER_MILES_PER_MS, LatencyModel
+from repro.net import batch
+from repro.net.latency import LatencyModel
 
 EXPERIMENT_ID = "fig25"
 TITLE = "NS vs EU vs CANS latency vs number of deployment locations"
@@ -38,57 +40,6 @@ PAPER_CLAIM = ("means nearly identical across schemes; EU dominates at "
                "EU keeps improving; bigger CDNs gain more from EU")
 
 SCHEMES = ("ns", "eu", "cans")
-_EARTH_RADIUS_MILES = 3958.7613
-
-
-def _haversine_matrix(lat_a, lon_a, lat_b, lon_b) -> np.ndarray:
-    """Great-circle miles between every pair of (a_i, b_j)."""
-    lat_a = np.radians(lat_a)[:, None]
-    lon_a = np.radians(lon_a)[:, None]
-    lat_b = np.radians(lat_b)[None, :]
-    lon_b = np.radians(lon_b)[None, :]
-    h = (np.sin((lat_b - lat_a) / 2) ** 2
-         + np.cos(lat_a) * np.cos(lat_b)
-         * np.sin((lon_b - lon_a) / 2) ** 2)
-    h = np.clip(h, 0.0, 1.0)
-    return 2.0 * _EARTH_RADIUS_MILES * np.arcsin(np.sqrt(h))
-
-
-def _rtt_matrix(model: LatencyModel, cluster_geos, cluster_asns,
-                target_geos, target_asns) -> np.ndarray:
-    """RTT in ms from every cluster to every target (vectorized)."""
-    params = model.params
-    dist = _haversine_matrix(
-        np.array([g.lat for g in cluster_geos]),
-        np.array([g.lon for g in cluster_geos]),
-        np.array([g.lat for g in target_geos]),
-        np.array([g.lon for g in target_geos]),
-    )
-    frac = np.clip(
-        np.log(np.maximum(dist, params.short_miles) / params.short_miles)
-        / np.log(params.long_miles / params.short_miles), 0.0, 1.0)
-    inflation = params.short_inflation + frac * (
-        params.long_inflation - params.short_inflation)
-    rtt = 2.0 * dist * inflation / FIBER_MILES_PER_MS
-
-    # Peering penalty, memoized over unique AS pairs per cluster row.
-    unique_tasns, inverse = np.unique(np.asarray(target_asns),
-                                      return_inverse=True)
-    for row, casn in enumerate(cluster_asns):
-        penalties = np.array([
-            model.peering_penalty_ms(int(casn), int(tasn))
-            for tasn in unique_tasns
-        ])
-        rtt[row] += penalties[inverse]
-    return np.maximum(rtt, params.same_as_floor_ms)
-
-
-def _weighted_percentile(values: np.ndarray, weights: np.ndarray,
-                         q: float) -> float:
-    order = np.argsort(values)
-    cum = np.cumsum(weights[order]) / weights.sum()
-    index = int(np.searchsorted(cum, q, side="left"))
-    return float(values[order][min(index, values.size - 1)])
 
 
 def run(scale: str) -> ExperimentResult:
@@ -102,10 +53,13 @@ def run(scale: str) -> ExperimentResult:
     clusters = list(universe.clusters.values())
 
     targets, assignment = build_ping_targets(internet, spec.n_targets)
-    rtt = _rtt_matrix(
-        model,
-        [c.geo for c in clusters], [c.asn for c in clusters],
-        [t.geo for t in targets], [t.asn for t in targets],
+    cluster_lats, cluster_lons = batch.geo_columns(
+        [c.geo for c in clusters])
+    target_lats, target_lons = batch.geo_columns([t.geo for t in targets])
+    rtt = batch.rtt_matrix(
+        cluster_lats, cluster_lons, [c.asn for c in clusters],
+        target_lats, target_lons, [t.asn for t in targets],
+        params=model.params,
     )
 
     # Client sample: top-demand blocks with their LDNS-side targets.
@@ -113,15 +67,16 @@ def run(scale: str) -> ExperimentResult:
                     reverse=True)[: spec.n_client_samples]
     client_targets = np.array([assignment[b.prefix] for b in blocks])
     demands = np.array([b.demand for b in blocks])
-    ldns_target_cache: Dict[str, int] = {}
-    ldns_ids: List[str] = []
-    for block in blocks:
-        resolver_id = block.primary_ldns
-        ldns_ids.append(resolver_id)
-        if resolver_id not in ldns_target_cache:
-            resolver = internet.resolvers[resolver_id]
-            ldns_target_cache[resolver_id] = nearest_target_id(
-                resolver.geo, resolver.asn, targets)
+    ldns_ids: List[str] = [block.primary_ldns for block in blocks]
+    grid = TargetGrid(targets)
+    unique_resolver_ids = sorted(set(ldns_ids))
+    resolver_objs = [internet.resolvers[rid] for rid in unique_resolver_ids]
+    resolver_lats, resolver_lons = batch.geo_columns(
+        [r.geo for r in resolver_objs])
+    resolver_targets = grid.nearest_bulk(
+        resolver_lats, resolver_lons, [r.asn for r in resolver_objs])
+    ldns_target_cache: Dict[str, int] = dict(
+        zip(unique_resolver_ids, (int(t) for t in resolver_targets)))
     ldns_targets = np.array([ldns_target_cache[rid] for rid in ldns_ids])
 
     # Client-cluster membership per LDNS (for CANS).
@@ -172,10 +127,10 @@ def run(scale: str) -> ExperimentResult:
                 cell = sums[(scheme, n)]
                 cell["mean"] += float(np.average(latency,
                                                  weights=demands))
-                cell["p95"] += _weighted_percentile(latency, demands,
-                                                    0.95)
-                cell["p99"] += _weighted_percentile(latency, demands,
-                                                    0.99)
+                p95, p99 = weighted_quantiles(latency, demands,
+                                              (0.95, 0.99))
+                cell["p95"] += p95
+                cell["p99"] += p99
 
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID, title=TITLE, scale=scale,

@@ -11,8 +11,11 @@ Contents:
 * :mod:`repro.net.trie` -- binary radix trie for longest-prefix matching.
 * :mod:`repro.net.geometry` -- great-circle geometry on the WGS84 sphere.
 * :mod:`repro.net.latency` -- distance- and topology-driven latency model.
+* :mod:`repro.net.batch` -- vectorized numpy kernels for the geometry
+  and latency math (the scalar modules are the reference semantics).
 """
 
+from repro.net import batch
 from repro.net.geometry import GeoPoint, great_circle_miles
 from repro.net.ipv4 import (
     Prefix,
@@ -25,6 +28,7 @@ from repro.net.trie import RadixTrie
 
 __all__ = [
     "GeoPoint",
+    "batch",
     "LatencyModel",
     "LatencyParams",
     "Prefix",

@@ -19,6 +19,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.geo.cities import City, WORLD_CITIES, cities_by_country, city_index
 from repro.geo.database import GeoDatabase, GeoRecord
 from repro.net.geometry import GeoPoint, displace
@@ -135,6 +137,25 @@ class InternetConfig:
         return cls(n_client_blocks=40000, n_ases=2200)
 
 
+@dataclass(frozen=True, slots=True)
+class BlockColumns:
+    """Columnar (structure-of-arrays) view over the client blocks.
+
+    One row per block, in ``Internet.blocks`` order, for the vectorized
+    kernels in :mod:`repro.net.batch`: bulk block->target assignment,
+    RTT matrices, demand-weighted reductions.
+    """
+
+    lat: np.ndarray
+    lon: np.ndarray
+    asn: np.ndarray
+    demand: np.ndarray
+    last_mile_ms: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.lat.size)
+
+
 @dataclass
 class Internet:
     """Container for one generated Internet."""
@@ -151,6 +172,7 @@ class Internet:
     _cum_demand: List[float] = field(default_factory=list, repr=False)
     _block_by_prefix: Dict[Prefix, ClientBlock] = field(
         default_factory=dict, repr=False)
+    _columns: Optional[BlockColumns] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         running = 0.0
@@ -159,6 +181,7 @@ class Internet:
             running += block.demand
             self._cum_demand.append(running)
         self._block_by_prefix = {b.prefix: b for b in self.blocks}
+        self._columns = None
 
     # -- lookups ---------------------------------------------------------
 
@@ -182,6 +205,29 @@ class Internet:
         target = rng.random() * self.total_demand
         index = bisect.bisect_right(self._cum_demand, target)
         return self.blocks[min(index, len(self.blocks) - 1)]
+
+    def block_columns(self) -> BlockColumns:
+        """Columnar lat/lon/asn/demand arrays over ``blocks``.
+
+        Extracted once and cached; blocks are immutable so the view
+        never goes stale.  Row ``i`` is ``self.blocks[i]``.
+        """
+        if self._columns is None:
+            n = len(self.blocks)
+            self._columns = BlockColumns(
+                lat=np.fromiter((b.geo.lat for b in self.blocks),
+                                dtype=float, count=n),
+                lon=np.fromiter((b.geo.lon for b in self.blocks),
+                                dtype=float, count=n),
+                asn=np.fromiter((b.asn for b in self.blocks),
+                                dtype=np.int64, count=n),
+                demand=np.fromiter((b.demand for b in self.blocks),
+                                   dtype=float, count=n),
+                last_mile_ms=np.fromiter(
+                    (b.last_mile_ms for b in self.blocks),
+                    dtype=float, count=n),
+            )
+        return self._columns
 
     # -- aggregate views -------------------------------------------------
 

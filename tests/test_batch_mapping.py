@@ -1,0 +1,277 @@
+"""Batch mapping pipeline vs per-query scalar path.
+
+Covers the vectorized hot paths wired in on top of the
+:mod:`repro.net.batch` kernels: TargetGrid nearest-target lookups
+(scalar scan as oracle), MeasurementService batch RTTs and cache
+coherence, Scorer.score_targets, GlobalLoadBalancer batch rank/pick,
+MappingSystem.prefill_decisions, and the canonical weighted-quantile
+implementation.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    weighted_cdf,
+    weighted_quantile,
+    weighted_quantiles,
+)
+from repro.cdn.deployments import build_deployments
+from repro.core.discovery import CandidateIndex
+from repro.core.loadbalancer import GlobalLoadBalancer, LoadBalancerConfig
+from repro.core.measurement import (
+    MeasurementService,
+    TargetGrid,
+    build_ping_targets,
+    nearest_target_id,
+)
+from repro.core.policies import MapTarget
+from repro.core.scoring import Scorer
+from repro.net import batch
+from repro.topology.internet import InternetConfig, build_internet
+
+pytestmark = pytest.mark.filterwarnings("error")
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_internet(InternetConfig.tiny(), seed=2014)
+
+
+@pytest.fixture(scope="module")
+def targets(net):
+    targets, _ = build_ping_targets(net, 120)
+    return targets
+
+
+@pytest.fixture(scope="module")
+def deployments(net):
+    return build_deployments(24, net.geodb, seed=31,
+                             host_ases=list(net.ases.values()))
+
+
+class TestTargetGrid:
+    def test_nearest_matches_scalar_oracle(self, net, targets):
+        grid = TargetGrid(targets)
+        rng = random.Random(9)
+        for block in rng.sample(net.blocks, 200):
+            assert grid.nearest(block.geo, block.asn) == nearest_target_id(
+                block.geo, block.asn, targets)
+
+    def test_nearest_matches_oracle_for_resolvers(self, net, targets):
+        grid = TargetGrid(targets)
+        for resolver in list(net.resolvers.values())[:100]:
+            assert grid.nearest(resolver.geo, resolver.asn) == (
+                nearest_target_id(resolver.geo, resolver.asn, targets))
+
+    def test_bulk_matches_single(self, net, targets):
+        grid = TargetGrid(targets)
+        columns = net.block_columns()
+        bulk = grid.nearest_bulk(columns.lat, columns.lon, columns.asn,
+                                 chunk_rows=97)
+        for row in (0, 13, 500, len(net.blocks) - 1):
+            block = net.blocks[row]
+            assert bulk[row] == grid.nearest(block.geo, block.asn)
+
+    def test_assignment_uses_exact_nearest(self, net):
+        targets, assignment = build_ping_targets(net, 80)
+        rng = random.Random(4)
+        for block in rng.sample(net.blocks, 100):
+            assert assignment[block.prefix] == nearest_target_id(
+                block.geo, block.asn, targets)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            TargetGrid([])
+
+
+class TestMeasurementBatch:
+    def test_points_match_scalar_noise_free(self, net, deployments,
+                                            targets):
+        service = MeasurementService(net.geodb)
+        cluster = next(iter(deployments.clusters.values()))
+        lats, lons = batch.geo_columns([t.geo for t in targets])
+        asns = [t.asn for t in targets]
+        got = service.rtt_cluster_to_points(cluster, lats, lons, asns)
+        # numpy's vectorized trig differs from libm by <= 1 ulp, so the
+        # two paths agree to machine precision, not bit-for-bit.
+        for i, target in enumerate(targets):
+            assert got[i] == pytest.approx(
+                service.rtt_cluster_to_point(cluster, target.geo,
+                                             target.asn), rel=1e-12)
+
+    def test_matrix_matches_scalar_noise_free(self, net, deployments,
+                                              targets):
+        service = MeasurementService(net.geodb)
+        clusters = list(deployments.clusters.values())[:6]
+        matrix = service.rtt_matrix_to_targets(clusters, targets[:40])
+        assert matrix.shape == (6, 40)
+        for i, cluster in enumerate(clusters):
+            for j, target in enumerate(targets[:40]):
+                assert matrix[i, j] == pytest.approx(
+                    service.rtt_cluster_to_point(cluster, target.geo,
+                                                 target.asn), rel=1e-12)
+
+    def test_noisy_batch_respects_frozen_cache(self, net, deployments,
+                                               targets):
+        cluster = next(iter(deployments.clusters.values()))
+        subset = targets[:30]
+        lats, lons = batch.geo_columns([t.geo for t in subset])
+        asns = [t.asn for t in subset]
+
+        # Scalar first: the frozen draws must win in the batch path.
+        service = MeasurementService(net.geodb, measurement_noise=0.2,
+                                     seed=5)
+        scalar = [service.rtt_cluster_to_point(cluster, t.geo, t.asn)
+                  for t in subset]
+        got = service.rtt_cluster_to_points(cluster, lats, lons, asns)
+        np.testing.assert_array_equal(got, scalar)
+
+        # Batch first: its draws must be frozen for later scalar calls.
+        service = MeasurementService(net.geodb, measurement_noise=0.2,
+                                     seed=5)
+        first = service.rtt_cluster_to_points(cluster, lats, lons, asns)
+        again = service.rtt_cluster_to_points(cluster, lats, lons, asns)
+        np.testing.assert_array_equal(first, again)
+        for i, target in enumerate(subset):
+            assert first[i] == service.rtt_cluster_to_point(
+                cluster, target.geo, target.asn)
+
+
+class TestBatchScoring:
+    def test_score_targets_matches_scalar(self, net, deployments,
+                                          targets):
+        scorer = Scorer(MeasurementService(net.geodb))
+        clusters = list(deployments.clusters.values())[:8]
+        map_targets = [MapTarget(geo=t.geo, asn=t.asn)
+                       for t in targets[:50]]
+        matrix = scorer.score_targets(clusters, map_targets)
+        assert matrix.shape == (8, 50)
+        for i, cluster in enumerate(clusters):
+            for j, target in enumerate(map_targets):
+                assert matrix[i, j] == pytest.approx(
+                    scorer.score(cluster, target), rel=1e-12)
+
+    def test_rejects_aggregate_targets(self, net, deployments, targets):
+        scorer = Scorer(MeasurementService(net.geodb))
+        point = MapTarget(geo=targets[0].geo, asn=targets[0].asn)
+        aggregate = MapTarget(geo=targets[0].geo, asn=targets[0].asn,
+                              members=((point, 1.0),))
+        with pytest.raises(ValueError):
+            scorer.score_targets(list(deployments.clusters.values()),
+                                 [aggregate])
+
+
+class TestBatchLoadBalancer:
+    def _lb(self, net, deployments, with_index=False):
+        scorer = Scorer(MeasurementService(net.geodb))
+        index = (CandidateIndex(deployments) if with_index else None)
+        return GlobalLoadBalancer(deployments, scorer,
+                                  LoadBalancerConfig(),
+                                  candidate_index=index)
+
+    def test_rank_batch_matches_scalar(self, net, deployments, targets):
+        lb = self._lb(net, deployments)
+        map_targets = [MapTarget(geo=t.geo, asn=t.asn)
+                       for t in targets[:40]]
+        ranked_batch = lb.rank_clusters_batch(map_targets)
+        for target, ranked in zip(map_targets, ranked_batch):
+            scalar = lb.rank_clusters(target)
+            assert [c.cluster_id for c in ranked] == [
+                c.cluster_id for c in scalar]
+
+    def test_rank_batch_with_candidate_index(self, net, deployments,
+                                             targets):
+        lb = self._lb(net, deployments, with_index=True)
+        map_targets = [MapTarget(geo=t.geo, asn=t.asn)
+                       for t in targets[:40]]
+        ranked_batch = lb.rank_clusters_batch(map_targets)
+        for target, ranked in zip(map_targets, ranked_batch):
+            scalar = lb.rank_clusters(target)
+            assert [c.cluster_id for c in ranked] == [
+                c.cluster_id for c in scalar]
+
+    def test_pick_batch_matches_scalar(self, net, deployments, targets):
+        map_targets = [MapTarget(geo=t.geo, asn=t.asn)
+                       for t in targets[:40]]
+        lb_a = self._lb(net, deployments)
+        lb_b = self._lb(net, deployments)
+        picked_batch = lb_a.pick_clusters_batch(map_targets)
+        picked_scalar = [lb_b.pick_cluster(t) for t in map_targets]
+        assert [c.cluster_id for c in picked_batch] == [
+            c.cluster_id for c in picked_scalar]
+        assert lb_a.decisions == lb_b.decisions == len(map_targets)
+        assert lb_a.spillovers == lb_b.spillovers
+
+
+class TestPrefill:
+    def test_prefilled_decisions_match_per_query(self, net, deployments,
+                                                 targets):
+        from repro.cdn.content import build_catalog
+        from repro.core.policies import EUMappingPolicy
+        from repro.core.system import MappingSystem
+
+        def build_system():
+            scorer = Scorer(MeasurementService(net.geodb))
+            return MappingSystem(
+                deployments, build_catalog(5, seed=3),
+                EUMappingPolicy(net.geodb), scorer)
+
+        map_targets = [MapTarget(geo=t.geo, asn=t.asn)
+                       for t in targets[:30]]
+        prefilled = build_system()
+        filled = prefilled.prefill_decisions(map_targets, now=0.0)
+        assert filled == len(map_targets)
+
+        per_query = build_system()
+        for target in map_targets:
+            want = per_query._pick_cluster(target, now=0.0)
+            got = prefilled._pick_cluster(target, now=1.0)
+            assert got.cluster_id == want.cluster_id
+        # Every post-prefill lookup inside the TTL is a cache hit.
+        assert prefilled.stats.decision_cache_hits == len(map_targets)
+        assert prefilled.stats.decision_cache_misses == 0
+
+    def test_prefill_skips_fresh_entries(self, net, deployments, targets):
+        from repro.cdn.content import build_catalog
+        from repro.core.policies import EUMappingPolicy
+        from repro.core.system import MappingSystem
+
+        scorer = Scorer(MeasurementService(net.geodb))
+        system = MappingSystem(deployments, build_catalog(5, seed=3),
+                               EUMappingPolicy(net.geodb), scorer)
+        map_targets = [MapTarget(geo=t.geo, asn=t.asn)
+                       for t in targets[:10]]
+        assert system.prefill_decisions(map_targets, now=0.0) == 10
+        # Within the TTL nothing is refilled...
+        assert system.prefill_decisions(map_targets, now=30.0) == 0
+        # ...after expiry everything is.
+        assert system.prefill_decisions(map_targets, now=120.0) == 10
+
+
+class TestWeightedQuantiles:
+    def test_matches_single_quantile(self):
+        rng = random.Random(6)
+        values = [rng.uniform(0, 100) for _ in range(500)]
+        weights = [rng.uniform(0.01, 5.0) for _ in range(500)]
+        qs = (0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0)
+        got = weighted_quantiles(values, weights, qs)
+        for q, g in zip(qs, got):
+            assert g == weighted_quantile(values, weights, q)
+
+    def test_zero_total_weight_raises(self):
+        with pytest.raises(ValueError):
+            weighted_quantiles([1.0, 2.0], [0.0, 0.0], [0.5])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            weighted_quantiles([1.0], [1.0], [1.5])
+
+    def test_weighted_cdf_vectorized_semantics(self):
+        cdf = weighted_cdf([10, 20, 30], [1, 1, 1],
+                           grid=[5, 10, 15, 25, 35])
+        assert cdf == [(5.0, 0.0), (10.0, pytest.approx(1 / 3)),
+                       (15.0, pytest.approx(1 / 3)),
+                       (25.0, pytest.approx(2 / 3)), (35.0, 1.0)]
