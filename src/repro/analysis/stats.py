@@ -22,6 +22,8 @@ def _as_arrays(values: Sequence[float],
         raise ValueError("values and weights must have equal length")
     if v.size == 0:
         raise ValueError("empty sample")
+    if np.isnan(v).any() or np.isnan(w).any():
+        raise ValueError("NaN in sample")
     if np.any(w < 0):
         raise ValueError("negative weights")
     if w.sum() <= 0:

@@ -3,19 +3,27 @@
 Run as::
 
     PYTHONPATH=src python -m repro.bench.perf_report [--scales tiny,small]
-                                                     [--out BENCH_PR1.json]
+                                                     [--out BENCH_PR2.json]
 
-Each bench is recorded as ``{bench_name: {"wall_s": ..., "calls": ...,
-"scale": ...}}``.  ``calls`` is the number of elementary operations the
-bench performed (scalar-equivalent pair evaluations, blocks assigned,
-targets scored...), so per-call cost is comparable across scales and
-PRs even when absolute workloads change.
+Output schema ``bench/v2``::
+
+    {"schema": "bench/v2",
+     "benches":  {bench_name: {"wall_s": ..., "calls": ..., "scale": ...}},
+     "speedups": {bench_base: scalar_wall / batch_wall},
+     "metrics":  <registry snapshot: bench.runs counter, wall_s histogram>,
+     "traces":   [per-bench span trees with wall_s/calls attributes]}
+
+``calls`` is the number of elementary operations the bench performed
+(scalar-equivalent pair evaluations, blocks assigned, targets
+scored...), so per-call cost is comparable across scales and PRs even
+when absolute workloads change.
 
 Paired benches -- ``X_scalar`` (the per-pair reference implementation,
 the pre-vectorization hot path) and ``X_batch`` (the
 :mod:`repro.net.batch` kernels) -- run the *same workload*, so their
-``wall_s`` ratio is the speedup this PR's vectorization delivers, and
-the ``_scalar`` rows double as the "before" numbers for future PRs.
+``wall_s`` ratio is the speedup vectorization delivers (exported in
+``speedups``), and the ``_scalar`` rows double as the "before" numbers
+for future PRs.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,9 +50,12 @@ from repro.experiments.scales import get_scale
 from repro.net import batch
 from repro.net.geometry import great_circle_miles
 from repro.net.latency import LatencyModel
+from repro.obs import Observability
 from repro.topology.internet import Internet, build_internet
 
 BenchResult = Dict[str, float]
+
+SCHEMA = "bench/v2"
 
 
 def _timed(fn: Callable[[], int]) -> Tuple[float, int]:
@@ -54,17 +65,56 @@ def _timed(fn: Callable[[], int]) -> Tuple[float, int]:
 
 
 class PerfReport:
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Observability] = None) -> None:
         self.results: Dict[str, BenchResult] = {}
+        self.obs = obs if obs is not None else Observability()
 
     def bench(self, name: str, scale: str, fn: Callable[[], int]) -> None:
-        wall, calls = _timed(fn)
+        with self.obs.tracer.trace("bench", bench=name,
+                                   scale=scale) as span:
+            wall, calls = _timed(fn)
+            span.set(wall_s=wall, calls=calls)
+        self.obs.registry.counter("bench.runs").inc()
+        self.obs.registry.histogram("bench.wall_s").observe(wall)
         # Bench names are namespaced by scale so one report can hold
         # the same bench at several scales.
         self.results[f"{scale}/{name}"] = {
             "wall_s": round(wall, 6), "calls": calls, "scale": scale}
         print(f"  {name:44s} {wall:9.3f}s  ({calls:,} calls)",
               file=sys.stderr)
+
+    def speedups(self) -> Dict[str, float]:
+        """``scalar/batch`` wall ratio per paired bench base name."""
+        out: Dict[str, float] = {}
+        for name in sorted(self.results):
+            if not name.endswith("_batch"):
+                continue
+            scalar = self.results.get(name[:-6] + "_scalar")
+            if scalar is None:
+                continue
+            out[name[:-6]] = round(
+                scalar["wall_s"] / max(self.results[name]["wall_s"],
+                                       1e-9), 3)
+        return out
+
+
+def build_payload(report: PerfReport) -> Dict:
+    """The full ``bench/v2`` document for one harness run."""
+    return {
+        "schema": SCHEMA,
+        "benches": report.results,
+        "speedups": report.speedups(),
+        "metrics": report.obs.registry.snapshot(),
+        "traces": report.obs.tracer.export(),
+    }
+
+
+def write_report(report: PerfReport, path: str) -> Dict:
+    payload = build_payload(report)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
 
 
 def _fig25_inputs(internet: Internet, spec):
@@ -159,11 +209,14 @@ def run_scale(report: PerfReport, scale: str) -> None:
     report.bench("fig25_experiment", scale, _fig25_run)
 
 
-def run_kernel_micro(report: PerfReport) -> None:
-    """Kernel microbenchmarks on synthetic point sets (scale-free)."""
+def run_kernel_micro(report: PerfReport, n_a: int = 400,
+                     n_b: int = 2000) -> None:
+    """Kernel microbenchmarks on synthetic point sets (scale-free).
+
+    ``n_a``/``n_b`` size the point sets; tests shrink them for speed.
+    """
     print("[micro]", file=sys.stderr)
     rng = np.random.default_rng(7)
-    n_a, n_b = 400, 2000
     lat_a = rng.uniform(-60, 70, n_a)
     lon_a = rng.uniform(-180, 180, n_a)
     lat_b = rng.uniform(-60, 70, n_b)
@@ -208,7 +261,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scales", default="tiny,small",
                         help="comma-separated scale names")
-    parser.add_argument("--out", default="BENCH_PR1.json",
+    parser.add_argument("--out", default="BENCH_PR2.json",
                         help="output JSON path")
     parser.add_argument("--skip-micro", action="store_true",
                         help="skip the kernel microbenchmarks")
@@ -220,22 +273,13 @@ def main(argv=None) -> int:
     for scale in [s.strip() for s in args.scales.split(",") if s.strip()]:
         run_scale(report, scale)
 
-    with open(args.out, "w") as handle:
-        json.dump(report.results, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    payload = write_report(report, args.out)
     print(f"wrote {args.out} ({len(report.results)} benches)",
           file=sys.stderr)
 
     # Speedup summary for the paired scalar/batch benches.
-    for name in sorted(report.results):
-        if not name.endswith("_batch"):
-            continue
-        scalar = report.results.get(name[:-6] + "_scalar")
-        if scalar is None or report.results[name]["wall_s"] == 0:
-            continue
-        speedup = scalar["wall_s"] / max(report.results[name]["wall_s"],
-                                         1e-9)
-        print(f"  {name[:-6]:48s} {speedup:8.1f}x", file=sys.stderr)
+    for base, speedup in payload["speedups"].items():
+        print(f"  {base:48s} {speedup:8.1f}x", file=sys.stderr)
     return 0
 
 

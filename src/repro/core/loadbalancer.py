@@ -28,6 +28,7 @@ from repro.cdn.deployments import Cluster, DeploymentPlan
 from repro.cdn.server import EdgeServer
 from repro.core.policies import MapTarget
 from repro.core.scoring import Scorer
+from repro.obs import NOOP, Observability
 
 
 class CandidateIndexLike(Protocol):
@@ -65,11 +66,13 @@ class GlobalLoadBalancer:
         scorer: Scorer,
         config: Optional[LoadBalancerConfig] = None,
         candidate_index: Optional["CandidateIndexLike"] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.deployments = deployments
         self.scorer = scorer
         self.config = config or LoadBalancerConfig()
         self.candidate_index = candidate_index
+        self.obs = obs if obs is not None else NOOP
         self.spillovers = 0
         self.decisions = 0
 
@@ -105,7 +108,15 @@ class GlobalLoadBalancer:
         """Best-scoring live cluster with capacity headroom."""
         self.decisions += 1
         ranked = self.rank_clusters(target)
-        return self._pick_from_ranked(ranked)
+        with self.obs.tracer.span("lb.pick",
+                                  candidates=len(ranked)) as span:
+            spills_before = self.spillovers
+            cluster = self._pick_from_ranked(ranked)
+            span.set(
+                cluster=cluster.cluster_id if cluster else None,
+                spillover=self.spillovers > spills_before,
+            )
+        return cluster
 
     def _pick_from_ranked(self,
                           ranked: Sequence[Cluster]) -> Optional[Cluster]:

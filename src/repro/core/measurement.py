@@ -72,6 +72,10 @@ class MeasurementService:
         self._noise = measurement_noise
         self._rng = random.Random(seed)
         self._cache: Dict[Tuple[str, float, float, int], float] = {}
+        # Observability: plain ints the snapshot-time collectors read
+        # (see repro.obs.collect); hot paths pay one increment.
+        self.rtt_lookups = 0
+        self.rtt_memo_hits = 0
 
     # -- latency ----------------------------------------------------------
 
@@ -83,9 +87,11 @@ class MeasurementService:
         multiplicative noise models measurement error and is frozen at
         first measurement (the production system smooths over windows).
         """
+        self.rtt_lookups += 1
         key = (cluster.cluster_id, geo.lat, geo.lon, asn)
         cached = self._cache.get(key)
         if cached is not None:
+            self.rtt_memo_hits += 1
             return cached
         rtt = self._latency.base_rtt_ms(cluster.geo, cluster.asn, geo, asn)
         if self._noise > 0:
@@ -128,6 +134,7 @@ class MeasurementService:
         rtt = batch.rtt_point_to_many(
             cluster.geo.lat, cluster.geo.lon, cluster.asn,
             lats, lons, asns, params=self._latency.params)
+        self.rtt_lookups += int(rtt.size)
         if self._noise <= 0:
             return rtt
         cache = self._cache
@@ -141,6 +148,7 @@ class MeasurementService:
                 cache[key] = value
                 rtt[i] = value
             else:
+                self.rtt_memo_hits += 1
                 rtt[i] = cached
         return rtt
 
@@ -161,6 +169,7 @@ class MeasurementService:
                                        dtype=float, count=len(clusters))
             cluster_asns = np.fromiter((c.asn for c in clusters),
                                        dtype=np.int64, count=len(clusters))
+            self.rtt_lookups += len(clusters) * int(lats.size)
             return batch.rtt_matrix(
                 cluster_lats, cluster_lons, cluster_asns,
                 lats, lons, asns, params=self._latency.params)

@@ -1,12 +1,16 @@
 """Operational status reporting for the mapping system.
 
 The production mapping system is monitored as intensely as it monitors
-the Internet.  This module aggregates the counters every component
-already keeps into one structured status report -- the view an
-operator (or an example script) uses to sanity-check a running world:
-mapping decision volumes and cache efficiency, load-balancer spillover,
-cluster health and utilization, resolver cache hit rates, and the
-authoritative query mix.
+the Internet.  This module renders the canonical metrics exported by
+:mod:`repro.obs.collect` into one structured status report -- the view
+an operator (or an example script) uses to sanity-check a running
+world: mapping decision volumes and cache efficiency, load-balancer
+spillover, cluster health and utilization, resolver cache hit rates,
+and the authoritative query mix.
+
+Reporting reads the :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot rather than reaching into component internals; the collector
+layer is the single place that knows where each number lives.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.cdn.deployments import DeploymentPlan
-from repro.core.system import MappingSystem
+from repro.obs import MetricsRegistry, register_world_collectors
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,50 +102,58 @@ def cluster_health(deployments: DeploymentPlan,
     return rows[:top]
 
 
+def _world_registry(world) -> MetricsRegistry:
+    """The world's metrics registry, built on the fly for bare worlds.
+
+    Worlds constructed by :func:`repro.simulation.world.build_world`
+    carry an observability plane; anything world-shaped but without one
+    (hand-wired test doubles) gets a throwaway registry with the same
+    collectors attached, so both read identical metric names.
+    """
+    obs = getattr(world, "obs", None)
+    if obs is not None:
+        return obs.registry
+    registry = MetricsRegistry()
+    register_world_collectors(registry, world)
+    return registry
+
+
 def build_status_report(world, top_clusters: int = 5) -> StatusReport:
     """Aggregate a :class:`StatusReport` from a running world.
 
-    Accepts any object exposing ``mapping`` (a
-    :class:`~repro.core.system.MappingSystem`), ``deployments``,
-    ``ldns_registry``, ``nameservers``, and ``query_log`` -- i.e. a
-    :class:`repro.simulation.world.World`.
+    Accepts any object exposing ``mapping``, ``deployments``,
+    ``ldns_registry``, ``nameservers``, ``network``, and
+    ``measurement`` -- i.e. a :class:`repro.simulation.world.World`.
+    All scalar fields come from the registry's collector gauges (see
+    :mod:`repro.obs.collect` for the canonical names); only the
+    per-cluster health table reads the deployment plan directly.
     """
-    mapping: MappingSystem = world.mapping
-    stats = mapping.stats
-    decisions = (stats.decision_cache_hits
-                 + stats.decision_cache_misses)
+    registry = _world_registry(world)
+    gauges = registry.snapshot()["gauges"]
 
-    ldns_hits = ldns_lookups = 0
-    tcp_retries = failovers = 0
-    for ldns in world.ldns_registry.values():
-        ldns_hits += ldns.cache.stats.hits
-        ldns_lookups += ldns.cache.stats.lookups
-        tcp_retries += ldns.tcp_retries
-        failovers += ldns.failovers
-
-    clusters = world.deployments.clusters.values()
-    alive = [c for c in clusters if c.alive]
-    mean_util = (sum(c.utilization for c in alive) / len(alive)
-                 if alive else 0.0)
+    resolutions = gauges["mapping.resolutions"]
+    ecs_resolutions = gauges["mapping.ecs_resolutions"]
+    cache_hits = gauges["mapping.decision_cache.hits"]
+    decisions = cache_hits + gauges["mapping.decision_cache.misses"]
+    ldns_hits = gauges["ldns.cache.hits"]
+    ldns_lookups = gauges["ldns.cache.lookups"]
 
     return StatusReport(
-        mapping_resolutions=stats.resolutions,
-        mapping_ecs_share=(stats.ecs_resolutions / stats.resolutions
-                           if stats.resolutions else 0.0),
-        decision_cache_hit_rate=(stats.decision_cache_hits / decisions
+        mapping_resolutions=int(resolutions),
+        mapping_ecs_share=(ecs_resolutions / resolutions
+                           if resolutions else 0.0),
+        decision_cache_hit_rate=(cache_hits / decisions
                                  if decisions else 0.0),
-        lb_decisions=mapping.global_lb.decisions,
-        lb_spillovers=mapping.global_lb.spillovers,
-        clusters_total=len(clusters),
-        clusters_alive=len(alive),
-        mean_utilization=mean_util,
+        lb_decisions=int(gauges["lb.decisions"]),
+        lb_spillovers=int(gauges["lb.spillovers"]),
+        clusters_total=int(gauges["clusters.total"]),
+        clusters_alive=int(gauges["clusters.alive"]),
+        mean_utilization=gauges["clusters.mean_utilization"],
         hottest_clusters=cluster_health(world.deployments, top_clusters),
         ldns_cache_hit_rate=(ldns_hits / ldns_lookups
                              if ldns_lookups else 0.0),
-        ldns_tcp_retries=tcp_retries,
-        ldns_failovers=failovers,
-        authoritative_queries=sum(ns.queries_received
-                                  for ns in world.nameservers),
-        authoritative_truncations=sum(ns.truncated_count
-                                      for ns in world.nameservers),
+        ldns_tcp_retries=int(gauges["ldns.tcp_retries"]),
+        ldns_failovers=int(gauges["ldns.failovers"]),
+        authoritative_queries=int(gauges["auth.queries"]),
+        authoritative_truncations=int(gauges["auth.truncations"]),
     )

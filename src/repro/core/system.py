@@ -31,6 +31,7 @@ from repro.dnsproto.message import ResourceRecord
 from repro.dnsproto.rdata import ARdata
 from repro.dnsproto.types import QType, Rcode
 from repro.dnssrv.authoritative import ZoneAnswer
+from repro.obs import NOOP, Observability
 
 
 @dataclass
@@ -61,15 +62,17 @@ class MappingSystem:
         lb_config: Optional[LoadBalancerConfig] = None,
         decision_ttl: float = 60.0,
         candidate_index=None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.deployments = deployments
         self.catalog = catalog
         self.policy = policy
         self.scorer = scorer
+        self.obs = obs if obs is not None else NOOP
         self.lb_config = lb_config or LoadBalancerConfig()
         self.global_lb = GlobalLoadBalancer(
             deployments, scorer, self.lb_config,
-            candidate_index=candidate_index)
+            candidate_index=candidate_index, obs=self.obs)
         self.local_lb = LocalLoadBalancer(self.lb_config)
         self.decision_ttl = decision_ttl
         self.stats = MappingStats()
@@ -103,27 +106,37 @@ class MappingSystem:
         self.stats.resolutions += 1
         if ecs is not None:
             self.stats.ecs_resolutions += 1
-        context = ResolutionContext(qname=qname, ldns_ip=src_ip, ecs=ecs)
-        target = self.policy.target(context)
-        if target is None:
-            self.stats.no_target += 1
-            return ZoneAnswer(rcode=Rcode.SERVFAIL)
+        with self.obs.tracer.span("mapping.decision", qname=qname,
+                                  policy=self.policy.name,
+                                  ecs=ecs is not None) as span:
+            context = ResolutionContext(qname=qname, ldns_ip=src_ip,
+                                        ecs=ecs)
+            target = self.policy.target(context)
+            if target is None:
+                self.stats.no_target += 1
+                return ZoneAnswer(rcode=Rcode.SERVFAIL)
 
-        cluster = self._pick_cluster(target, now)
-        if cluster is None:
-            return ZoneAnswer(rcode=Rcode.SERVFAIL)
-        servers = self.local_lb.pick_servers(cluster, provider.name)
-        if not servers:
-            return ZoneAnswer(rcode=Rcode.SERVFAIL)
-        records = tuple(
-            ResourceRecord(qname, QType.A, provider.dns_ttl,
-                           ARdata(server.ip))
-            for server in servers
-        )
-        return ZoneAnswer(
-            records=records,
-            scope_prefix_len=self.policy.scope_for(context),
-        )
+            hits_before = self.stats.decision_cache_hits
+            cluster = self._pick_cluster(target, now)
+            if cluster is None:
+                return ZoneAnswer(rcode=Rcode.SERVFAIL)
+            servers = self.local_lb.pick_servers(cluster, provider.name)
+            if not servers:
+                return ZoneAnswer(rcode=Rcode.SERVFAIL)
+            scope = self.policy.scope_for(context)
+            span.set(
+                cluster=cluster.cluster_id,
+                decision_cache=("hit" if self.stats.decision_cache_hits
+                                > hits_before else "miss"),
+                scope=scope,
+                servers=len(servers),
+            )
+            records = tuple(
+                ResourceRecord(qname, QType.A, provider.dns_ttl,
+                               ARdata(server.ip))
+                for server in servers
+            )
+            return ZoneAnswer(records=records, scope_prefix_len=scope)
 
     # -- direct assignment API (experiments bypass DNS with this) --------
 

@@ -35,6 +35,7 @@ from repro.dnsproto.rdata import TXTRdata
 from repro.dnsproto.types import QType, Rcode
 from repro.dnsproto.wire import WireFormatError
 from repro.net.ipv4 import format_ipv4
+from repro.obs import NOOP, Observability
 
 
 @dataclass
@@ -128,8 +129,10 @@ class AuthoritativeServer:
     #: UDP payload limit for queries without EDNS0 (RFC 1035).
     CLASSIC_UDP_LIMIT = 512
 
-    def __init__(self, ip: int, server_name: str = "ns.cdn.example") -> None:
+    def __init__(self, ip: int, server_name: str = "ns.cdn.example",
+                 obs: Optional[Observability] = None) -> None:
         self._ip = ip
+        self.obs = obs if obs is not None else NOOP
         self.server_name = server_name
         self._zones: Dict[str, AnswerSource] = {}
         self.alive = True
@@ -168,42 +171,49 @@ class AuthoritativeServer:
         self.queries_received += 1
         if tcp:
             self.tcp_queries += 1
-        try:
-            query = Message.decode(wire)
-        except WireFormatError:
-            self.formerr_count += 1
-            return self._formerr(wire)
-        if query.flags.qr or not query.questions:
-            self.formerr_count += 1
-            return make_response(query, rcode=Rcode.FORMERR,
-                                 authoritative=False).encode()
-        question = query.question
-        source = self.zone_for(question.name)
-        if source is None:
-            response = make_response(query, rcode=Rcode.REFUSED,
-                                     authoritative=False)
-        else:
-            answer = source.answer(question.name, question.qtype,
-                                   query.client_subnet, src_ip, now)
-            response = make_response(
-                query,
-                answers=answer.records,
-                rcode=answer.rcode,
-                scope_prefix_len=answer.scope_prefix_len,
-            )
-        self.responses_sent += 1
-        encoded = response.encode()
-        if not tcp and len(encoded) > self._udp_limit(query):
-            # RFC 1035 4.2.1: signal truncation; the resolver retries
-            # over TCP.  The truncated reply carries no answers (the
-            # common conservative server behaviour).
-            self.truncated_count += 1
-            truncated = make_response(query, rcode=Rcode.NOERROR)
-            truncated.flags = Flags(
-                qr=True, aa=response.flags.aa, tc=True,
-                rd=query.flags.rd, rcode=Rcode.NOERROR)
-            return truncated.encode()
-        return encoded
+        with self.obs.tracer.span("authoritative",
+                                  server=self.server_name) as span:
+            try:
+                query = Message.decode(wire)
+            except WireFormatError:
+                self.formerr_count += 1
+                span.set(rcode=int(Rcode.FORMERR))
+                return self._formerr(wire)
+            if query.flags.qr or not query.questions:
+                self.formerr_count += 1
+                span.set(rcode=int(Rcode.FORMERR))
+                return make_response(query, rcode=Rcode.FORMERR,
+                                     authoritative=False).encode()
+            question = query.question
+            source = self.zone_for(question.name)
+            if source is None:
+                response = make_response(query, rcode=Rcode.REFUSED,
+                                         authoritative=False)
+            else:
+                answer = source.answer(question.name, question.qtype,
+                                       query.client_subnet, src_ip, now)
+                response = make_response(
+                    query,
+                    answers=answer.records,
+                    rcode=answer.rcode,
+                    scope_prefix_len=answer.scope_prefix_len,
+                )
+            self.responses_sent += 1
+            span.set(rcode=int(response.flags.rcode),
+                     answers=len(response.answers))
+            encoded = response.encode()
+            if not tcp and len(encoded) > self._udp_limit(query):
+                # RFC 1035 4.2.1: signal truncation; the resolver
+                # retries over TCP.  The truncated reply carries no
+                # answers (the common conservative server behaviour).
+                self.truncated_count += 1
+                span.set(truncated=True)
+                truncated = make_response(query, rcode=Rcode.NOERROR)
+                truncated.flags = Flags(
+                    qr=True, aa=response.flags.aa, tc=True,
+                    rd=query.flags.rd, rcode=Rcode.NOERROR)
+                return truncated.encode()
+            return encoded
 
     def _udp_limit(self, query: Message) -> int:
         if query.opt is not None:

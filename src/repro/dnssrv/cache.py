@@ -89,6 +89,22 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> Dict[str, int]:
+        """Flat metric view (consumed by the observability collectors).
+
+        Invariant: ``hits + misses == lookups`` always -- every lookup
+        is classified exactly once (the invariant test suite drives
+        randomized workloads at this).
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+        }
+
 
 class _NameSlot:
     """Entries for one (name, type): scope-keyed dict + length index."""

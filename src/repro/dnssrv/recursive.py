@@ -37,6 +37,7 @@ from repro.dnsproto.wire import WireFormatError
 from repro.dnssrv.cache import EcsAwareCache
 from repro.dnssrv.transport import AuthorityDirectory, Network
 from repro.net.ipv4 import Prefix, prefix_of
+from repro.obs import NOOP, NULL_SPAN, Observability
 
 _MAX_CNAME_CHAIN = 8
 _DEFAULT_NEGATIVE_TTL = 30
@@ -84,10 +85,12 @@ class RecursiveResolver:
         ecs_source_len: int = 24,
         cache: Optional[EcsAwareCache] = None,
         name: str = "ldns",
+        obs: Optional[Observability] = None,
     ) -> None:
         if not 0 < ecs_source_len <= 32:
             raise ValueError(f"bad ECS source length {ecs_source_len}")
         self._ip = ip
+        self.obs = obs if obs is not None else NOOP
         self.name = name
         self.network = network
         self.directory = directory
@@ -121,22 +124,27 @@ class RecursiveResolver:
         every_step_hit = True
         rcode = Rcode.NOERROR
 
-        current = qname
-        for _ in range(_MAX_CNAME_CHAIN):
-            step = self._resolve_step(current, qtype, client_ip, now)
-            total_queries += step.queries
-            total_rtt += step.rtt_ms
-            every_step_hit = every_step_hit and step.hit
-            rcode = step.rcode
-            all_records.extend(step.records)
-            if step.rcode != Rcode.NOERROR:
-                break
-            target = _cname_target(step.records, current)
-            if target is None or qtype == QType.CNAME:
-                break
-            if _has_answer(step.records, target, qtype):
-                break
-            current = target
+        with self.obs.tracer.span("recursive", resolver=self.name,
+                                  qname=qname) as span:
+            current = qname
+            for _ in range(_MAX_CNAME_CHAIN):
+                step = self._resolve_step(current, qtype, client_ip, now)
+                total_queries += step.queries
+                total_rtt += step.rtt_ms
+                every_step_hit = every_step_hit and step.hit
+                rcode = step.rcode
+                all_records.extend(step.records)
+                if step.rcode != Rcode.NOERROR:
+                    break
+                target = _cname_target(step.records, current)
+                if target is None or qtype == QType.CNAME:
+                    break
+                if _has_answer(step.records, target, qtype):
+                    break
+                current = target
+            span.set(cache_hit=every_step_hit, rcode=int(rcode),
+                     upstream_queries=total_queries,
+                     upstream_rtt_ms=total_rtt)
         return RecursionResult(
             records=tuple(all_records),
             rcode=rcode,
@@ -169,15 +177,21 @@ class RecursiveResolver:
     def _resolve_step(self, qname: str, qtype: int, client_ip: int,
                       now: float) -> _StepResult:
         cache_addr = client_ip if self.ecs_enabled else None
-        entry = self.cache.lookup(qname, qtype, cache_addr, now)
-        if entry is not None:
-            return _StepResult(records=entry.aged_records(now),
-                               rcode=entry.rcode, hit=True, queries=0,
-                               rtt_ms=0.0)
-        return self._query_upstream(qname, qtype, client_ip, now)
+        with self.obs.tracer.span("step", qname=qname) as span:
+            entry = self.cache.lookup(qname, qtype, cache_addr, now)
+            if entry is not None:
+                span.set(cache="hit",
+                         scope=(str(entry.scope)
+                                if entry.scope is not None else None))
+                return _StepResult(records=entry.aged_records(now),
+                                   rcode=entry.rcode, hit=True, queries=0,
+                                   rtt_ms=0.0)
+            span.set(cache="miss")
+            return self._query_upstream(qname, qtype, client_ip, now,
+                                        span)
 
     def _query_upstream(self, qname: str, qtype: int, client_ip: int,
-                        now: float) -> _StepResult:
+                        now: float, span=NULL_SPAN) -> _StepResult:
         authority = self.directory.authority_for(qname)
         if authority is None:
             return _StepResult((), Rcode.SERVFAIL, False, 0, 0.0)
@@ -193,6 +207,7 @@ class RecursiveResolver:
         if self.ecs_enabled:
             ecs = ClientSubnetOption(
                 prefix_of(client_ip, self.ecs_source_len))
+            span.set(ecs_source=str(ecs.prefix))
 
         total_rtt = 0.0
         queries = 0
@@ -226,14 +241,16 @@ class RecursiveResolver:
                 response = tcp_hop.response
             return self._process_response(qname, qtype, client_ip,
                                           response, now, queries,
-                                          total_rtt)
+                                          total_rtt, span)
         return _StepResult((), Rcode.SERVFAIL, False, queries, total_rtt)
 
     def _process_response(self, qname: str, qtype: int, client_ip: int,
                           response: Message, now: float, queries: int,
-                          total_rtt: float) -> _StepResult:
+                          total_rtt: float,
+                          span=NULL_SPAN) -> _StepResult:
         rcode = response.flags.rcode
         scope = self._scope_for(response, client_ip)
+        span.set(scope=str(scope) if scope is not None else None)
         if rcode == Rcode.NXDOMAIN or (
                 rcode == Rcode.NOERROR and not response.answers):
             # Negative caching (RFC 2308): remember that the name does

@@ -58,6 +58,8 @@ class StubResolver:
     ) -> Resolution:
         """Resolve through the given LDNS, measuring elapsed time."""
         client_hop_ms = self.network.rtt_ms(self.client_ip, ldns.ip)
+        self.network.obs.tracer.event("stub.hop", ldns=ldns.name,
+                                      rtt_ms=client_hop_ms)
         result = ldns.resolve(qname, qtype, self.client_ip, now)
         return Resolution(
             records=result.records,

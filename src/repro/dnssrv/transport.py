@@ -18,6 +18,7 @@ from repro.dnsproto.name import normalize_name
 from repro.geo.database import GeoDatabase
 from repro.net.ipv4 import format_ipv4
 from repro.net.latency import LatencyModel
+from repro.obs import NOOP, Observability
 
 
 class DnsEndpoint(Protocol):
@@ -58,10 +59,12 @@ class Network:
         geodb: GeoDatabase,
         latency_model: Optional[LatencyModel] = None,
         rtt_override: Optional[Callable[[int, int], float]] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self._geodb = geodb
         self._latency = latency_model or LatencyModel()
         self._rtt_override = rtt_override
+        self.obs = obs if obs is not None else NOOP
         self._endpoints: Dict[int, DnsEndpoint] = {}
         self._sinks: List[QuerySink] = []
         self.queries_sent = 0
@@ -122,7 +125,14 @@ class Network:
         rtt = self.rtt_ms(src_ip, dst_ip)
         if tcp:
             rtt *= 2.0  # SYN/SYN-ACK before the query can be sent
-        response_wire = endpoint.handle_query(wire, src_ip, now, tcp=tcp)
+        # The hop span wraps the destination's handling, so spans the
+        # endpoint opens (authoritative dispatch, mapping decision)
+        # nest under this hop in the trace tree.
+        with self.obs.tracer.span("hop", dst=format_ipv4(dst_ip),
+                                  tcp=tcp) as hop:
+            response_wire = endpoint.handle_query(wire, src_ip, now,
+                                                  tcp=tcp)
+            hop.set(rtt_ms=rtt, timeout=response_wire is None)
         if response_wire is None:
             return HopResult(response=None, rtt_ms=rtt)
         self.bytes_sent += len(response_wire)

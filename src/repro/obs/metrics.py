@@ -1,0 +1,255 @@
+"""Metrics registry: counters, gauges, and weighted histograms.
+
+The production mapping system is monitored as intensely as it monitors
+the Internet (paper Section 2.2); its evaluation (Sections 4-5) is all
+demand-weighted distributions over per-query observations.  This module
+is the simulator's equivalent of that monitoring plane: a
+zero-dependency (stdlib + the numpy already underpinning the kernels)
+:class:`MetricsRegistry` holding three instrument kinds:
+
+* :class:`Counter` -- monotonically increasing event counts.
+* :class:`Gauge` -- point-in-time values (utilization, cache sizes).
+* :class:`Histogram` -- weighted samples exported as demand-weighted
+  quantiles through the canonical
+  :func:`repro.analysis.stats.weighted_quantiles` implementation, so a
+  histogram snapshot and a figure built from the same samples agree
+  bit-for-bit.
+
+Two usage styles coexist:
+
+* **Direct instruments** for event-driven paths (sessions, benches):
+  ``registry.counter("sessions").inc()``.
+* **Collectors** for component-internal state: a collector is a
+  callable run at snapshot time that writes gauges into the registry,
+  so hot paths keep their cheap local ints and the registry reads them
+  only when someone looks (the pattern ``repro.obs.collect`` wires for
+  a whole :class:`~repro.simulation.world.World`).
+
+Snapshots are deterministic: instruments are exported sorted by name
+and all floats are plain Python floats, so two identical runs produce
+byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import weighted_quantiles
+
+#: Quantiles every histogram snapshot exports (the paper's box-plot
+#: five, footnote 6).
+EXPORT_QUANTILES: Tuple[float, ...] = (0.05, 0.25, 0.50, 0.75, 0.95)
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value; freely settable."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Weighted sample accumulator with quantile export.
+
+    Samples are held exactly up to ``max_samples``; beyond that the
+    sample is compacted by merging adjacent (sorted) pairs into their
+    weighted midpoint, halving the footprint while preserving the
+    weighted quantiles to within one merged pair.  Compaction is
+    deterministic, so identical runs export identical snapshots.
+    """
+
+    __slots__ = ("name", "help", "max_samples", "count", "total",
+                 "weight_total", "_values", "_weights")
+
+    def __init__(self, name: str, help: str = "",
+                 max_samples: int = 65536) -> None:
+        if max_samples < 2:
+            raise ValueError("histogram needs max_samples >= 2")
+        self.name = name
+        self.help = help
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.weight_total = 0.0
+        self._values: List[float] = []
+        self._weights: List[float] = []
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ValueError(f"histogram {self.name}: negative weight")
+        if value != value:  # NaN
+            raise ValueError(f"histogram {self.name}: NaN observation")
+        self.count += 1
+        self.total += value * weight
+        self.weight_total += weight
+        self._values.append(float(value))
+        self._weights.append(float(weight))
+        if len(self._values) > self.max_samples:
+            self._compact()
+
+    def _compact(self) -> None:
+        paired = sorted(zip(self._values, self._weights))
+        values: List[float] = []
+        weights: List[float] = []
+        for index in range(0, len(paired) - 1, 2):
+            (v1, w1), (v2, w2) = paired[index], paired[index + 1]
+            w = w1 + w2
+            values.append((v1 * w1 + v2 * w2) / w if w else (v1 + v2) / 2)
+            weights.append(w)
+        if len(paired) % 2:
+            values.append(paired[-1][0])
+            weights.append(paired[-1][1])
+        self._values = values
+        self._weights = weights
+
+    def quantiles(
+        self, qs: Sequence[float] = EXPORT_QUANTILES
+    ) -> List[float]:
+        """Demand-weighted quantiles over the retained sample."""
+        if not self._values or self.weight_total <= 0:
+            return [0.0 for _ in qs]
+        return weighted_quantiles(self._values, self._weights, qs)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.weight_total if self.weight_total else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        row = {
+            "count": self.count,
+            "weight": self.weight_total,
+            "mean": self.mean,
+        }
+        for q, value in zip(EXPORT_QUANTILES, self.quantiles()):
+            row[f"p{int(round(q * 100))}"] = value
+        return row
+
+
+class MetricsRegistry:
+    """Named instruments plus snapshot-time collectors."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- instrument access (get-or-create) ------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        self._check_free(name, self._counters)
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = Counter(name, help)
+            self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        self._check_free(name, self._gauges)
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = Gauge(name, help)
+            self._gauges[name] = instrument
+        return instrument
+
+    def histogram(self, name: str, help: str = "",
+                  max_samples: int = 65536) -> Histogram:
+        self._check_free(name, self._histograms)
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = Histogram(name, help, max_samples=max_samples)
+            self._histograms[name] = instrument
+        return instrument
+
+    def _check_free(self, name: str, own: Dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own and name in kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a "
+                    f"different instrument kind")
+
+    # -- collectors ------------------------------------------------------
+
+    def register_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Add a callable run at every snapshot to refresh gauges."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        for collector in self._collectors:
+            collector(self)
+
+    # -- export ----------------------------------------------------------
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter or gauge (collectors NOT run)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        return default
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Run collectors, then export every instrument, sorted."""
+        self.collect()
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].snapshot()
+                           for name in sorted(self._histograms)},
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_lines(self) -> List[str]:
+        """Human-readable one-line-per-metric rendering."""
+        snap = self.snapshot()
+        out: List[str] = []
+        for name, value in snap["counters"].items():
+            out.append(f"counter    {name:<40} {value:g}")
+        for name, value in snap["gauges"].items():
+            out.append(f"gauge      {name:<40} {value:g}")
+        for name, row in snap["histograms"].items():
+            out.append(
+                f"histogram  {name:<40} n={row['count']:g} "
+                f"mean={row['mean']:.3f} p50={row['p50']:.3f} "
+                f"p95={row['p95']:.3f}")
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument and collector."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._collectors.clear()

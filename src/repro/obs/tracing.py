@@ -1,0 +1,221 @@
+"""Per-query span-tree tracing.
+
+The paper's analysis is built from per-query logs of the production
+system (Section 4.2: every resolution and every RUM beacon carries
+enough context to attribute performance to a mapping decision).  The
+:class:`QueryTracer` reproduces that observability: one *trace* per
+client session, holding a tree of *spans* -- stub hop, LDNS recursion,
+per-upstream network hops, authoritative dispatch, mapping decision,
+and load-balancer pick -- each annotated with attributes (RTT, cache
+outcome, ECS scope, chosen cluster).
+
+Design constraints, in order:
+
+* **Zero behaviour change.** Tracing observes; it never influences the
+  traced code.  All simulation state (RNG draws, caches, counters) is
+  identical with tracing on or off.
+* **Determinism.** Span ids are sequential per trace, there are no
+  wall-clock timestamps (the simulator's ``now`` is an attribute like
+  any other), and exports sort keys -- so one deterministic scenario
+  replayed twice produces byte-identical trace exports.
+* **Bounded memory.** Finished traces live in a ring buffer of
+  ``max_traces``; heavy scenarios keep the newest traces and count the
+  dropped ones.
+* **Cheap when idle.** With no active trace (or ``enabled=False``),
+  :meth:`span` returns a shared no-op context manager: the hot DNS
+  path pays one attribute check per hop.
+
+Timeout accounting convention: a network hop whose destination never
+answers carries ``timeout=True``; the querying resolver separately
+burns its retry timer (``_TIMEOUT_PENALTY_MS``).  Consumers summing
+span RTTs to reconstruct a resolution's latency must add that penalty
+per timed-out hop -- the invariant test suite pins exactly this
+identity.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+
+#: Decimal places floats are rounded to in exports, keeping serialized
+#: traces stable and readable without losing sub-microsecond detail.
+EXPORT_FLOAT_DECIMALS = 6
+
+
+class Span:
+    """One node of a trace tree: a named operation with attributes."""
+
+    __slots__ = ("span_id", "name", "attrs", "children")
+
+    def __init__(self, span_id: int, name: str, attrs: Dict) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+
+    def set(self, **attrs) -> "Span":
+        """Attach/overwrite attributes on this span."""
+        self.attrs.update(attrs)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendant spans (including self) with this name."""
+        return [span for span in self.walk() if span.name == name]
+
+    def first(self, name: str) -> Optional["Span"]:
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form with deterministically rounded floats."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "attrs": {key: _round(value)
+                      for key, value in sorted(self.attrs.items())},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def _round(value):
+    if isinstance(value, float):
+        return round(value, EXPORT_FLOAT_DECIMALS)
+    return value
+
+
+class _SpanContext:
+    """Context manager entering/leaving one span on the tracer stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "QueryTracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = self._tracer._stack
+        assert stack and stack[-1] is self._span, "unbalanced span exit"
+        stack.pop()
+        if not stack:
+            self._tracer._finish(self._span)
+
+
+class _NullSpan:
+    """Shared no-op span: absorbs writes when tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class QueryTracer:
+    """Records structured per-query span trees into a ring buffer."""
+
+    def __init__(self, enabled: bool = True, max_traces: int = 256,
+                 sample_every: int = 1) -> None:
+        if max_traces < 1:
+            raise ValueError("need room for at least one trace")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.enabled = enabled
+        self.max_traces = max_traces
+        self.sample_every = sample_every
+        self.traces: List[Span] = []
+        self.started = 0
+        self.sampled = 0
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._next_span_id = 0
+
+    # -- recording -------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while a sampled trace is open."""
+        return bool(self._stack)
+
+    def trace(self, name: str, **attrs):
+        """Open a root span (one per query/session).
+
+        Every ``sample_every``-th call is recorded; the rest return the
+        shared no-op context so nested :meth:`span` calls cost one
+        check.  Counting is deterministic, so sampling never perturbs
+        replay.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        self.started += 1
+        if (self.started - 1) % self.sample_every:
+            return NULL_SPAN
+        self.sampled += 1
+        self._next_span_id = 0
+        return _SpanContext(self, self._make_span(name, attrs))
+
+    def span(self, name: str, **attrs):
+        """Open a child span under the currently active span."""
+        if not self._stack:
+            return NULL_SPAN
+        span = self._make_span(name, attrs)
+        self._stack[-1].children.append(span)
+        return _SpanContext(self, span)
+
+    def event(self, name: str, **attrs):
+        """Attach a leaf span (no children) to the active span."""
+        if not self._stack:
+            return NULL_SPAN
+        span = self._make_span(name, attrs)
+        self._stack[-1].children.append(span)
+        return span
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def _make_span(self, name: str, attrs: Dict) -> Span:
+        span = Span(self._next_span_id, name, attrs)
+        self._next_span_id += 1
+        return span
+
+    def _finish(self, root: Span) -> None:
+        self.traces.append(root)
+        if len(self.traces) > self.max_traces:
+            del self.traces[0]
+            self.dropped += 1
+
+    # -- export ----------------------------------------------------------
+
+    def export(self) -> List[Dict]:
+        """All retained traces as JSON-ready dicts (deterministic)."""
+        return [trace.to_dict() for trace in self.traces]
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.export(), indent=indent, sort_keys=True)
+
+    def clear(self) -> None:
+        self.traces.clear()
+        self.started = 0
+        self.sampled = 0
+        self.dropped = 0
+        self._stack.clear()

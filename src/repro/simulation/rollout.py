@@ -145,6 +145,7 @@ def run_rollout(world: World,
         median_public_distance=medians,
     )
 
+    registry = world.obs.registry
     for day in range(config.n_days):
         # --- roll-out progress: flip the next tranche of resolvers ----
         fraction = config.rollout_fraction(day)
@@ -152,6 +153,9 @@ def run_rollout(world: World,
         world.enable_ecs(public_ids[:n_enabled],
                          source_prefix_len=config.ecs_source_len)
         result.ecs_resolvers_per_day[day] = len(world.ecs_enabled_ids())
+        registry.gauge("rollout.day").set(day)
+        registry.gauge("rollout.ecs_resolvers").set(
+            result.ecs_resolvers_per_day[day])
 
         # --- measurement volume grows month over month -----------------
         month = day // 30
@@ -183,5 +187,7 @@ def run_rollout(world: World,
             ))
         result.sessions_per_day[day] = sessions_today
         result.requests_per_day[day] = requests_today
+        registry.counter("rollout.sessions").inc(sessions_today)
+        registry.counter("rollout.requests").inc(requests_today)
 
     return result

@@ -87,11 +87,27 @@ def simulate_session(
     page = page or provider.pick_page(rng)
     client_ip = block.prefix.network | rng.randint(1, 254)
 
+    tracer = world.obs.tracer
+    with tracer.trace("session", block=str(block.prefix),
+                      provider=provider.name) as root:
+        result = _run_session(world, block, now, rng, provider, page,
+                              client_ip, account_load, root)
+    _record_session_metrics(world.obs.registry, block, result)
+    return result
+
+
+def _run_session(world, block, now, rng, provider, page, client_ip,
+                 account_load, root) -> SessionResult:
     # --- DNS ----------------------------------------------------------------
     resolver_id = block.pick_ldns(rng)
     ldns = world.ldns_registry[resolver_id]
     stub = StubResolver(client_ip, world.network)
-    resolution = stub.resolve(provider.domain, ldns, now)
+    tracer = world.obs.tracer
+    with tracer.span("dns", resolver=resolver_id) as dns_span:
+        resolution = stub.resolve(provider.domain, ldns, now)
+        dns_span.set(dns_ms=resolution.dns_time_ms,
+                     cache_hit=resolution.ldns_cache_hit,
+                     upstream_queries=resolution.upstream_queries)
     if not resolution.ok:
         raise RuntimeError(
             f"resolution failed for {provider.domain} via {resolver_id}: "
@@ -156,6 +172,10 @@ def simulate_session(
                     if ip in world.deployments.server_index]
         spread_load(answered, rps=0.01 * requests)
 
+    root.set(cluster=cluster.cluster_id, resolver=resolver_id,
+             rtt_ms=rtt, connect_ms=connect_ms, ttfb_ms=ttfb_ms,
+             download_ms=download_ms, requests=requests,
+             edge_cache_hits=cache_hits)
     meta = world.internet.resolvers[resolver_id]
     return SessionResult(
         block=block,
@@ -176,6 +196,25 @@ def simulate_session(
         requests=requests,
         edge_cache_hits=cache_hits,
     )
+
+
+def _record_session_metrics(registry, block: ClientBlock,
+                            result: SessionResult) -> None:
+    """Session-level registry metrics (demand-weighted histograms)."""
+    registry.counter("sessions.completed").inc()
+    registry.counter("sessions.requests").inc(result.requests)
+    registry.counter("sessions.edge_cache_hits").inc(
+        result.edge_cache_hits)
+    if result.ecs_used:
+        registry.counter("sessions.ecs_used").inc()
+    weight = block.demand
+    registry.histogram("session.dns_ms").observe(result.dns_ms, weight)
+    registry.histogram("session.rtt_ms").observe(result.rtt_ms, weight)
+    registry.histogram("session.ttfb_ms").observe(result.ttfb_ms, weight)
+    registry.histogram("session.page_load_ms").observe(
+        result.page_load_ms, weight)
+    registry.histogram("session.mapping_distance_miles").observe(
+        result.mapping_distance_miles, weight)
 
 
 def _with_noise(rtt_ms: float, rng: random.Random,

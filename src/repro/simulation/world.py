@@ -42,6 +42,7 @@ from repro.dnssrv.transport import AuthorityDirectory, Network
 from repro.geo.cities import city_index
 from repro.measurement.querylog import QueryLog
 from repro.net.latency import LatencyModel
+from repro.obs import Observability, register_world_collectors
 from repro.topology.internet import Internet, InternetConfig, build_internet
 
 CDN_ZONE = "cdn.example"
@@ -100,6 +101,10 @@ class World:
     nameservers: List[AuthoritativeServer]
     ldns_registry: Dict[str, RecursiveResolver]
     query_log: QueryLog
+    obs: Observability = field(default_factory=Observability)
+    """The world's observability plane: every component shares this
+    registry + tracer; ``register_world_collectors`` exposes component
+    internals as canonical metrics at snapshot time."""
 
     def set_policy(self, policy: MappingPolicy) -> None:
         """Swap the mapping policy (NS / EU / CANS) world-wide."""
@@ -165,9 +170,10 @@ def build_world(config: Optional[WorldConfig] = None,
     """Build and wire a complete world from a config."""
     config = config or WorldConfig.small()
     rng = random.Random(config.seed ^ 0xC0FFEE)
+    obs = Observability()
 
     internet = build_internet(config.internet, seed=config.seed)
-    network = Network(internet.geodb, LatencyModel())
+    network = Network(internet.geodb, LatencyModel(), obs=obs)
 
     deployments = build_deployments(
         config.n_deployments,
@@ -185,7 +191,7 @@ def build_world(config: Optional[WorldConfig] = None,
     mapping_policy = policy or EUMappingPolicy(internet.geodb)
     mapping = MappingSystem(
         deployments, catalog, mapping_policy, scorer,
-        candidate_index=CandidateIndex(deployments))
+        candidate_index=CandidateIndex(deployments), obs=obs)
 
     # --- authoritative name servers inside CDN clusters -------------------
     nameservers: List[AuthoritativeServer] = []
@@ -193,7 +199,8 @@ def build_world(config: Optional[WorldConfig] = None,
         list(deployments.clusters.values()), config.n_nameservers, rng)
     for index, cluster in enumerate(ns_clusters):
         ns_ip = (cluster.servers[0].ip & 0xFFFFFF00) | 200
-        server = AuthoritativeServer(ns_ip, f"ns{index}.{CDN_ZONE}")
+        server = AuthoritativeServer(ns_ip, f"ns{index}.{CDN_ZONE}",
+                                     obs=obs)
         server.attach_zone(CDN_ZONE, mapping)
         server.attach_zone(WHOAMI_NAME, WhoAmIZone(WHOAMI_NAME))
         network.register(server)
@@ -217,7 +224,7 @@ def build_world(config: Optional[WorldConfig] = None,
         # The provider's own DNS runs next to its origin.
         provider_ns_ip = (origin.ip & 0xFFFFFF00) | 53
         provider_auth = AuthoritativeServer(
-            provider_ns_ip, f"ns.{provider.name}.example")
+            provider_ns_ip, f"ns.{provider.name}.example", obs=obs)
         provider_zone = provider.domain.split(".", 1)[1]
         provider_auth.attach_zone(provider_zone, zone)
         network.register(provider_auth)
@@ -232,6 +239,7 @@ def build_world(config: Optional[WorldConfig] = None,
             directory=directory,
             ecs_enabled=False,
             name=resolver_id,
+            obs=obs,
         )
         network.register(ldns)
         ldns_registry[resolver_id] = ldns
@@ -246,7 +254,7 @@ def build_world(config: Optional[WorldConfig] = None,
     )
     network.add_sink(query_log)
 
-    return World(
+    world = World(
         config=config,
         internet=internet,
         deployments=deployments,
@@ -259,7 +267,10 @@ def build_world(config: Optional[WorldConfig] = None,
         nameservers=nameservers,
         ldns_registry=ldns_registry,
         query_log=query_log,
+        obs=obs,
     )
+    register_world_collectors(obs.registry, world)
+    return world
 
 
 def _spread_choice(clusters, count: int, rng: random.Random):

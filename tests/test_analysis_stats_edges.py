@@ -1,0 +1,98 @@
+"""Edge-case coverage for the canonical weighted statistics.
+
+Every metric export (histogram snapshots, figures, reports) routes
+through ``repro.analysis.stats``; these tests pin its behaviour at the
+boundaries: degenerate weights, single samples, the q=0/q=1 endpoints,
+and NaN rejection.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    box_stats,
+    weighted_cdf,
+    weighted_mean,
+    weighted_quantile,
+    weighted_quantiles,
+)
+
+
+class TestDegenerateWeights:
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="total weight"):
+            weighted_quantiles([1.0, 2.0, 3.0], [0.0, 0.0, 0.0], [0.5])
+        with pytest.raises(ValueError, match="total weight"):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            weighted_quantile([1.0, 2.0], [1.0, -0.5], 0.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            weighted_quantile([], [], 0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            weighted_quantile([1.0, 2.0], [1.0], 0.5)
+
+    def test_zero_weight_samples_never_selected(self):
+        # A zero-weight outlier must not surface at any quantile.
+        values = [1.0, 2.0, 1000.0]
+        weights = [1.0, 1.0, 0.0]
+        assert weighted_quantile(values, weights, 1.0) == 2.0
+
+
+class TestSingleSample:
+    def test_every_quantile_is_the_sample(self):
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert weighted_quantile([42.0], [3.0], q) == 42.0
+
+    def test_box_stats_collapse(self):
+        box = box_stats([7.0], [1.0])
+        assert box.as_tuple() == (7.0,) * 5
+
+
+class TestQuantileEndpoints:
+    def test_q0_is_minimum_and_q1_is_maximum(self):
+        values = [9.0, 1.0, 5.0, 3.0]
+        weights = [1.0, 2.0, 1.0, 1.0]
+        assert weighted_quantile(values, weights, 0.0) == 1.0
+        assert weighted_quantile(values, weights, 1.0) == 9.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            weighted_quantile([1.0], [1.0], -0.01)
+        with pytest.raises(ValueError, match="out of range"):
+            weighted_quantile([1.0], [1.0], 1.01)
+
+    def test_batch_order_matches_scalar(self):
+        values = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0]
+        weights = [1.0, 1.0, 2.0, 3.0, 1.0, 1.0]
+        qs = [0.0, 0.1, 0.5, 0.9, 1.0]
+        batch = weighted_quantiles(values, weights, qs)
+        assert batch == [weighted_quantile(values, weights, q)
+                         for q in qs]
+        assert batch == sorted(batch)
+
+
+class TestNanRejection:
+    def test_nan_value_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            weighted_quantile([1.0, float("nan")], [1.0, 1.0], 0.5)
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            weighted_mean([1.0, 2.0], [1.0, float("nan")])
+
+    def test_nan_rejected_by_cdf_too(self):
+        with pytest.raises(ValueError, match="NaN"):
+            weighted_cdf([math.nan], [1.0], [0.0, 1.0])
+
+    def test_infinities_still_allowed(self):
+        # Infinite values sort correctly; only NaN poisons ordering.
+        assert weighted_quantile([math.inf, 1.0], [1.0, 1.0], 0.0) == 1.0
+        assert math.isinf(
+            weighted_quantile([math.inf, 1.0], [1.0, 1.0], 1.0))

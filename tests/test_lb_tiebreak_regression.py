@@ -1,0 +1,125 @@
+"""Adversarial tie-break regression for the batch load-balancer path.
+
+``GlobalLoadBalancer.pick_clusters_batch`` must pick exactly what the
+scalar ``pick_cluster`` would -- including the ``(score, cluster_id)``
+tie break, the capacity-ceiling spillover walk, and the least-loaded
+fallback -- and must advance the ``decisions``/``spillovers`` counters
+identically.  The adversarial setup here makes every cluster score
+*equal* (so ordering rests purely on the tie break) and saturates
+capacity (so the spillover/fallback paths are exercised, not just the
+happy first-choice path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cdn.deployments import Cluster, DeploymentPlan
+from repro.cdn.server import EdgeServer
+from repro.core.loadbalancer import (
+    GlobalLoadBalancer,
+    LoadBalancerConfig,
+)
+from repro.core.policies import MapTarget
+from repro.net.geometry import GeoPoint
+
+
+class ConstantScorer:
+    """Every (cluster, target) pair scores identically: all ties."""
+
+    def __init__(self, score: float = 1.0) -> None:
+        self._score = score
+
+    def score(self, cluster, target) -> float:
+        return self._score
+
+    def score_weighted(self, cluster, weighted) -> float:
+        return self._score
+
+    def score_targets(self, clusters, targets) -> np.ndarray:
+        return np.full((len(clusters), len(targets)), self._score)
+
+
+def _make_plan(n_clusters: int, utilizations) -> DeploymentPlan:
+    clusters = {}
+    for index in range(n_clusters):
+        cluster_id = f"cl-{index:02d}"
+        cluster = Cluster(cluster_id=cluster_id, city="x", country="XX",
+                          geo=GeoPoint(0.0, float(index)), asn=64512)
+        server = EdgeServer(ip=10_000 + index, cluster_id=cluster_id,
+                            capacity_rps=1000.0)
+        server.add_load(utilizations[index] * 1000.0)
+        cluster.servers.append(server)
+        clusters[cluster_id] = cluster
+    return DeploymentPlan(clusters=clusters)
+
+
+def _targets(n: int):
+    return [MapTarget(geo=GeoPoint(float(i), 0.0), asn=100 + i)
+            for i in range(n)]
+
+
+CASES = {
+    "all_saturated": [0.99] * 8,
+    "all_equally_saturated": [0.90] * 8,
+    "first_saturated": [0.99, 0.99, 0.10] + [0.99] * 5,
+    "headroom_everywhere": [0.10] * 8,
+    "mixed": [0.99, 0.10, 0.99, 0.86, 0.05, 0.99, 0.85, 0.99],
+}
+
+
+class TestBatchMatchesScalarUnderTies:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_picks_and_counters_identical(self, case):
+        utilizations = CASES[case]
+        config = LoadBalancerConfig(candidate_limit=4)
+        targets = _targets(6)
+
+        scalar_lb = GlobalLoadBalancer(
+            _make_plan(len(utilizations), utilizations),
+            ConstantScorer(), config)
+        batch_lb = GlobalLoadBalancer(
+            _make_plan(len(utilizations), utilizations),
+            ConstantScorer(), config)
+
+        scalar_picks = [scalar_lb.pick_cluster(t) for t in targets]
+        batch_picks = batch_lb.pick_clusters_batch(targets)
+
+        assert ([c.cluster_id for c in scalar_picks]
+                == [c.cluster_id for c in batch_picks])
+        assert batch_lb.decisions == scalar_lb.decisions == len(targets)
+        assert batch_lb.spillovers == scalar_lb.spillovers
+
+    def test_saturated_ties_fall_back_to_least_loaded(self):
+        """All candidates over the ceiling: both paths degrade to the
+        least-loaded candidate and count one spillover per decision."""
+        utilizations = [0.99, 0.95, 0.99, 0.97] + [0.99] * 4
+        config = LoadBalancerConfig(candidate_limit=4)
+        targets = _targets(3)
+        lb = GlobalLoadBalancer(_make_plan(8, utilizations),
+                                ConstantScorer(), config)
+        picks = lb.pick_clusters_batch(targets)
+        # cl-01 is the least loaded inside the candidate window.
+        assert [c.cluster_id for c in picks] == ["cl-01"] * 3
+        assert lb.spillovers == 3
+        assert lb.decisions == 3
+
+    def test_equal_scores_rank_by_cluster_id(self):
+        lb = GlobalLoadBalancer(_make_plan(5, [0.0] * 5),
+                                ConstantScorer(), LoadBalancerConfig())
+        ranked = lb.rank_clusters(_targets(1)[0])
+        assert [c.cluster_id for c in ranked] == [
+            f"cl-{i:02d}" for i in range(5)]
+        batch_ranked = lb.rank_clusters_batch(_targets(1))[0]
+        assert ([c.cluster_id for c in batch_ranked]
+                == [c.cluster_id for c in ranked])
+
+    def test_spillover_attributed_to_scalar_path_decisions(self):
+        """Regression: batch decisions with a saturated best choice
+        must count spillovers exactly once per affected target."""
+        utilizations = [0.99, 0.10, 0.10, 0.10, 0.10]
+        lb = GlobalLoadBalancer(
+            _make_plan(5, utilizations), ConstantScorer(),
+            LoadBalancerConfig(candidate_limit=4))
+        picks = lb.pick_clusters_batch(_targets(4))
+        assert [c.cluster_id for c in picks] == ["cl-01"] * 4
+        assert lb.spillovers == 4

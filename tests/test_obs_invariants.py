@@ -1,0 +1,147 @@
+"""Cross-cutting observability invariants.
+
+Three pinned identities:
+
+* **Cache accounting** -- ``CacheStats.hits + misses == lookups`` holds
+  under arbitrary randomized lookup/store/expiry workloads (every
+  lookup is classified exactly once).
+* **Trace RTT sum** -- a session's reported DNS time equals the stub
+  hop RTT plus every upstream hop RTT in its trace, plus the resolver's
+  retry timer (``_TIMEOUT_PENALTY_MS``) once per timed-out hop.
+* **ECS share bounds** -- ``StatusReport.mapping_ecs_share`` stays in
+  [0, 1], including on a world with zero resolutions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reporting import build_status_report
+from repro.dnsproto.message import ResourceRecord
+from repro.dnsproto.rdata import ARdata
+from repro.dnsproto.types import QType
+from repro.dnssrv.cache import EcsAwareCache
+from repro.dnssrv.recursive import _TIMEOUT_PENALTY_MS
+from repro.dnssrv.stub import StubResolver
+from repro.net.ipv4 import parse_ipv4, prefix_of
+from repro.obs.dump import run_scenario
+from repro.simulation.world import WorldConfig, build_world
+
+names = st.sampled_from(["a.example", "b.example", "c.example"])
+clients = st.integers(min_value=0x01000000, max_value=0x01FFFFFF)
+scope_lens = st.sampled_from([None, 16, 24])
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("lookup"), names, clients),
+        st.tuples(st.just("store"), names, scope_lens),
+    ),
+    max_size=150,
+)
+
+
+class TestCacheStatsInvariant:
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_hits_plus_misses_equals_lookups(self, ops):
+        cache = EcsAwareCache(max_entries=4)
+        record = ResourceRecord("x", QType.A, 5,
+                                ARdata(parse_ipv4("9.9.9.9")))
+        lookups_issued = 0
+        now = 0.0
+        for op in ops:
+            now += 1.7  # entries (ttl 5) expire under sustained load
+            if op[0] == "lookup":
+                cache.lookup(op[1], QType.A, op[2], now)
+                lookups_issued += 1
+            else:
+                scope = (None if op[2] is None
+                         else prefix_of(0x01000000, op[2]))
+                cache.store(op[1], QType.A, scope, (record,), 5, now)
+            stats = cache.stats.as_dict()
+            assert stats["hits"] + stats["misses"] == stats["lookups"]
+            assert stats["lookups"] == lookups_issued
+            assert all(value >= 0 for value in stats.values())
+            assert len(cache) <= cache.max_entries
+
+
+def _hop_rtt_sum(root) -> float:
+    """Reconstruct resolution latency from a trace per the timeout
+    accounting convention documented in repro.obs.tracing."""
+    total = 0.0
+    for stub_hop in root.find("stub.hop"):
+        total += stub_hop.attrs["rtt_ms"]
+    for hop in root.find("hop"):
+        total += hop.attrs["rtt_ms"]
+        if hop.attrs.get("timeout"):
+            total += _TIMEOUT_PENALTY_MS
+    return total
+
+
+class TestTraceRttSum:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return run_scenario(scale="tiny", sessions=10, seed=11,
+                            ecs=True)
+
+    def test_session_dns_time_equals_hop_sum(self, world):
+        assert world.obs.tracer.traces, "scenario produced no traces"
+        for root in world.obs.tracer.traces:
+            dns = root.first("dns")
+            assert dns is not None
+            assert dns.attrs["dns_ms"] == pytest.approx(
+                _hop_rtt_sum(root), abs=1e-9)
+
+    def test_recursive_rtt_equals_its_hop_sum(self, world):
+        for root in world.obs.tracer.traces:
+            for recursive in root.find("recursive"):
+                hops = recursive.find("hop")
+                expected = sum(h.attrs["rtt_ms"] for h in hops) + (
+                    _TIMEOUT_PENALTY_MS
+                    * sum(1 for h in hops if h.attrs.get("timeout")))
+                assert recursive.attrs["upstream_rtt_ms"] == (
+                    pytest.approx(expected, abs=1e-9))
+
+    def test_invariant_holds_across_timeouts(self):
+        """Kill the LDNS's preferred CDN authority so the resolution
+        path includes a timed-out hop plus a failover."""
+        world = build_world(WorldConfig.tiny())
+        provider = world.catalog.providers[0]
+        resolver_id = sorted(world.ldns_registry)[0]
+        ldns = world.ldns_registry[resolver_id]
+        preferred = min(
+            world.nameservers,
+            key=lambda ns: world.network.rtt_ms(ldns.ip, ns.ip))
+        preferred.fail()
+
+        client_ip = world.internet.blocks[0].prefix.network | 9
+        stub = StubResolver(client_ip, world.network)
+        tracer = world.obs.tracer
+        with tracer.trace("probe") as root:
+            resolution = stub.resolve(provider.domain, ldns, now=0.0)
+        assert resolution.ok
+        hops = root.find("hop")
+        assert any(h.attrs.get("timeout") for h in hops), (
+            "expected a timed-out hop after killing the preferred "
+            "authority")
+        assert ldns.failovers >= 1
+        assert resolution.dns_time_ms == pytest.approx(
+            _hop_rtt_sum(root), abs=1e-9)
+
+
+class TestEcsShareBounds:
+    def test_zero_resolutions_edge(self):
+        world = build_world(WorldConfig.tiny())
+        report = build_status_report(world)
+        assert report.mapping_resolutions == 0
+        assert report.mapping_ecs_share == 0.0
+        assert report.decision_cache_hit_rate == 0.0
+        assert report.ldns_cache_hit_rate == 0.0
+
+    def test_share_in_unit_interval_after_mixed_traffic(self):
+        world = run_scenario(scale="tiny", sessions=6, seed=11,
+                             ecs=True)
+        report = build_status_report(world)
+        assert report.mapping_resolutions > 0
+        assert 0.0 <= report.mapping_ecs_share <= 1.0
+        assert 0.0 <= report.decision_cache_hit_rate <= 1.0
+        assert 0.0 <= report.ldns_cache_hit_rate <= 1.0

@@ -1,0 +1,170 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import weighted_quantiles
+from repro.obs.metrics import (
+    EXPORT_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        assert gauge.value == 7.0
+        gauge.inc(0.5)
+        assert gauge.value == 7.5
+        gauge.set(-2)  # gauges may go negative
+        assert gauge.value == -2.0
+
+
+class TestHistogram:
+    def test_nan_observation_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Histogram("h").observe(float("nan"))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative weight"):
+            Histogram("h").observe(1.0, weight=-1.0)
+
+    def test_quantiles_match_canonical_implementation(self):
+        hist = Histogram("h")
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        weights = [1.0, 2.0, 1.0, 4.0, 2.0]
+        for v, w in zip(values, weights):
+            hist.observe(v, w)
+        assert hist.quantiles() == weighted_quantiles(
+            values, weights, EXPORT_QUANTILES)
+
+    def test_empty_histogram_exports_zeros(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0
+        assert snap["mean"] == 0.0
+
+    def test_mean_is_weighted(self):
+        hist = Histogram("h")
+        hist.observe(10.0, weight=3.0)
+        hist.observe(0.0, weight=1.0)
+        assert hist.mean == pytest.approx(7.5)
+
+    def test_compaction_preserves_count_weight_and_mean(self):
+        hist = Histogram("h", max_samples=8)
+        for i in range(100):
+            hist.observe(float(i % 17), weight=1.0 + (i % 3))
+        assert hist.count == 100
+        assert len(hist._values) <= 8
+        expected_weight = sum(1.0 + (i % 3) for i in range(100))
+        assert hist.weight_total == pytest.approx(expected_weight)
+        expected_mean = sum(
+            (i % 17) * (1.0 + (i % 3)) for i in range(100)
+        ) / expected_weight
+        assert hist.mean == pytest.approx(expected_mean)
+
+    def test_compaction_keeps_quantiles_close(self):
+        exact = Histogram("exact")
+        compact = Histogram("compact", max_samples=64)
+        for i in range(2000):
+            value = float((i * 37) % 500)
+            exact.observe(value)
+            compact.observe(value)
+        for q_exact, q_compact in zip(exact.quantiles(),
+                                      compact.quantiles()):
+            assert abs(q_exact - q_compact) <= 25.0  # 5% of the range
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_compaction_deterministic(self, values):
+        a = Histogram("a", max_samples=16)
+        b = Histogram("b", max_samples=16)
+        for v in values:
+            a.observe(v)
+            b.observe(v)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_cross_kind_name_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ValueError, match="different instrument kind"):
+            registry.gauge("metric")
+        with pytest.raises(ValueError, match="different instrument kind"):
+            registry.histogram("metric")
+
+    def test_value_reads_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        assert registry.value("c") == 4
+        assert registry.value("g") == 2.5
+        assert registry.value("missing", default=-1.0) == -1.0
+
+    def test_collector_runs_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"n": 0}
+        registry.register_collector(
+            lambda reg: reg.gauge("live").set(state["n"]))
+        state["n"] = 42
+        assert registry.snapshot()["gauges"]["live"] == 42.0
+        state["n"] = 43
+        assert registry.snapshot()["gauges"]["live"] == 43.0
+
+    def test_snapshot_sorted_and_json_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc(2)
+        registry.gauge("mid").set(1)
+        registry.histogram("hist").observe(3.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        first = registry.to_json()
+        second = registry.to_json()
+        assert first == second
+        assert json.loads(first)["counters"]["alpha"] == 2
+
+    def test_render_lines_covers_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(9)
+        registry.histogram("h").observe(1.0)
+        lines = registry.render_lines()
+        kinds = [line.split()[0] for line in lines]
+        assert kinds == ["counter", "gauge", "histogram"]
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.register_collector(lambda reg: reg.gauge("g").set(1))
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}

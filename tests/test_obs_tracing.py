@@ -1,0 +1,127 @@
+"""Unit tests for the per-query span tracer (repro.obs.tracing)."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import NULL_SPAN, QueryTracer, Span
+
+
+class TestSpanTree:
+    def test_nested_spans_build_a_tree(self):
+        tracer = QueryTracer()
+        with tracer.trace("session", who="client") as root:
+            with tracer.span("dns") as dns:
+                tracer.event("stub.hop", rtt_ms=0.8)
+                with tracer.span("recursive"):
+                    pass
+            dns.set(dns_ms=12.5)
+        assert len(tracer.traces) == 1
+        assert root.name == "session"
+        assert [child.name for child in root.children] == ["dns"]
+        assert [c.name for c in root.children[0].children] == [
+            "stub.hop", "recursive"]
+        assert root.children[0].attrs["dns_ms"] == 12.5
+
+    def test_span_ids_sequential_per_trace(self):
+        tracer = QueryTracer()
+        for _ in range(2):
+            with tracer.trace("t"):
+                with tracer.span("a"):
+                    tracer.event("b")
+        for trace in tracer.traces:
+            assert [span.span_id for span in trace.walk()] == [0, 1, 2]
+
+    def test_walk_find_first(self):
+        root = Span(0, "root", {})
+        child = Span(1, "hop", {"rtt_ms": 1.0})
+        grandchild = Span(2, "hop", {"rtt_ms": 2.0})
+        root.children.append(child)
+        child.children.append(grandchild)
+        assert [s.span_id for s in root.walk()] == [0, 1, 2]
+        assert len(root.find("hop")) == 2
+        assert root.first("hop") is child
+        assert root.first("missing") is None
+
+    def test_to_dict_sorts_attrs_and_rounds_floats(self):
+        span = Span(0, "s", {"b": 1.23456789, "a": "x"})
+        exported = span.to_dict()
+        assert list(exported["attrs"]) == ["a", "b"]
+        assert exported["attrs"]["b"] == 1.234568
+
+
+class TestTracerLifecycle:
+    def test_span_without_active_trace_is_noop(self):
+        tracer = QueryTracer()
+        assert tracer.span("orphan") is NULL_SPAN
+        assert tracer.event("orphan") is NULL_SPAN
+        assert tracer.current() is None
+        assert not tracer.active
+        assert tracer.traces == []
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = QueryTracer(enabled=False)
+        with tracer.trace("t"):
+            with tracer.span("child"):
+                pass
+        assert tracer.started == 0
+        assert tracer.traces == []
+
+    def test_null_span_absorbs_writes(self):
+        with NULL_SPAN as span:
+            assert span.set(anything=1) is NULL_SPAN
+
+    def test_sampling_records_every_nth(self):
+        tracer = QueryTracer(sample_every=3)
+        for index in range(9):
+            with tracer.trace("t", index=index):
+                tracer.event("e")
+        assert tracer.started == 9
+        assert tracer.sampled == 3
+        assert [t.attrs["index"] for t in tracer.traces] == [0, 3, 6]
+
+    def test_ring_buffer_keeps_newest(self):
+        tracer = QueryTracer(max_traces=4)
+        for index in range(10):
+            with tracer.trace("t", index=index):
+                pass
+        assert len(tracer.traces) == 4
+        assert tracer.dropped == 6
+        assert [t.attrs["index"] for t in tracer.traces] == [6, 7, 8, 9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryTracer(max_traces=0)
+        with pytest.raises(ValueError):
+            QueryTracer(sample_every=0)
+
+    def test_clear_resets_counters_and_traces(self):
+        tracer = QueryTracer()
+        with tracer.trace("t"):
+            pass
+        tracer.clear()
+        assert tracer.traces == []
+        assert tracer.started == tracer.sampled == tracer.dropped == 0
+
+
+class TestExportDeterminism:
+    @staticmethod
+    def _record(tracer):
+        with tracer.trace("session", block="1.2.3.0/24"):
+            with tracer.span("dns", resolver="r1") as dns:
+                tracer.event("stub.hop", rtt_ms=0.8123456789)
+                dns.set(dns_ms=42.0)
+
+    def test_identical_recordings_export_identical_json(self):
+        a, b = QueryTracer(), QueryTracer()
+        self._record(a)
+        self._record(b)
+        assert a.to_json() == b.to_json()
+        assert json.loads(a.to_json())[0]["name"] == "session"
+
+    def test_export_does_not_mutate_state(self):
+        tracer = QueryTracer()
+        self._record(tracer)
+        first = tracer.to_json()
+        assert tracer.to_json() == first
+        assert len(tracer.traces) == 1
