@@ -1,0 +1,174 @@
+"""``python -m repro.bench.regress`` -- perf-trajectory regression gate.
+
+Compares successive ``BENCH_*.json`` files (the per-PR perf reports
+written by :mod:`repro.bench.perf_report`) and fails when a paired
+scalar/batch speedup regresses beyond a tolerance -- the check that
+catches "someone un-vectorized a hot path" before it merges.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.regress BENCH_PR1.json \
+        BENCH_PR2.json BENCH_PR3.json
+    PYTHONPATH=src python -m repro.bench.regress --tolerance 0.5 ...
+    PYTHONPATH=src python -m repro.bench.regress --format json ...
+
+For every adjacent pair of files, each speedup present in both is
+compared: a bench regresses when ``new < old * (1 - tolerance)``.
+Exit status is non-zero iff any comparison regresses.  Both the
+``bench/v2`` schema (explicit ``speedups`` map) and the PR 1 flat
+schema (speedups derived from ``*_scalar``/``*_batch`` wall times)
+load transparently, so the whole checked-in trajectory is comparable.
+
+Tolerance guidance: wall-clock speedups are noisy across machines --
+the checked-in trajectory spans CI runners -- so the CI gate runs with
+a loose tolerance (0.6) to catch collapses (a vectorized path falling
+back to scalar shows up as a 10-50x speedup dropping to ~1x), while
+the default (0.2) suits same-machine before/after comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: A speedup below ``old * (1 - DEFAULT_TOLERANCE)`` is a regression.
+DEFAULT_TOLERANCE = 0.2
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One speedup compared across two successive reports."""
+
+    bench: str
+    old_path: str
+    new_path: str
+    old_speedup: float
+    new_speedup: float
+    threshold: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.new_speedup / self.old_speedup if self.old_speedup \
+            else float("inf")
+
+    def to_dict(self) -> Dict:
+        return {
+            "bench": self.bench,
+            "old": self.old_path,
+            "new": self.new_path,
+            "old_speedup": round(self.old_speedup, 3),
+            "new_speedup": round(self.new_speedup, 3),
+            "threshold": round(self.threshold, 3),
+            "ratio": round(self.ratio, 3),
+            "regressed": self.regressed,
+        }
+
+
+def derive_speedups(benches: Dict[str, Dict]) -> Dict[str, float]:
+    """``scalar/batch`` wall ratios from paired bench rows (the same
+    pairing rule :meth:`repro.bench.perf_report.PerfReport.speedups`
+    applies at report time)."""
+    out: Dict[str, float] = {}
+    for name in sorted(benches):
+        if not name.endswith("_batch"):
+            continue
+        scalar = benches.get(name[:-6] + "_scalar")
+        if scalar is None:
+            continue
+        out[name[:-6]] = round(
+            scalar["wall_s"] / max(benches[name]["wall_s"], 1e-9), 3)
+    return out
+
+
+def load_speedups(path: str) -> Dict[str, float]:
+    """Speedups from one bench file, whatever its schema generation.
+
+    ``bench/v2`` documents carry an explicit ``speedups`` map; the
+    PR 1 flat schema (bench name -> row) gets them derived from its
+    wall times.
+    """
+    with open(path) as handle:
+        doc = json.load(handle)
+    if isinstance(doc, dict) and "speedups" in doc:
+        return dict(doc["speedups"])
+    if isinstance(doc, dict) and "benches" in doc:
+        return derive_speedups(doc["benches"])
+    return derive_speedups(doc)
+
+
+def compare_pair(old_path: str, new_path: str,
+                 tolerance: float) -> List[Comparison]:
+    """Compare every speedup present in both files, sorted by name."""
+    old = load_speedups(old_path)
+    new = load_speedups(new_path)
+    out: List[Comparison] = []
+    for bench in sorted(set(old) & set(new)):
+        threshold = old[bench] * (1.0 - tolerance)
+        out.append(Comparison(
+            bench=bench, old_path=old_path, new_path=new_path,
+            old_speedup=old[bench], new_speedup=new[bench],
+            threshold=threshold,
+            regressed=new[bench] < threshold))
+    return out
+
+
+def compare_trajectory(paths: List[str],
+                       tolerance: float) -> List[Comparison]:
+    """Adjacent-pair comparisons across a whole BENCH_* trajectory."""
+    out: List[Comparison] = []
+    for old_path, new_path in zip(paths, paths[1:]):
+        out.extend(compare_pair(old_path, new_path, tolerance))
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regress", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+",
+                        help="BENCH_*.json files, oldest first")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional speedup loss per step "
+                             f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    args = parser.parse_args(argv)
+    if len(args.files) < 2:
+        parser.error("need at least two bench files to compare")
+    if not 0 <= args.tolerance < 1:
+        parser.error("tolerance must be in [0, 1)")
+
+    comparisons = compare_trajectory(args.files, args.tolerance)
+    regressions = [c for c in comparisons if c.regressed]
+
+    if args.format == "json":
+        print(json.dumps({
+            "tolerance": args.tolerance,
+            "comparisons": [c.to_dict() for c in comparisons],
+            "regressions": len(regressions),
+        }, indent=2, sort_keys=True))
+    else:
+        for c in comparisons:
+            marker = "REGRESSED" if c.regressed else "ok"
+            print(f"{marker:>9}  {c.bench:44s} "
+                  f"{c.old_speedup:8.2f}x -> {c.new_speedup:8.2f}x  "
+                  f"(floor {c.threshold:.2f}x)  "
+                  f"[{c.old_path} -> {c.new_path}]")
+        print(f"{len(comparisons)} comparisons, "
+              f"{len(regressions)} regressions "
+              f"(tolerance {args.tolerance:.0%})")
+    if regressions:
+        print("perf regression detected: speedups fell beyond "
+              f"{args.tolerance:.0%} of the previous report",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

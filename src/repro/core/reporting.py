@@ -51,6 +51,10 @@ class StatusReport:
     ldns_failovers: int = 0
     authoritative_queries: int = 0
     authoritative_truncations: int = 0
+    querylog_queries: int = 0
+    querylog_ecs_share: float = 0.0
+    """Share of logged authoritative queries carrying client-subnet --
+    the live roll-out progress number the monitor plane watches."""
 
     def lines(self) -> List[str]:
         """Human-readable rendering."""
@@ -69,6 +73,8 @@ class StatusReport:
             f"{self.ldns_failovers} failovers",
             f"  authoritative      {self.authoritative_queries} queries, "
             f"{self.authoritative_truncations} truncations",
+            f"  query log          {self.querylog_queries} logged, "
+            f"{self.querylog_ecs_share:.1%} ecs",
         ]
         for health in self.hottest_clusters:
             out.append(
@@ -156,4 +162,9 @@ def build_status_report(world, top_clusters: int = 5) -> StatusReport:
         ldns_failovers=int(gauges["ldns.failovers"]),
         authoritative_queries=int(gauges["auth.queries"]),
         authoritative_truncations=int(gauges["auth.truncations"]),
+        querylog_queries=int(gauges.get("querylog.queries", 0.0)),
+        querylog_ecs_share=(
+            gauges.get("querylog.ecs_queries", 0.0)
+            / gauges["querylog.queries"]
+            if gauges.get("querylog.queries") else 0.0),
     )

@@ -85,6 +85,22 @@ class QueryLog:
     def buckets(self) -> List[int]:
         return sorted(self._buckets_total)
 
+    def bucket_count(self, bucket: int, public_only: bool = False) -> int:
+        """Queries in one bucket -- O(1), unlike :meth:`rate_in` which
+        scans every bucket (per-day monitors poll this per step)."""
+        source = self._buckets_public if public_only else (
+            self._buckets_total)
+        return source.get(bucket, 0)
+
+    def bucket_rate(self, bucket: int, public_only: bool = False) -> float:
+        """Queries per second within one bucket -- O(1)."""
+        return self.bucket_count(bucket, public_only) / self.bucket_seconds
+
+    def ecs_share(self) -> float:
+        """Fraction of all counted queries that carried client-subnet."""
+        return (self.ecs_queries / self.total_queries
+                if self.total_queries else 0.0)
+
     def series(
         self, public_only: bool = False
     ) -> List[Tuple[int, float]]:

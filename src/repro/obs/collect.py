@@ -28,6 +28,8 @@ Canonical metric names exported for a wired world:
 ``auth.queries`` / ``responses`` /
 ``truncations`` / ``tcp_queries``     authoritative servers
 ``network.queries`` / ``bytes``       simulated wire
+``querylog.queries`` /
+``querylog.ecs_queries``              authoritative query-log totals
 ``edge.cache.requests`` / ``hits``    edge-server content caches
 ``clusters.total`` / ``alive`` /
 ``clusters.mean_utilization``         deployment health
@@ -97,6 +99,12 @@ def register_world_collectors(registry: MetricsRegistry, world) -> None:
 
         reg.gauge("network.queries").set(world.network.queries_sent)
         reg.gauge("network.bytes").set(world.network.bytes_sent)
+
+        # Query-log totals (world-shaped test doubles may omit the log).
+        query_log = getattr(world, "query_log", None)
+        if query_log is not None:
+            reg.gauge("querylog.queries").set(query_log.total_queries)
+            reg.gauge("querylog.ecs_queries").set(query_log.ecs_queries)
 
         clusters = list(world.deployments.clusters.values())
         alive = [c for c in clusters if c.alive]

@@ -9,6 +9,7 @@ Usage::
 
     PYTHONPATH=src python -m repro.obs.dump --scale tiny --sessions 25
     PYTHONPATH=src python -m repro.obs.dump --format text
+    PYTHONPATH=src python -m repro.obs.dump --format prom   # scrapable
     PYTHONPATH=src python -m repro.obs.dump --traces 2 --out obs.json
 
 The JSON payload is ``{"scenario": {...}, "metrics": {...},
@@ -75,8 +76,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="trace every Nth session")
     parser.add_argument("--traces", type=int, default=3,
                         help="traces to include (-1 = all retained)")
-    parser.add_argument("--format", choices=("json", "text"),
-                        default="json")
+    parser.add_argument("--format", choices=("json", "text", "prom"),
+                        default="json",
+                        help="json payload, human-readable table, or "
+                             "Prometheus text exposition")
     parser.add_argument("--out", default=None,
                         help="write to this path instead of stdout")
     args = parser.parse_args(argv)
@@ -97,12 +100,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
 
     if args.format == "text":
-        lines = world.obs.registry.render_lines()
         tracer = world.obs.tracer
-        lines.append(
+        # Header first: scenario seed + trace counts, so a byte-identity
+        # smoke failure is diagnosable from the CI log alone.
+        lines = [
+            "scenario   scale={scale} sessions={sessions} seed={seed} "
+            "ecs={ecs} sample_every={sample_every}".format(**scenario),
             f"traces     retained={len(tracer.traces)} "
-            f"sampled={tracer.sampled} dropped={tracer.dropped}")
+            f"sampled={tracer.sampled} dropped={tracer.dropped}",
+        ]
+        lines.extend(world.obs.registry.render_lines())
         text = "\n".join(lines) + "\n"
+    elif args.format == "prom":
+        text = "\n".join(world.obs.registry.render_prom()) + "\n"
     else:
         payload = build_payload(world, scenario, args.traces)
         text = json.dumps(payload, indent=2, sort_keys=True) + "\n"

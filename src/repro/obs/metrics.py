@@ -33,6 +33,7 @@ byte-identical JSON.
 from __future__ import annotations
 
 import json
+import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import weighted_quantiles
@@ -102,10 +103,18 @@ class Histogram:
         self._weights: List[float] = []
 
     def observe(self, value: float, weight: float = 1.0) -> None:
+        # Bad samples would silently poison every quantile export
+        # downstream (NaN sorts unpredictably, inf swallows the mean),
+        # so they are rejected at the door.
+        if not math.isfinite(weight):
+            raise ValueError(
+                f"histogram {self.name}: non-finite weight (NaN/inf)")
         if weight < 0:
             raise ValueError(f"histogram {self.name}: negative weight")
-        if value != value:  # NaN
-            raise ValueError(f"histogram {self.name}: NaN observation")
+        if not math.isfinite(value):
+            raise ValueError(
+                f"histogram {self.name}: non-finite observation "
+                "(NaN/inf)")
         self.count += 1
         self.total += value * weight
         self.weight_total += weight
@@ -247,9 +256,58 @@ class MetricsRegistry:
                 f"p95={row['p95']:.3f}")
         return out
 
+    def render_prom(self) -> List[str]:
+        """Prometheus text exposition (``# HELP``/``# TYPE`` + sorted
+        sample lines) so external scrapers can consume the registry.
+
+        Counters get the conventional ``_total`` suffix; histograms
+        export as summaries (quantile-labelled samples plus ``_sum`` /
+        ``_count``, where ``_sum`` is the demand-weighted total the
+        mean derives from).  Families are sorted by metric name, so
+        identical registries render byte-identical expositions.
+        """
+        self.collect()
+        out: List[str] = []
+        for name in sorted(self._counters):
+            counter = self._counters[name]
+            prom = _prom_name(name) + "_total"
+            out.append(f"# HELP {prom} {counter.help or name}")
+            out.append(f"# TYPE {prom} counter")
+            out.append(f"{prom} {_prom_value(counter.value)}")
+        for name in sorted(self._gauges):
+            gauge = self._gauges[name]
+            prom = _prom_name(name)
+            out.append(f"# HELP {prom} {gauge.help or name}")
+            out.append(f"# TYPE {prom} gauge")
+            out.append(f"{prom} {_prom_value(gauge.value)}")
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            prom = _prom_name(name)
+            out.append(f"# HELP {prom} {hist.help or name}")
+            out.append(f"# TYPE {prom} summary")
+            for q, value in zip(EXPORT_QUANTILES, hist.quantiles()):
+                out.append(f'{prom}{{quantile="{q:g}"}} '
+                           f"{_prom_value(value)}")
+            out.append(f"{prom}_sum {_prom_value(hist.total)}")
+            out.append(f"{prom}_count {_prom_value(hist.count)}")
+        return out
+
     def reset(self) -> None:
         """Drop every instrument and collector."""
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
         self._collectors.clear()
+
+
+def _prom_name(name: str) -> str:
+    """Registry name -> valid Prometheus metric name."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(value: float) -> str:
+    """Deterministic sample rendering (ints stay integral)."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".10g")

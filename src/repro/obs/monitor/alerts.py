@@ -1,0 +1,272 @@
+"""Declarative SLO/alert rules evaluated deterministically per step.
+
+The production mapping system is "monitored as intensely as it
+monitors the Internet" (paper Section 2.2); during the Section 4
+roll-out, that monitoring is what turned daily cohort series into
+*events* -- "the high-expectation group's mapping distance collapsed
+on day N".  This module is that layer: a handful of declarative rule
+kinds evaluated once per step against a
+:class:`~repro.obs.monitor.series.TimeSeriesStore`, with hysteresis so
+one noisy day neither fires nor clears an alert.
+
+Rule kinds:
+
+* :class:`ThresholdRule` -- value above/below a fixed bound.
+* :class:`RegressionRule` -- value vs the mean of a fixed baseline
+  window of the same series: ``drop`` rules fire when the value falls
+  below ``baseline / factor`` (improvement *detection*, e.g. the
+  Figure 13 ~8x mapping-distance drop), ``rise`` rules fire when it
+  exceeds ``baseline * factor`` (regression guards, e.g. RTT creeping
+  back up or the ECS query-rate surge of Figure 23).
+* :class:`StuckRule` -- series unchanged for N steps (a dead pipeline
+  masquerading as a healthy flat line).
+
+Hysteresis: a rule must breach ``for_steps`` consecutive evaluations
+to fire and then pass ``for_steps`` consecutive evaluations to
+resolve.  Every transition appends an :class:`Alert` to the engine's
+log, which is sorted by (step, rule name) by construction because
+evaluation itself is deterministic and ordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.monitor.series import TimeSeriesStore
+
+#: Rule severities, mildest first (also the sort order in summaries).
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fire/resolve transition of one rule."""
+
+    step: int
+    rule: str
+    series: str
+    severity: str
+    kind: str
+    """``fired`` or ``resolved``."""
+    value: float
+    reference: float
+    """The bound the value was compared against (threshold, scaled
+    baseline mean, or the stuck run length)."""
+    detail: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "step": self.step,
+            "rule": self.rule,
+            "series": self.series,
+            "severity": self.severity,
+            "kind": self.kind,
+            "value": round(self.value, 6),
+            "reference": round(self.reference, 6),
+            "detail": self.detail,
+        }
+
+
+class AlertRule:
+    """Base rule: named check of one series with hysteresis."""
+
+    def __init__(self, name: str, series: str, severity: str = "warning",
+                 for_steps: int = 1) -> None:
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        if for_steps < 1:
+            raise ValueError("for_steps must be >= 1")
+        self.name = name
+        self.series = series
+        self.severity = severity
+        self.for_steps = for_steps
+
+    def check(self, step: int,
+              store: TimeSeriesStore) -> Optional[Tuple[bool, float, float, str]]:
+        """(breached, value, reference, detail), or None when the rule
+        cannot be evaluated yet (series missing / baseline incomplete)."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict:
+        return {
+            "name": self.name,
+            "series": self.series,
+            "severity": self.severity,
+            "for_steps": self.for_steps,
+            "kind": type(self).__name__,
+        }
+
+
+class ThresholdRule(AlertRule):
+    """Fire while the latest value is beyond a fixed bound."""
+
+    def __init__(self, name: str, series: str, op: str, threshold: float,
+                 severity: str = "warning", for_steps: int = 1) -> None:
+        super().__init__(name, series, severity, for_steps)
+        if op not in ("gt", "lt"):
+            raise ValueError(f"op must be 'gt' or 'lt', got {op!r}")
+        self.op = op
+        self.threshold = float(threshold)
+
+    def check(self, step, store):
+        series = store.get(self.series)
+        if series is None or not len(series):
+            return None
+        value = series.value_at(step, default=series.last())
+        breached = (value > self.threshold if self.op == "gt"
+                    else value < self.threshold)
+        word = "above" if self.op == "gt" else "below"
+        return (breached, value, self.threshold,
+                f"{self.series}={value:.3f} {word} {self.threshold:g}")
+
+    def describe(self):
+        doc = super().describe()
+        doc.update(op=self.op, threshold=self.threshold)
+        return doc
+
+
+class RegressionRule(AlertRule):
+    """Fire when the value moves ``factor``-fold vs a baseline window.
+
+    ``direction='drop'`` detects improvements (value below baseline
+    mean / factor); ``direction='rise'`` detects regressions (value
+    above baseline mean * factor).  The baseline window is a fixed
+    [lo, hi) step range; the rule stays silent until the current step
+    is past the window, so the baseline never includes treated days.
+    """
+
+    def __init__(self, name: str, series: str,
+                 baseline_window: Tuple[int, int], factor: float,
+                 direction: str = "rise", severity: str = "warning",
+                 for_steps: int = 1) -> None:
+        super().__init__(name, series, severity, for_steps)
+        if direction not in ("drop", "rise"):
+            raise ValueError(f"direction must be drop/rise: {direction!r}")
+        if factor <= 1.0:
+            raise ValueError("factor must exceed 1")
+        lo, hi = baseline_window
+        if hi <= lo:
+            raise ValueError("empty baseline window")
+        self.baseline_window = (int(lo), int(hi))
+        self.factor = float(factor)
+        self.direction = direction
+
+    def check(self, step, store):
+        lo, hi = self.baseline_window
+        if step < hi:  # baseline still accumulating
+            return None
+        series = store.get(self.series)
+        if series is None or not len(series):
+            return None
+        baseline = series.window_mean(lo, hi)
+        value = series.value_at(step, default=series.last())
+        if self.direction == "drop":
+            reference = baseline / self.factor
+            breached = value < reference
+            verb = "dropped"
+        else:
+            reference = baseline * self.factor
+            breached = value > reference
+            verb = "rose"
+        return (breached, value, reference,
+                f"{self.series}={value:.3f} {verb} vs baseline "
+                f"{baseline:.3f} (x{self.factor:g} bound {reference:.3f})")
+
+    def describe(self):
+        doc = super().describe()
+        doc.update(baseline_window=list(self.baseline_window),
+                   factor=self.factor, direction=self.direction)
+        return doc
+
+
+class StuckRule(AlertRule):
+    """Fire when the series has not changed for ``min_steps`` steps."""
+
+    def __init__(self, name: str, series: str, min_steps: int = 3,
+                 severity: str = "critical", for_steps: int = 1) -> None:
+        super().__init__(name, series, severity, for_steps)
+        if min_steps < 2:
+            raise ValueError("min_steps must be >= 2")
+        self.min_steps = min_steps
+
+    def check(self, step, store):
+        series = store.get(self.series)
+        if series is None or len(series) < self.min_steps:
+            return None
+        tail = series.values[-self.min_steps:]
+        breached = all(value == tail[0] for value in tail)
+        return (breached, tail[-1], float(self.min_steps),
+                f"{self.series} unchanged for last {self.min_steps} steps"
+                if breached else
+                f"{self.series} still moving")
+
+    def describe(self):
+        doc = super().describe()
+        doc.update(min_steps=self.min_steps)
+        return doc
+
+
+@dataclass
+class _RuleState:
+    breach_streak: int = 0
+    ok_streak: int = 0
+    firing: bool = False
+
+
+class AlertEngine:
+    """Evaluates a fixed rule set once per step; keeps the event log."""
+
+    def __init__(self, rules: List[AlertRule]) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate rule names")
+        #: Rules sorted by name so per-step evaluation order (and hence
+        #: the log) is independent of construction order.
+        self.rules = sorted(rules, key=lambda rule: rule.name)
+        self._state: Dict[str, _RuleState] = {
+            rule.name: _RuleState() for rule in self.rules}
+        self.log: List[Alert] = []
+
+    def evaluate(self, step: int, store: TimeSeriesStore) -> List[Alert]:
+        """Run every rule at this step; return newly logged alerts."""
+        emitted: List[Alert] = []
+        for rule in self.rules:
+            outcome = rule.check(step, store)
+            if outcome is None:
+                continue
+            breached, value, reference, detail = outcome
+            state = self._state[rule.name]
+            if breached:
+                state.breach_streak += 1
+                state.ok_streak = 0
+                if (not state.firing
+                        and state.breach_streak >= rule.for_steps):
+                    state.firing = True
+                    emitted.append(Alert(
+                        step=step, rule=rule.name, series=rule.series,
+                        severity=rule.severity, kind="fired",
+                        value=value, reference=reference, detail=detail))
+            else:
+                state.ok_streak += 1
+                state.breach_streak = 0
+                if state.firing and state.ok_streak >= rule.for_steps:
+                    state.firing = False
+                    emitted.append(Alert(
+                        step=step, rule=rule.name, series=rule.series,
+                        severity=rule.severity, kind="resolved",
+                        value=value, reference=reference, detail=detail))
+        self.log.extend(emitted)
+        return emitted
+
+    def firing(self) -> List[str]:
+        """Names of rules currently firing, sorted."""
+        return sorted(name for name, state in self._state.items()
+                      if state.firing)
+
+    def to_dict(self) -> Dict:
+        return {
+            "rules": [rule.describe() for rule in self.rules],
+            "log": [alert.to_dict() for alert in self.log],
+            "firing": self.firing(),
+        }

@@ -1,0 +1,227 @@
+"""A/B cohort comparison over per-step observations.
+
+Section 4.1.1 splits clients into *high-* and *low-expectation* groups
+(median client--public-LDNS distance above/below 1000 miles) and every
+roll-out figure reads as an A/B comparison between those cohorts across
+the before/during/after windows.  :class:`CohortComparator` is that
+engine made explicit: cohorts are named streams of (step, metric,
+value) observations; the comparator keeps per-step moment accumulators
+(count / sum / sum of squares, never raw samples), so daily means,
+window statistics, and effect sizes all come out of O(days) state no
+matter how many sessions run.
+
+Effect sizes per (metric, cohort) between two windows:
+
+* ``ratio`` -- baseline mean over treatment mean, the paper's "~8x
+  mapping-distance drop" number (Figure 13),
+* ``cohens_d`` -- standardized mean difference with pooled standard
+  deviation, so an alerting rule can distinguish a large-but-noisy
+  shift from a genuine level change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class _Accumulator:
+    """Running moments for one (cohort, metric, step) cell."""
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Aggregate statistics of one metric in one [lo, hi) window."""
+
+    count: int
+    mean: float
+    variance: float
+
+    @property
+    def std(self) -> float:
+        return self.variance ** 0.5
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Before/after effect of one metric within one cohort."""
+
+    metric: str
+    cohort: str
+    baseline: WindowStats
+    treatment: WindowStats
+    ratio: float
+    """baseline mean / treatment mean -- >1 means the metric dropped
+    (the Figure 13 reading: an 8x mapping-distance drop is ratio ~8)."""
+    cohens_d: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "baseline_mean": self.baseline.mean,
+            "baseline_count": self.baseline.count,
+            "treatment_mean": self.treatment.mean,
+            "treatment_count": self.treatment.count,
+            "ratio": self.ratio,
+            "cohens_d": self.cohens_d,
+        }
+
+
+class CohortComparator:
+    """Per-cohort, per-metric, per-step moment accumulators."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[str, str, int], _Accumulator] = {}
+        self._cohorts: set = set()
+        self._metrics: set = set()
+
+    def observe(self, step: int, cohort: str, metric: str,
+                value: float) -> None:
+        if value != value:  # NaN
+            raise ValueError(
+                f"cohort {cohort}/{metric}: NaN observation at {step}")
+        key = (cohort, metric, int(step))
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = _Accumulator()
+            self._cells[key] = cell
+            self._cohorts.add(cohort)
+            self._metrics.add(metric)
+        cell.add(float(value))
+
+    def cohorts(self) -> List[str]:
+        return sorted(self._cohorts)
+
+    def metrics(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -- aggregations -----------------------------------------------------
+
+    def daily_mean(self, cohort: str, metric: str) -> List[Tuple[int, float]]:
+        """(step, mean) series for one cohort metric."""
+        out = []
+        for (c, m, step), cell in self._cells.items():
+            if c == cohort and m == metric:
+                out.append((step, cell.mean))
+        return sorted(out)
+
+    def window_stats(self, cohort: str, metric: str,
+                     lo: int, hi: int) -> WindowStats:
+        """Pooled stats for all observations with step in [lo, hi)."""
+        count = 0
+        total = 0.0
+        total_sq = 0.0
+        for (c, m, step), cell in self._cells.items():
+            if c == cohort and m == metric and lo <= step < hi:
+                count += cell.count
+                total += cell.total
+                total_sq += cell.total_sq
+        if not count:
+            return WindowStats(count=0, mean=0.0, variance=0.0)
+        mean = total / count
+        variance = max(0.0, total_sq / count - mean * mean)
+        return WindowStats(count=count, mean=mean, variance=variance)
+
+    def effect(self, metric: str, cohort: str,
+               baseline: Tuple[int, int],
+               treatment: Tuple[int, int]) -> Effect:
+        """Effect of moving from the baseline to the treatment window."""
+        base = self.window_stats(cohort, metric, *baseline)
+        treat = self.window_stats(cohort, metric, *treatment)
+        if treat.mean > 0:
+            ratio = base.mean / treat.mean
+        else:
+            ratio = float("inf") if base.mean > 0 else 1.0
+        pooled_n = base.count + treat.count
+        if pooled_n > 0:
+            pooled_var = (base.count * base.variance
+                          + treat.count * treat.variance) / pooled_n
+        else:
+            pooled_var = 0.0
+        pooled_std = pooled_var ** 0.5
+        if pooled_std > 0:
+            cohens_d = (base.mean - treat.mean) / pooled_std
+        else:
+            cohens_d = 0.0
+        return Effect(metric=metric, cohort=cohort, baseline=base,
+                      treatment=treat, ratio=ratio, cohens_d=cohens_d)
+
+    def compare(self, metric: str, cohort_a: str, cohort_b: str,
+                window: Tuple[int, int]) -> Dict:
+        """Side-by-side means of two cohorts inside one window."""
+        a = self.window_stats(cohort_a, metric, *window)
+        b = self.window_stats(cohort_b, metric, *window)
+        return {
+            "metric": metric,
+            "window": [int(window[0]), int(window[1])],
+            cohort_a: a.mean,
+            f"{cohort_a}_count": a.count,
+            cohort_b: b.mean,
+            f"{cohort_b}_count": b.count,
+        }
+
+    # -- export -----------------------------------------------------------
+
+    def to_dict(self, windows: Optional[Dict[str, Tuple[int, int]]] = None,
+                round_to: int = 6) -> Dict:
+        """JSON-ready daily means plus (optional) per-window effects.
+
+        ``windows`` maps labels to [lo, hi) step ranges; when it holds
+        a ``before`` entry, effects of every other window vs ``before``
+        are exported per cohort and metric.
+        """
+        daily = {
+            cohort: {
+                metric: [[step, round(mean, round_to)]
+                         for step, mean in self.daily_mean(cohort, metric)]
+                for metric in self.metrics()
+            }
+            for cohort in self.cohorts()
+        }
+        doc: Dict = {"daily_mean": daily}
+        if windows:
+            doc["windows"] = {label: [int(lo), int(hi)]
+                              for label, (lo, hi) in sorted(windows.items())}
+            baseline = windows.get("before")
+            if baseline is not None:
+                effects: Dict = {}
+                for label, window in sorted(windows.items()):
+                    if label == "before":
+                        continue
+                    effects[label] = {
+                        cohort: {
+                            metric: _round_dict(self.effect(
+                                metric, cohort, baseline, window).to_dict(),
+                                round_to)
+                            for metric in self.metrics()
+                        }
+                        for cohort in self.cohorts()
+                    }
+                doc["effects_vs_before"] = effects
+        return doc
+
+
+def _round_dict(row: Dict, round_to: int) -> Dict:
+    """Round floats; non-finite values export as None (valid JSON)."""
+    out = {}
+    for key, value in row.items():
+        if isinstance(value, float):
+            if value != value or abs(value) == float("inf"):
+                value = None
+            else:
+                value = round(value, round_to)
+        out[key] = value
+    return out

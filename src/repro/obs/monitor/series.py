@@ -1,0 +1,203 @@
+"""Windowed time-series storage over registry snapshots.
+
+The paper's roll-out analysis (Section 4) is not a point-in-time
+measurement: Akamai watched mapping distance, RTT, TTFB, and DNS query
+rates move *day by day* as resolvers flipped to ECS between Mar 28 and
+Apr 15, 2014.  :class:`TimeSeriesStore` is that view over the
+simulator: one :class:`TimeSeries` per metric, appended once per
+simulated day (or any monotone step), flattened from
+:class:`~repro.obs.metrics.MetricsRegistry` snapshots plus any derived
+per-step gauges a driver wants to record.
+
+Registry counters and histograms are cumulative, so the store provides
+the standard monitoring derivations to turn them into per-step views:
+
+* :meth:`TimeSeries.delta` -- per-step differences (daily volumes from
+  a cumulative counter),
+* :meth:`TimeSeries.rate` -- delta divided by the step duration
+  (queries per second from a per-day count),
+* :meth:`TimeSeries.ewma` -- exponentially weighted moving average
+  (the smoothing alerting rules evaluate against so single noisy days
+  do not flap).
+
+Exports are byte-stable: series sorted by name, floats rounded to
+:data:`EXPORT_FLOAT_DECIMALS` plain Python floats, keys sorted -- the
+same determinism contract as the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Decimal places for exported floats (matches ``repro.obs.tracing``).
+EXPORT_FLOAT_DECIMALS = 6
+
+
+def _round(value: float) -> float:
+    return round(float(value), EXPORT_FLOAT_DECIMALS)
+
+
+class TimeSeries:
+    """One named metric sampled at monotonically increasing steps."""
+
+    __slots__ = ("name", "help", "steps", "values")
+
+    def __init__(self, name: str, help: str = "",
+                 steps: Optional[Sequence[int]] = None,
+                 values: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.steps: List[int] = list(steps or [])
+        self.values: List[float] = [float(v) for v in (values or [])]
+        if len(self.steps) != len(self.values):
+            raise ValueError(f"series {name}: steps/values length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def record(self, step: int, value: float) -> None:
+        if self.steps and step <= self.steps[-1]:
+            raise ValueError(
+                f"series {self.name}: step {step} not after "
+                f"{self.steps[-1]} (steps must be monotone)")
+        if value != value:  # NaN poisons every derivation downstream
+            raise ValueError(f"series {self.name}: NaN value at step {step}")
+        self.steps.append(int(step))
+        self.values.append(float(value))
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name}: empty")
+        return self.values[-1]
+
+    def value_at(self, step: int, default: float = 0.0) -> float:
+        """Value recorded exactly at ``step`` (default if absent)."""
+        try:
+            return self.values[self.steps.index(step)]
+        except ValueError:
+            return default
+
+    # -- derivations (each returns a new, derived-named series) ----------
+
+    def delta(self) -> "TimeSeries":
+        """Per-step differences; first point is the first raw value."""
+        out = TimeSeries(f"{self.name}:delta", help=self.help)
+        previous = 0.0
+        for step, value in zip(self.steps, self.values):
+            out.steps.append(step)
+            out.values.append(value - previous)
+            previous = value
+        return out
+
+    def rate(self, step_seconds: float) -> "TimeSeries":
+        """Per-second rate of the per-step delta."""
+        if step_seconds <= 0:
+            raise ValueError("step_seconds must be positive")
+        deltas = self.delta()
+        out = TimeSeries(f"{self.name}:rate", help=self.help)
+        out.steps = deltas.steps
+        out.values = [value / step_seconds for value in deltas.values]
+        return out
+
+    def ewma(self, alpha: float = 0.3) -> "TimeSeries":
+        """Exponentially weighted moving average (seeded at the first
+        raw value, the standard bias-free initialisation)."""
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha out of (0, 1]: {alpha}")
+        out = TimeSeries(f"{self.name}:ewma", help=self.help)
+        smoothed: Optional[float] = None
+        for step, value in zip(self.steps, self.values):
+            smoothed = value if smoothed is None else (
+                alpha * value + (1 - alpha) * smoothed)
+            out.steps.append(step)
+            out.values.append(smoothed)
+        return out
+
+    # -- window queries ---------------------------------------------------
+
+    def window(self, lo: int, hi: int) -> List[float]:
+        """Values with step in [lo, hi)."""
+        return [value for step, value in zip(self.steps, self.values)
+                if lo <= step < hi]
+
+    def window_mean(self, lo: int, hi: int) -> float:
+        values = self.window(lo, hi)
+        return sum(values) / len(values) if values else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "steps": list(self.steps),
+            "values": [_round(value) for value in self.values],
+        }
+
+
+class TimeSeriesStore:
+    """Named series, appended per step, flattened from snapshots."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def series(self, name: str) -> TimeSeries:
+        try:
+            return self._series[name]
+        except KeyError:
+            raise KeyError(f"unknown series {name!r}") from None
+
+    def get(self, name: str) -> Optional[TimeSeries]:
+        return self._series.get(name)
+
+    def record(self, step: int, name: str, value: float,
+               help: str = "") -> None:
+        series = self._series.get(name)
+        if series is None:
+            series = TimeSeries(name, help)
+            self._series[name] = series
+        series.record(step, value)
+
+    def capture(self, step: int, snapshot: Mapping) -> None:
+        """Flatten one registry snapshot into per-metric series.
+
+        Counters and gauges become one series each; histogram rows fan
+        out into ``name.count`` / ``name.mean`` / ``name.p50`` ... --
+        exactly the quantile columns the registry exports.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.record(step, name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.record(step, name, value)
+        for name, row in snapshot.get("histograms", {}).items():
+            for column, value in row.items():
+                self.record(step, f"{name}.{column}", value)
+
+    # -- derived access ---------------------------------------------------
+
+    def delta(self, name: str) -> TimeSeries:
+        return self.series(name).delta()
+
+    def rate(self, name: str, step_seconds: float) -> TimeSeries:
+        return self.series(name).rate(step_seconds)
+
+    def ewma(self, name: str, alpha: float = 0.3) -> TimeSeries:
+        return self.series(name).ewma(alpha)
+
+    # -- export -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Dict]:
+        return {name: self._series[name].to_dict()
+                for name in sorted(self._series)}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def window_label_map(windows: Mapping[str, Tuple[int, int]]) -> Dict:
+    """JSON-ready {label: [lo, hi)} echo of analysis windows."""
+    return {label: [int(lo), int(hi)]
+            for label, (lo, hi) in sorted(windows.items())}

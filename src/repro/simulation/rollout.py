@@ -93,6 +93,49 @@ class RolloutResult:
                 self.config.n_days)
 
 
+def median_public_distances(
+    observations,
+    public_ids,
+    block_country: Dict,
+) -> Dict[str, float]:
+    """Pure core of the Section 4.1.1 split: per-country weighted
+    median client--public-LDNS distance from pairing observations.
+
+    ``observations`` is any iterable of objects with ``resolver_id``,
+    ``block``, ``distance_miles``, and ``demand``; only resolvers in
+    ``public_ids`` count; ``block_country`` maps block -> country.
+    """
+    samples: Dict[str, List] = {}
+    for obs in observations:
+        if obs.resolver_id not in public_ids:
+            continue
+        country = block_country[obs.block]
+        samples.setdefault(country, []).append(
+            (obs.distance_miles, obs.demand))
+    medians = {}
+    for country, entries in samples.items():
+        values = [v for v, _ in entries]
+        weights = [w for _, w in entries]
+        medians[country] = weighted_quantile(values, weights, 0.5)
+    return medians
+
+
+def split_expectation_groups(
+    medians: Dict[str, float],
+    threshold_miles: float = 1000.0,
+) -> tuple:
+    """(high, low) country sets from the per-country medians.
+
+    High expectation means the median is *strictly above* the
+    threshold; a median exactly at the split (and any country without
+    public-resolver data) classifies as low expectation, matching
+    :func:`repro.measurement.rum.expectation_splitter`.
+    """
+    high = {country for country, median in medians.items()
+            if median > threshold_miles}
+    return high, set(medians) - high
+
+
 def classify_expectation_groups(
     world: World,
     threshold_miles: float = 1000.0,
@@ -103,35 +146,32 @@ def classify_expectation_groups(
     its country split from Figure 8.
     """
     dataset = NetSessionCollector(world.internet).collect_ground_truth()
-    public = world.internet.public_resolver_ids()
-    samples: Dict[str, List] = {}
-    block_country = {b.prefix: b.country for b in world.internet.blocks}
-    for obs in dataset.observations:
-        if obs.resolver_id not in public:
-            continue
-        country = block_country[obs.block]
-        samples.setdefault(country, []).append(
-            (obs.distance_miles, obs.demand))
-    medians = {}
-    for country, entries in samples.items():
-        values = [v for v, _ in entries]
-        weights = [w for _, w in entries]
-        medians[country] = weighted_quantile(values, weights, 0.5)
     del threshold_miles  # classification threshold applied by caller
-    return medians
+    return median_public_distances(
+        dataset.observations,
+        world.internet.public_resolver_ids(),
+        {b.prefix: b.country for b in world.internet.blocks})
 
 
 def run_rollout(world: World,
-                config: Optional[RolloutConfig] = None) -> RolloutResult:
-    """Run the full roll-out timeline against a world."""
+                config: Optional[RolloutConfig] = None,
+                observer=None) -> RolloutResult:
+    """Run the full roll-out timeline against a world.
+
+    ``observer`` is an optional monitoring hook -- any object with an
+    ``on_day(day, world, result)`` method (e.g.
+    :class:`repro.obs.monitor.RolloutMonitor`), called after each
+    simulated day completes.  Observation must not perturb the run:
+    the observer receives no RNG and every random draw happens before
+    it is invoked, so a monitored and an unmonitored roll-out replay
+    identically.
+    """
     config = config or RolloutConfig()
     rng = random.Random(config.seed)
 
     medians = classify_expectation_groups(world)
-    high_expectation = {
-        country for country, median in medians.items()
-        if median > config.expectation_threshold_miles
-    }
+    high_expectation, _ = split_expectation_groups(
+        medians, config.expectation_threshold_miles)
 
     world.disable_all_ecs()
     world.query_log.enable_pair_tracking()
@@ -152,7 +192,7 @@ def run_rollout(world: World,
         n_enabled = int(round(fraction * len(public_ids)))
         world.enable_ecs(public_ids[:n_enabled],
                          source_prefix_len=config.ecs_source_len)
-        result.ecs_resolvers_per_day[day] = len(world.ecs_enabled_ids())
+        result.ecs_resolvers_per_day[day] = world.ecs_enabled_count()
         registry.gauge("rollout.day").set(day)
         registry.gauge("rollout.ecs_resolvers").set(
             result.ecs_resolvers_per_day[day])
@@ -189,5 +229,8 @@ def run_rollout(world: World,
         result.requests_per_day[day] = requests_today
         registry.counter("rollout.sessions").inc(sessions_today)
         registry.counter("rollout.requests").inc(requests_today)
+
+        if observer is not None:
+            observer.on_day(day, world, result)
 
     return result

@@ -158,8 +158,16 @@ class World:
             ldns.ecs_enabled = False
 
     def ecs_enabled_ids(self) -> List[str]:
-        return [rid for rid, ldns in self.ldns_registry.items()
-                if ldns.ecs_enabled]
+        """Resolver ids with ECS on, sorted so monitoring exports that
+        embed the list are deterministic regardless of wiring order."""
+        return sorted(rid for rid, ldns in self.ldns_registry.items()
+                      if ldns.ecs_enabled)
+
+    def ecs_enabled_count(self) -> int:
+        """How many LDNSes currently send client-subnet (the roll-out
+        progress gauge, polled every simulated day)."""
+        return sum(1 for ldns in self.ldns_registry.values()
+                   if ldns.ecs_enabled)
 
     def public_ldns_ids(self) -> List[str]:
         return sorted(self.internet.public_resolver_ids())

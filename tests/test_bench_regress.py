@@ -1,0 +1,125 @@
+"""Unit tests for the perf-regression gate (repro.bench.regress)."""
+
+import json
+
+import pytest
+
+from repro.bench.regress import (
+    compare_pair,
+    compare_trajectory,
+    derive_speedups,
+    load_speedups,
+    main,
+)
+
+
+def _write(path, doc):
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def _v2(speedups):
+    return {"schema": "bench/v2", "benches": {}, "speedups": speedups}
+
+
+class TestLoading:
+    def test_derive_speedups_pairs_scalar_and_batch(self):
+        benches = {
+            "tiny/x_scalar": {"wall_s": 10.0},
+            "tiny/x_batch": {"wall_s": 0.5},
+            "tiny/unpaired_batch": {"wall_s": 1.0},
+            "tiny/also_unpaired_scalar": {"wall_s": 1.0},
+        }
+        assert derive_speedups(benches) == {"tiny/x": 20.0}
+
+    def test_load_v2_schema(self, tmp_path):
+        path = _write(tmp_path / "b.json", _v2({"tiny/x": 12.5}))
+        assert load_speedups(path) == {"tiny/x": 12.5}
+
+    def test_load_v1_flat_schema(self, tmp_path):
+        path = _write(tmp_path / "b.json", {
+            "tiny/x_scalar": {"wall_s": 4.0},
+            "tiny/x_batch": {"wall_s": 2.0},
+        })
+        assert load_speedups(path) == {"tiny/x": 2.0}
+
+    def test_load_v2_benches_without_speedups(self, tmp_path):
+        path = _write(tmp_path / "b.json", {
+            "schema": "bench/v2",
+            "benches": {"tiny/x_scalar": {"wall_s": 4.0},
+                        "tiny/x_batch": {"wall_s": 1.0}},
+        })
+        assert load_speedups(path) == {"tiny/x": 4.0}
+
+
+class TestComparison:
+    def test_only_common_benches_compared(self, tmp_path):
+        old = _write(tmp_path / "old.json", _v2({"a": 10.0, "b": 5.0}))
+        new = _write(tmp_path / "new.json", _v2({"b": 5.0, "c": 9.0}))
+        rows = compare_pair(old, new, tolerance=0.2)
+        assert [row.bench for row in rows] == ["b"]
+        assert rows[0].regressed is False
+
+    def test_regression_boundary_is_strict(self, tmp_path):
+        old = _write(tmp_path / "old.json", _v2({"a": 10.0}))
+        exactly = _write(tmp_path / "at.json", _v2({"a": 8.0}))
+        below = _write(tmp_path / "below.json", _v2({"a": 7.99}))
+        assert compare_pair(old, exactly, 0.2)[0].regressed is False
+        assert compare_pair(old, below, 0.2)[0].regressed is True
+
+    def test_trajectory_compares_adjacent_pairs(self, tmp_path):
+        paths = [
+            _write(tmp_path / "1.json", _v2({"a": 10.0})),
+            _write(tmp_path / "2.json", _v2({"a": 9.5})),
+            _write(tmp_path / "3.json", _v2({"a": 5.0})),
+        ]
+        rows = compare_trajectory(paths, tolerance=0.2)
+        assert len(rows) == 2
+        assert rows[0].regressed is False   # 10.0 -> 9.5
+        assert rows[1].regressed is True    # 9.5 -> 5.0
+
+
+class TestMain:
+    def test_exits_nonzero_on_over_20pct_regression(self, tmp_path, capsys):
+        old = _write(tmp_path / "old.json", _v2({"tiny/x": 50.0}))
+        new = _write(tmp_path / "new.json", _v2({"tiny/x": 35.0}))
+        assert main([old, new]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "perf regression detected" in captured.err
+
+    def test_exits_zero_within_tolerance(self, tmp_path):
+        old = _write(tmp_path / "old.json", _v2({"tiny/x": 50.0}))
+        new = _write(tmp_path / "new.json", _v2({"tiny/x": 45.0}))
+        assert main([old, new]) == 0
+
+    def test_loose_tolerance_accepts_noise(self, tmp_path):
+        old = _write(tmp_path / "old.json", _v2({"tiny/x": 50.0}))
+        new = _write(tmp_path / "new.json", _v2({"tiny/x": 30.0}))
+        assert main([old, new]) == 1
+        assert main([old, new, "--tolerance", "0.6"]) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        old = _write(tmp_path / "old.json", _v2({"tiny/x": 10.0}))
+        new = _write(tmp_path / "new.json", _v2({"tiny/x": 2.0}))
+        assert main([old, new, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["regressions"] == 1
+        assert doc["comparisons"][0]["ratio"] == pytest.approx(0.2)
+
+    def test_single_file_rejected(self, tmp_path):
+        path = _write(tmp_path / "b.json", _v2({"a": 1.0}))
+        with pytest.raises(SystemExit):
+            main([path])
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        old = _write(tmp_path / "old.json", _v2({"a": 1.0}))
+        new = _write(tmp_path / "new.json", _v2({"a": 1.0}))
+        with pytest.raises(SystemExit):
+            main([old, new, "--tolerance", "1.5"])
+
+    def test_checked_in_trajectory_passes_ci_tolerance(self):
+        """The gate CI actually runs: the committed BENCH_* files must
+        stay comparable under the loose cross-machine tolerance."""
+        files = ["BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json"]
+        assert main(files + ["--tolerance", "0.6"]) == 0

@@ -1,0 +1,161 @@
+"""Unit tests for the alerting engine (repro.obs.monitor.alerts)."""
+
+import pytest
+
+from repro.obs.monitor.alerts import (
+    AlertEngine,
+    RegressionRule,
+    StuckRule,
+    ThresholdRule,
+)
+from repro.obs.monitor.series import TimeSeriesStore
+
+
+def _store(name, values, start=0):
+    store = TimeSeriesStore()
+    for offset, value in enumerate(values):
+        store.record(start + offset, name, value)
+    return store
+
+
+class TestRuleValidation:
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            ThresholdRule("r", "s", op="gt", threshold=1.0,
+                          severity="fatal")
+
+    def test_bad_threshold_op_rejected(self):
+        with pytest.raises(ValueError, match="op"):
+            ThresholdRule("r", "s", op="ge", threshold=1.0)
+
+    def test_regression_factor_and_window_validated(self):
+        with pytest.raises(ValueError, match="factor"):
+            RegressionRule("r", "s", baseline_window=(0, 5), factor=1.0)
+        with pytest.raises(ValueError, match="baseline"):
+            RegressionRule("r", "s", baseline_window=(5, 5), factor=2.0)
+        with pytest.raises(ValueError, match="direction"):
+            RegressionRule("r", "s", baseline_window=(0, 5), factor=2.0,
+                           direction="sideways")
+
+    def test_stuck_min_steps_validated(self):
+        with pytest.raises(ValueError, match="min_steps"):
+            StuckRule("r", "s", min_steps=1)
+
+    def test_duplicate_rule_names_rejected(self):
+        rules = [ThresholdRule("same", "a", op="gt", threshold=1.0),
+                 StuckRule("same", "b")]
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine(rules)
+
+
+class TestThresholdRule:
+    def test_missing_series_not_evaluable(self):
+        rule = ThresholdRule("r", "missing", op="gt", threshold=1.0)
+        assert rule.check(0, TimeSeriesStore()) is None
+
+    def test_gt_and_lt(self):
+        store = _store("s", [5.0])
+        gt = ThresholdRule("g", "s", op="gt", threshold=4.0)
+        lt = ThresholdRule("l", "s", op="lt", threshold=4.0)
+        assert gt.check(0, store)[0] is True
+        assert lt.check(0, store)[0] is False
+
+
+class TestRegressionRule:
+    def test_silent_until_baseline_complete(self):
+        rule = RegressionRule("r", "s", baseline_window=(0, 3),
+                              factor=2.0, direction="drop")
+        store = _store("s", [10.0, 10.0, 10.0])
+        assert rule.check(2, store) is None  # day 2 still in baseline
+
+    def test_drop_detection(self):
+        rule = RegressionRule("r", "s", baseline_window=(0, 3),
+                              factor=2.0, direction="drop")
+        store = _store("s", [10.0, 10.0, 10.0, 4.0])
+        breached, value, reference, detail = rule.check(3, store)
+        assert breached is True
+        assert value == 4.0
+        assert reference == pytest.approx(5.0)  # baseline 10 / factor 2
+        assert "dropped" in detail
+
+    def test_rise_detection(self):
+        rule = RegressionRule("r", "s", baseline_window=(0, 3),
+                              factor=2.0, direction="rise")
+        store = _store("s", [10.0, 10.0, 10.0, 25.0])
+        breached, value, reference, _ = rule.check(3, store)
+        assert breached is True
+        assert reference == pytest.approx(20.0)
+
+    def test_within_bounds_not_breached(self):
+        rule = RegressionRule("r", "s", baseline_window=(0, 3),
+                              factor=2.0, direction="drop")
+        store = _store("s", [10.0, 10.0, 10.0, 8.0])
+        assert rule.check(3, store)[0] is False
+
+
+class TestStuckRule:
+    def test_needs_min_steps_of_history(self):
+        rule = StuckRule("r", "s", min_steps=3)
+        assert rule.check(1, _store("s", [1.0, 1.0])) is None
+
+    def test_flat_tail_breaches_moving_tail_does_not(self):
+        rule = StuckRule("r", "s", min_steps=3)
+        assert rule.check(3, _store("s", [5.0, 2.0, 2.0, 2.0]))[0] is True
+        assert rule.check(3, _store("s", [2.0, 2.0, 2.0, 3.0]))[0] is False
+
+
+class TestAlertEngineHysteresis:
+    def _engine(self, for_steps):
+        rule = ThresholdRule("over", "s", op="gt", threshold=10.0,
+                             severity="warning", for_steps=for_steps)
+        return AlertEngine([rule])
+
+    def test_fires_only_after_consecutive_breaches(self):
+        engine = self._engine(for_steps=2)
+        store = TimeSeriesStore()
+        values = [20.0, 5.0, 20.0, 20.0]  # breach, ok, breach, breach
+        fired_steps = []
+        for step, value in enumerate(values):
+            store.record(step, "s", value)
+            for alert in engine.evaluate(step, store):
+                if alert.kind == "fired":
+                    fired_steps.append(alert.step)
+        # The isolated breach at step 0 never fires; the streak at
+        # steps 2-3 fires on its second consecutive breach.
+        assert fired_steps == [3]
+        assert engine.firing() == ["over"]
+
+    def test_resolves_only_after_consecutive_oks(self):
+        engine = self._engine(for_steps=2)
+        store = TimeSeriesStore()
+        values = [20.0, 20.0, 5.0, 20.0, 5.0, 5.0]
+        kinds = []
+        for step, value in enumerate(values):
+            store.record(step, "s", value)
+            kinds.extend((alert.step, alert.kind)
+                         for alert in engine.evaluate(step, store))
+        assert kinds == [(1, "fired"), (5, "resolved")]
+        assert engine.firing() == []
+
+    def test_log_ordered_and_rules_sorted_by_name(self):
+        rules = [
+            ThresholdRule("zeta", "s", op="gt", threshold=1.0),
+            ThresholdRule("alpha", "s", op="gt", threshold=1.0),
+        ]
+        engine = AlertEngine(rules)
+        store = _store("s", [5.0])
+        engine.evaluate(0, store)
+        assert [rule.name for rule in engine.rules] == ["alpha", "zeta"]
+        assert [alert.rule for alert in engine.log] == ["alpha", "zeta"]
+
+    def test_to_dict_shape(self):
+        engine = self._engine(for_steps=1)
+        store = _store("s", [20.0])
+        engine.evaluate(0, store)
+        doc = engine.to_dict()
+        assert doc["firing"] == ["over"]
+        assert doc["rules"][0]["kind"] == "ThresholdRule"
+        event = doc["log"][0]
+        assert event["kind"] == "fired"
+        assert event["severity"] == "warning"
+        assert event["step"] == 0

@@ -1,0 +1,115 @@
+"""Unit tests for the A/B cohort comparator (repro.obs.monitor.cohorts)."""
+
+import json
+
+import pytest
+
+from repro.obs.monitor.cohorts import CohortComparator, WindowStats
+
+
+def _fill(comparator, cohort, metric, per_step):
+    """per_step: {step: [values]}"""
+    for step, values in per_step.items():
+        for value in values:
+            comparator.observe(step, cohort, metric, value)
+
+
+class TestObserve:
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            CohortComparator().observe(0, "a", "m", float("nan"))
+
+    def test_cohorts_and_metrics_sorted(self):
+        comparator = CohortComparator()
+        comparator.observe(0, "zeta", "rtt", 1.0)
+        comparator.observe(0, "alpha", "dist", 2.0)
+        assert comparator.cohorts() == ["alpha", "zeta"]
+        assert comparator.metrics() == ["dist", "rtt"]
+
+
+class TestAggregations:
+    def test_daily_mean_sorted_by_step(self):
+        comparator = CohortComparator()
+        _fill(comparator, "a", "m", {2: [4.0, 6.0], 0: [1.0]})
+        assert comparator.daily_mean("a", "m") == [(0, 1.0), (2, 5.0)]
+
+    def test_window_stats_pools_across_steps(self):
+        comparator = CohortComparator()
+        _fill(comparator, "a", "m", {0: [2.0, 4.0], 1: [6.0], 5: [100.0]})
+        stats = comparator.window_stats("a", "m", 0, 2)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.variance == pytest.approx(8.0 / 3.0)
+        assert stats.std == pytest.approx((8.0 / 3.0) ** 0.5)
+
+    def test_window_stats_empty_window(self):
+        stats = CohortComparator().window_stats("a", "m", 0, 10)
+        assert stats == WindowStats(count=0, mean=0.0, variance=0.0)
+
+    def test_effect_ratio_is_baseline_over_treatment(self):
+        comparator = CohortComparator()
+        # The fig13 shape: distance collapses 8x after the roll-out.
+        _fill(comparator, "high", "dist", {0: [3200.0, 3200.0]})
+        _fill(comparator, "high", "dist", {10: [400.0, 400.0]})
+        effect = comparator.effect("dist", "high", (0, 5), (10, 15))
+        assert effect.ratio == pytest.approx(8.0)
+        # Zero within-window variance -> pooled std 0 -> d defined as 0.
+        assert effect.cohens_d == 0.0
+
+    def test_effect_cohens_d_uses_pooled_std(self):
+        comparator = CohortComparator()
+        _fill(comparator, "c", "m", {0: [9.0, 11.0]})   # mean 10, var 1
+        _fill(comparator, "c", "m", {10: [4.0, 6.0]})   # mean 5, var 1
+        effect = comparator.effect("m", "c", (0, 1), (10, 11))
+        assert effect.cohens_d == pytest.approx(5.0)
+
+    def test_effect_zero_treatment_mean(self):
+        comparator = CohortComparator()
+        _fill(comparator, "c", "m", {0: [10.0]})
+        _fill(comparator, "c", "m", {10: [0.0]})
+        effect = comparator.effect("m", "c", (0, 1), (10, 11))
+        assert effect.ratio == float("inf")
+        comparator_empty = CohortComparator()
+        _fill(comparator_empty, "c", "m", {0: [0.0]})
+        effect = comparator_empty.effect("m", "c", (0, 1), (10, 11))
+        assert effect.ratio == 1.0
+
+    def test_compare_side_by_side(self):
+        comparator = CohortComparator()
+        _fill(comparator, "ecs_on", "rtt", {0: [20.0]})
+        _fill(comparator, "control", "rtt", {0: [40.0]})
+        row = comparator.compare("rtt", "ecs_on", "control", (0, 1))
+        assert row["ecs_on"] == 20.0
+        assert row["control"] == 40.0
+        assert row["window"] == [0, 1]
+
+
+class TestExport:
+    def _comparator(self):
+        comparator = CohortComparator()
+        _fill(comparator, "high", "dist", {0: [3000.0], 1: [3000.0],
+                                           10: [300.0]})
+        return comparator
+
+    def test_to_dict_without_windows_is_daily_only(self):
+        doc = self._comparator().to_dict()
+        assert set(doc) == {"daily_mean"}
+        assert doc["daily_mean"]["high"]["dist"] == [
+            [0, 3000.0], [1, 3000.0], [10, 300.0]]
+
+    def test_to_dict_with_before_window_exports_effects(self):
+        windows = {"before": (0, 2), "after": (10, 11)}
+        doc = self._comparator().to_dict(windows)
+        effect = doc["effects_vs_before"]["after"]["high"]["dist"]
+        assert effect["ratio"] == pytest.approx(10.0)
+        assert effect["baseline_mean"] == pytest.approx(3000.0)
+        assert "before" not in doc["effects_vs_before"]
+
+    def test_non_finite_ratio_exports_as_none(self):
+        comparator = CohortComparator()
+        _fill(comparator, "c", "m", {0: [10.0], 10: [0.0]})
+        windows = {"before": (0, 1), "after": (10, 11)}
+        doc = comparator.to_dict(windows)
+        row = doc["effects_vs_before"]["after"]["c"]["m"]
+        assert row["ratio"] is None
+        json.dumps(doc)  # must be valid JSON end to end

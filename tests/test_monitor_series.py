@@ -1,0 +1,144 @@
+"""Unit tests for the monitor time-series layer (repro.obs.monitor.series)."""
+
+import json
+
+import pytest
+
+from repro.obs.monitor.series import (
+    TimeSeries,
+    TimeSeriesStore,
+    window_label_map,
+)
+
+
+class TestTimeSeries:
+    def test_record_appends_and_len(self):
+        series = TimeSeries("s")
+        series.record(0, 1.0)
+        series.record(1, 2.5)
+        assert len(series) == 2
+        assert series.steps == [0, 1]
+        assert series.values == [1.0, 2.5]
+        assert series.last() == 2.5
+
+    def test_non_monotone_step_rejected(self):
+        series = TimeSeries("s")
+        series.record(3, 1.0)
+        with pytest.raises(ValueError, match="monotone"):
+            series.record(3, 2.0)
+        with pytest.raises(ValueError, match="monotone"):
+            series.record(2, 2.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            TimeSeries("s").record(0, float("nan"))
+
+    def test_mismatched_init_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            TimeSeries("s", steps=[0, 1], values=[1.0])
+
+    def test_last_on_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            TimeSeries("s").last()
+
+    def test_value_at_exact_step_or_default(self):
+        series = TimeSeries("s", steps=[0, 2], values=[5.0, 9.0])
+        assert series.value_at(2) == 9.0
+        assert series.value_at(1) == 0.0
+        assert series.value_at(1, default=-1.0) == -1.0
+
+    def test_delta_first_point_is_first_raw_value(self):
+        cumulative = TimeSeries("c", steps=[0, 1, 2],
+                                values=[10.0, 25.0, 25.0])
+        delta = cumulative.delta()
+        assert delta.name == "c:delta"
+        assert delta.steps == [0, 1, 2]
+        assert delta.values == [10.0, 15.0, 0.0]
+
+    def test_rate_divides_delta_by_step_seconds(self):
+        cumulative = TimeSeries("c", steps=[0, 1], values=[86400.0, 259200.0])
+        rate = cumulative.rate(86400.0)
+        assert rate.name == "c:rate"
+        assert rate.values == [1.0, 2.0]
+
+    def test_rate_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError, match="positive"):
+            TimeSeries("c").rate(0.0)
+
+    def test_ewma_seeded_at_first_value(self):
+        series = TimeSeries("s", steps=[0, 1, 2], values=[10.0, 0.0, 0.0])
+        smoothed = series.ewma(alpha=0.5)
+        assert smoothed.name == "s:ewma"
+        assert smoothed.values == [10.0, 5.0, 2.5]
+
+    def test_ewma_alpha_one_is_identity(self):
+        series = TimeSeries("s", steps=[0, 1], values=[3.0, 7.0])
+        assert series.ewma(alpha=1.0).values == [3.0, 7.0]
+
+    def test_ewma_rejects_bad_alpha(self):
+        for alpha in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="alpha"):
+                TimeSeries("s").ewma(alpha=alpha)
+
+    def test_window_is_half_open(self):
+        series = TimeSeries("s", steps=[0, 1, 2, 3],
+                            values=[1.0, 2.0, 3.0, 4.0])
+        assert series.window(1, 3) == [2.0, 3.0]
+        assert series.window_mean(1, 3) == 2.5
+        assert series.window_mean(10, 20) == 0.0
+
+    def test_to_dict_rounds_floats(self):
+        series = TimeSeries("s", steps=[0], values=[1.23456789])
+        assert series.to_dict() == {"steps": [0], "values": [1.234568]}
+
+
+class TestTimeSeriesStore:
+    def test_record_creates_then_appends(self):
+        store = TimeSeriesStore()
+        store.record(0, "a", 1.0, help="first")
+        store.record(1, "a", 2.0)
+        assert "a" in store
+        assert store.series("a").values == [1.0, 2.0]
+        assert store.series("a").help == "first"
+
+    def test_unknown_series_raises_but_get_returns_none(self):
+        store = TimeSeriesStore()
+        with pytest.raises(KeyError, match="unknown series"):
+            store.series("missing")
+        assert store.get("missing") is None
+
+    def test_capture_flattens_snapshot(self):
+        store = TimeSeriesStore()
+        snapshot = {
+            "counters": {"sessions": 10.0},
+            "gauges": {"day": 3.0},
+            "histograms": {"rtt": {"count": 4, "mean": 25.0, "p50": 20.0}},
+        }
+        store.capture(0, snapshot)
+        assert store.names() == ["day", "rtt.count", "rtt.mean",
+                                 "rtt.p50", "sessions"]
+        assert store.series("rtt.p50").values == [20.0]
+
+    def test_capture_twice_builds_series(self):
+        store = TimeSeriesStore()
+        store.capture(0, {"counters": {"c": 1.0}})
+        store.capture(1, {"counters": {"c": 4.0}})
+        assert store.delta("c").values == [1.0, 3.0]
+        assert store.rate("c", 1.0).values == [1.0, 3.0]
+        assert store.ewma("c", alpha=1.0).values == [1.0, 4.0]
+
+    def test_to_dict_sorted_and_json_deterministic(self):
+        store = TimeSeriesStore()
+        store.record(0, "zeta", 1.0)
+        store.record(0, "alpha", 2.0)
+        doc = store.to_dict()
+        assert list(doc) == ["alpha", "zeta"]
+        assert store.to_json() == store.to_json()
+        assert json.loads(store.to_json())["alpha"]["values"] == [2.0]
+
+
+def test_window_label_map_sorted_lists():
+    windows = {"during": (27, 46), "before": (0, 27), "after": (46, 61)}
+    assert window_label_map(windows) == {
+        "after": [46, 61], "before": [0, 27], "during": [27, 46]}
+    assert list(window_label_map(windows)) == ["after", "before", "during"]

@@ -45,9 +45,34 @@ class TestHistogram:
         with pytest.raises(ValueError, match="NaN"):
             Histogram("h").observe(float("nan"))
 
+    def test_inf_observation_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            Histogram("h").observe(float("inf"))
+        with pytest.raises(ValueError, match="non-finite"):
+            Histogram("h").observe(float("-inf"))
+
     def test_negative_weight_rejected(self):
         with pytest.raises(ValueError, match="negative weight"):
             Histogram("h").observe(1.0, weight=-1.0)
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-finite weight"):
+            Histogram("h").observe(1.0, weight=float("nan"))
+
+    def test_inf_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-finite weight"):
+            Histogram("h").observe(1.0, weight=float("inf"))
+
+    def test_rejected_observation_leaves_state_untouched(self):
+        hist = Histogram("h")
+        hist.observe(5.0, weight=2.0)
+        for value, weight in ((float("nan"), 1.0), (1.0, float("nan")),
+                              (1.0, -1.0), (float("inf"), 1.0)):
+            with pytest.raises(ValueError):
+                hist.observe(value, weight=weight)
+        assert hist.count == 1
+        assert hist.weight_total == 2.0
+        assert hist.mean == 5.0
 
     def test_quantiles_match_canonical_implementation(self):
         hist = Histogram("h")
@@ -160,6 +185,45 @@ class TestMetricsRegistry:
         lines = registry.render_lines()
         kinds = [line.split()[0] for line in lines]
         assert kinds == ["counter", "gauge", "histogram"]
+
+    def test_render_prom_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("dns.queries", help="auth queries").inc(3)
+        registry.gauge("rollout.day").set(12)
+        hist = registry.histogram("rtt.ms", help="session RTT")
+        hist.observe(10.0)
+        hist.observe(30.0)
+        lines = registry.render_prom()
+        assert "# HELP dns_queries_total auth queries" in lines
+        assert "# TYPE dns_queries_total counter" in lines
+        assert "dns_queries_total 3" in lines
+        assert "# TYPE rollout_day gauge" in lines
+        assert "rollout_day 12" in lines
+        assert "# TYPE rtt_ms summary" in lines
+        assert 'rtt_ms{quantile="0.5"} 10' in lines
+        assert "rtt_ms_sum 40" in lines
+        assert "rtt_ms_count 2" in lines
+
+    def test_render_prom_deterministic_and_sorted(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("zeta").inc()
+            registry.counter("alpha").inc()
+            registry.gauge("mid").set(1.5)
+            return registry.render_prom()
+
+        first, second = build(), build()
+        assert first == second
+        counter_lines = [line for line in first
+                         if line.startswith("# TYPE") and "counter" in line]
+        assert counter_lines == ["# TYPE alpha_total counter",
+                                 "# TYPE zeta_total counter"]
+
+    def test_render_prom_runs_collectors(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda reg: reg.gauge("live").set(7))
+        assert "live 7" in registry.render_prom()
 
     def test_reset_drops_everything(self):
         registry = MetricsRegistry()

@@ -1,0 +1,73 @@
+"""Edge cases of the Section 4.1.1 expectation-group classification.
+
+Exercises the pure core factored out of
+``repro.simulation.rollout.classify_expectation_groups``:
+per-country weighted medians from pairing observations, then the
+high/low split at the 1000-mile threshold.
+"""
+
+from collections import namedtuple
+
+from repro.simulation.rollout import (
+    median_public_distances,
+    split_expectation_groups,
+)
+
+Obs = namedtuple("Obs", "resolver_id block distance_miles demand")
+
+
+def _medians(observations, public_ids, block_country):
+    return median_public_distances(observations, public_ids, block_country)
+
+
+class TestMedianPublicDistances:
+    def test_empty_dataset_yields_no_medians(self):
+        assert _medians([], {"pub-1"}, {}) == {}
+
+    def test_non_public_resolvers_ignored(self):
+        observations = [
+            Obs("isp-1", "10.0.0.0/24", 5000.0, 1.0),
+            Obs("pub-1", "10.0.1.0/24", 200.0, 1.0),
+        ]
+        block_country = {"10.0.0.0/24": "US", "10.0.1.0/24": "US"}
+        medians = _medians(observations, {"pub-1"}, block_country)
+        # Only the public-resolver observation counts: the ISP client
+        # 5000 miles away must not drag the US median up.
+        assert medians == {"US": 200.0}
+
+    def test_median_is_demand_weighted(self):
+        observations = [
+            Obs("pub-1", "b1", 100.0, 1.0),
+            Obs("pub-1", "b1", 4000.0, 10.0),  # demand dominates
+        ]
+        medians = _medians(observations, {"pub-1"}, {"b1": "IN"})
+        assert medians["IN"] == 4000.0
+
+
+class TestSplitExpectationGroups:
+    def test_empty_medians_split_into_empty_groups(self):
+        assert split_expectation_groups({}) == (set(), set())
+
+    def test_all_countries_one_group(self):
+        far = {"IN": 3000.0, "BR": 2500.0}
+        near = {"US": 100.0, "DE": 50.0}
+        assert split_expectation_groups(far) == ({"IN", "BR"}, set())
+        assert split_expectation_groups(near) == (set(), {"US", "DE"})
+
+    def test_tie_exactly_at_threshold_classifies_low(self):
+        medians = {"AT": 1000.0, "JP": 1000.0000001, "NL": 999.9}
+        high, low = split_expectation_groups(medians, 1000.0)
+        # High expectation requires strictly above the threshold, so a
+        # median exactly at 1000 miles lands in the low group.
+        assert high == {"JP"}
+        assert low == {"AT", "NL"}
+
+    def test_custom_threshold(self):
+        medians = {"A": 10.0, "B": 30.0}
+        assert split_expectation_groups(medians, 20.0) == ({"B"}, {"A"})
+
+    def test_groups_partition_the_input(self):
+        medians = {"A": 1.0, "B": 1000.0, "C": 1001.0, "D": 99999.0}
+        high, low = split_expectation_groups(medians)
+        assert high | low == set(medians)
+        assert high & low == set()
