@@ -23,7 +23,8 @@ from repro.core.redirection import (
     breakeven_transfer_bytes,
 )
 from repro.net.geometry import great_circle_miles
-from repro.simulation import WorldConfig, build_world
+from repro.api import build_world
+from repro.simulation import WorldConfig
 
 
 def _build():

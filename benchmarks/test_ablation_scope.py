@@ -21,7 +21,8 @@ import pytest
 from repro.core.policies import EUMappingPolicy
 from repro.dnsproto.types import QType
 from repro.net.geometry import great_circle_miles
-from repro.simulation.world import WorldConfig, build_world
+from repro.api import build_world
+from repro.simulation.world import WorldConfig
 from repro.topology.internet import InternetConfig
 
 

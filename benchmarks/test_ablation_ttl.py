@@ -10,7 +10,8 @@ bench quantifies the trade-off in the simulator.
 import pytest
 
 from repro.simulation.dnsload import DnsLoadConfig, drive_dns_load
-from repro.simulation.world import WorldConfig, build_world
+from repro.api import build_world
+from repro.simulation.world import WorldConfig
 from repro.topology.internet import InternetConfig
 
 

@@ -17,7 +17,8 @@ Run:  python examples/ecs_cache_explorer.py
 
 from repro.dnsproto.types import QType
 from repro.net.ipv4 import format_ipv4, parse_ipv4
-from repro.simulation import WorldConfig, build_world
+from repro.api import build_world
+from repro.simulation import WorldConfig
 
 
 def show_cache(ldns, name):

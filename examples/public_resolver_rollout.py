@@ -11,12 +11,8 @@ Run:  python examples/public_resolver_rollout.py
 
 import datetime
 
-from repro.simulation import (
-    RolloutConfig,
-    WorldConfig,
-    build_world,
-    run_rollout,
-)
+from repro.api import build_world, run_rollout
+from repro.simulation import RolloutConfig, WorldConfig
 
 METRICS = (
     ("mapping_distance_miles", "mapping distance (mi)"),

@@ -18,7 +18,8 @@ import random
 
 from repro.net.geometry import great_circle_miles
 from repro.net.ipv4 import format_ipv4
-from repro.simulation import WorldConfig, build_world, simulate_session
+from repro.api import build_world
+from repro.simulation import WorldConfig, simulate_session
 
 
 def mapping_distance(world, block, resolution):

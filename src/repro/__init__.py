@@ -8,9 +8,10 @@ a recursive/authoritative resolver stack, a synthetic global Internet,
 a CDN edge platform, and measurement systems (NetSession, RUM, query
 logs).
 
-Start with :func:`repro.simulation.build_world` for a fully wired
-system, or ``eum-experiment run all`` to regenerate the paper's
-figures.  See README.md and DESIGN.md.
+Start with :func:`repro.api.run` and a :class:`repro.api.ScenarioSpec`
+for a fully wired scenario (world + roll-out timeline + optional fault
+schedule + monitoring), or ``python -m repro experiment run all`` to
+regenerate the paper's figures.  See README.md and DESIGN.md.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,121 @@
+"""The scenario facade: one spec, one entrypoint.
+
+Three config surfaces accreted over the project's life --
+:class:`~repro.simulation.world.WorldConfig` (what the ecosystem looks
+like), :class:`~repro.simulation.rollout.RolloutConfig` (the timeline
+driven over it), and now :class:`~repro.faults.FaultSchedule` (what
+breaks along the way).  :class:`ScenarioSpec` composes all three plus
+the monitoring options, and :func:`run` executes the whole scenario:
+
+    from repro.api import ScenarioSpec, run
+
+    spec = ScenarioSpec(world=WorldConfig.tiny())
+    outcome = run(spec)
+    outcome.result        # RolloutResult
+    outcome.report()      # the monitor's deterministic report
+
+The lower-level :func:`build_world` / :func:`run_rollout` here are the
+*canonical* spellings of the old ``repro.simulation`` entrypoints --
+the old names still work but emit :class:`DeprecationWarning` and
+delegate to the same implementations, so both paths produce identical
+results (a property the shim tests pin byte-for-byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.policies import MappingPolicy
+from repro.faults import FaultInjector, FaultSchedule
+from repro.obs.monitor import RolloutMonitor
+from repro.simulation.rollout import (
+    RolloutConfig,
+    RolloutResult,
+    _run_rollout,
+)
+from repro.simulation.world import World, WorldConfig, _build_world
+
+__all__ = [
+    "ScenarioRun",
+    "ScenarioSpec",
+    "build_world",
+    "run",
+    "run_rollout",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything one scenario needs, as declarative data."""
+
+    world: WorldConfig = field(default_factory=WorldConfig.small)
+    rollout: RolloutConfig = field(default_factory=RolloutConfig)
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    policy: Optional[MappingPolicy] = None
+    """Mapping policy override; None keeps the default EU mapping."""
+    monitor: bool = True
+    """Attach a :class:`~repro.obs.monitor.RolloutMonitor` observer."""
+    monitor_rules: Optional[List] = None
+    """Alert-rule override for the monitor; None uses the defaults."""
+
+    def describe(self) -> Dict:
+        """Deterministic scenario metadata for monitor reports."""
+        doc = {
+            "seed": self.rollout.seed,
+            "world_seed": self.world.seed,
+            "sessions_per_day": self.rollout.sessions_per_day,
+        }
+        if self.faults:
+            doc["faults"] = len(self.faults)
+        return doc
+
+
+@dataclass
+class ScenarioRun:
+    """A completed scenario: the spec plus everything it produced."""
+
+    spec: ScenarioSpec
+    world: World
+    result: RolloutResult
+    monitor: Optional[RolloutMonitor]
+    injector: Optional[FaultInjector]
+
+    def report(self, scenario: Optional[Dict] = None) -> Dict:
+        """The monitor's deterministic report document."""
+        if self.monitor is None:
+            raise ValueError(
+                "scenario ran without a monitor (spec.monitor=False)")
+        return self.monitor.report(scenario if scenario is not None
+                                   else self.spec.describe())
+
+
+def build_world(config: Optional[WorldConfig] = None,
+                policy: Optional[MappingPolicy] = None) -> World:
+    """Build and wire a complete world (canonical spelling)."""
+    return _build_world(config=config, policy=policy)
+
+
+def run_rollout(world: World,
+                config: Optional[RolloutConfig] = None,
+                observer=None,
+                injector: Optional[FaultInjector] = None) -> RolloutResult:
+    """Drive the roll-out timeline (canonical spelling)."""
+    return _run_rollout(world, config=config, observer=observer,
+                        injector=injector)
+
+
+def run(spec: Optional[ScenarioSpec] = None) -> ScenarioRun:
+    """Execute one scenario end to end from its spec."""
+    spec = spec or ScenarioSpec()
+    world = _build_world(config=spec.world, policy=spec.policy)
+    injector = (FaultInjector(world, spec.faults)
+                if spec.faults else None)
+    monitor = None
+    if spec.monitor:
+        monitor = RolloutMonitor.for_config(spec.rollout,
+                                            rules=spec.monitor_rules)
+    result = _run_rollout(world, config=spec.rollout, observer=monitor,
+                          injector=injector)
+    return ScenarioRun(spec=spec, world=world, result=result,
+                       monitor=monitor, injector=injector)

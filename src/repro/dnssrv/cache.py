@@ -72,6 +72,11 @@ class CacheEntry:
             for record in self.records
         )
 
+    def stale_records(self, ttl: int) -> Tuple[ResourceRecord, ...]:
+        """Expired records revived under a short serve-stale TTL
+        (RFC 8767 recommends clients not cache them for long)."""
+        return tuple(record.with_ttl(ttl) for record in self.records)
+
 
 @dataclass
 class CacheStats:
@@ -80,6 +85,9 @@ class CacheStats:
     insertions: int = 0
     evictions: int = 0
     expirations: int = 0
+    stale_hits: int = 0
+    """Lookups answered from an expired entry inside the serve-stale
+    window (RFC 8767); these are *not* counted as hits."""
 
     @property
     def lookups(self) -> int:
@@ -103,6 +111,7 @@ class CacheStats:
             "insertions": self.insertions,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "stale_hits": self.stale_hits,
         }
 
 
@@ -167,6 +176,11 @@ class EcsAwareCache:
     """Cache keyed by (qname, qtype) with per-scope entries."""
 
     max_entries: int = 100_000
+    serve_stale_window: float = 0.0
+    """Seconds past expiry an entry may still be served stale (RFC
+    8767 "Serve Stale Data to Improve DNS Resiliency").  0 disables
+    serve-stale entirely: expired entries are pruned on sight, the
+    pre-fault-injection behaviour."""
     stats: CacheStats = field(default_factory=CacheStats)
     _store: Dict[Tuple[str, int], _NameSlot] = field(default_factory=dict)
     _size: int = 0
@@ -188,6 +202,12 @@ class EcsAwareCache:
             return None
         best, expired = slot.best_match(client_addr, now)
         for scope in expired:
+            entry = slot.entries.get(scope)
+            if (entry is not None and self.serve_stale_window > 0
+                    and now < entry.expires_at + self.serve_stale_window):
+                # Keep the expired entry around as a stale fallback
+                # until the serve-stale window closes.
+                continue
             if slot.remove(scope):
                 self._size -= 1
                 self.stats.expirations += 1
@@ -197,6 +217,47 @@ class EcsAwareCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        return best
+
+    def lookup_stale(
+        self,
+        qname: str,
+        qtype: int,
+        client_addr: Optional[int],
+        now: float,
+    ) -> Optional[CacheEntry]:
+        """Most specific *expired* positive entry still inside the
+        serve-stale window (RFC 8767), or None.
+
+        Called only after upstreams failed -- fresh data is always
+        preferred, so this never shadows :meth:`lookup`.  Negative
+        entries are never served stale (there is nothing to serve).
+        """
+        if self.serve_stale_window <= 0:
+            return None
+        slot = self._store.get((qname, qtype))
+        if slot is None:
+            return None
+
+        def usable(entry: CacheEntry) -> bool:
+            return (not entry.negative
+                    and entry.expires_at <= now
+                    < entry.expires_at + self.serve_stale_window)
+
+        best: Optional[CacheEntry] = None
+        if client_addr is not None:
+            for length in sorted(slot.lengths, reverse=True):
+                scope = prefix_of(client_addr, length)
+                entry = slot.entries.get(scope)
+                if entry is not None and usable(entry):
+                    best = entry
+                    break
+        if best is None:
+            entry = slot.entries.get(None)
+            if entry is not None and usable(entry):
+                best = entry
+        if best is not None:
+            self.stats.stale_hits += 1
         return best
 
     def store(

@@ -42,7 +42,11 @@ from repro.obs import NOOP, NULL_SPAN, Observability
 _MAX_CNAME_CHAIN = 8
 _DEFAULT_NEGATIVE_TTL = 30
 #: Extra wait burned on a server that never answers (retry timer).
+#: Retries against the same server back off exponentially from here.
 _TIMEOUT_PENALTY_MS = 400.0
+#: TTL stamped on answers revived from an expired cache entry
+#: (RFC 8767 Section 5 recommends a short value).
+_STALE_TTL = 30
 
 
 @dataclass
@@ -56,6 +60,9 @@ class RecursionResult:
     upstream_queries: int
     upstream_rtt_ms: float
     """Total time spent talking to authoritative servers."""
+    stale: bool = False
+    """True when any step was answered from an expired cache entry
+    because every authority was unreachable (RFC 8767 serve-stale)."""
 
     @property
     def addresses(self) -> List[int]:
@@ -71,6 +78,7 @@ class _StepResult:
     hit: bool
     queries: int
     rtt_ms: float
+    stale: bool = False
 
 
 class RecursiveResolver:
@@ -86,9 +94,12 @@ class RecursiveResolver:
         cache: Optional[EcsAwareCache] = None,
         name: str = "ldns",
         obs: Optional[Observability] = None,
+        max_retries: int = 1,
     ) -> None:
         if not 0 < ecs_source_len <= 32:
             raise ValueError(f"bad ECS source length {ecs_source_len}")
+        if max_retries < 0:
+            raise ValueError(f"negative max_retries: {max_retries}")
         self._ip = ip
         self.obs = obs if obs is not None else NOOP
         self.name = name
@@ -96,11 +107,24 @@ class RecursiveResolver:
         self.directory = directory
         self.ecs_enabled = ecs_enabled
         self.ecs_source_len = ecs_source_len
+        self.ecs_stripped = False
+        """Fault-injection flag: the resolver silently drops the ECS
+        option it would otherwise send (the stripping behaviour public
+        resolvers exhibit in the wild)."""
+        self.alive = True
+        """False during an injected LDNS blackout: the resolver stops
+        answering on the wire and stubs must fail over."""
+        self.max_retries = max_retries
+        """Re-queries against one server before failing over to the
+        next authority in the ranking (exponential backoff)."""
         self.cache = cache if cache is not None else EcsAwareCache()
         self.client_queries = 0
         self.upstream_queries_total = 0
         self.tcp_retries = 0
-        self.failovers = 0
+        self.timeout_failovers = 0
+        self.tcp_failovers = 0
+        self.servfail_responses = 0
+        self.stale_served = 0
         self._next_id = 1
         # Server ranking memo per zone: delegation data and RTT
         # rankings are long-lived, so real resolvers stick with the
@@ -110,6 +134,26 @@ class RecursiveResolver:
     @property
     def ip(self) -> int:
         return self._ip
+
+    @property
+    def failovers(self) -> int:
+        """Total abandonments of an authority, either because it timed
+        out on UDP (``timeout_failovers``) or because the TCP retry
+        after truncation also died (``tcp_failovers``).  The split
+        counters distinguish the two RFC-distinct paths."""
+        return self.timeout_failovers + self.tcp_failovers
+
+    @property
+    def _ecs_active(self) -> bool:
+        """ECS is actually sent: enabled and not fault-stripped."""
+        return self.ecs_enabled and not self.ecs_stripped
+
+    def fail(self) -> None:
+        """Blackout: stop answering client queries on the wire."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
 
     # -- client-facing API ------------------------------------------------
 
@@ -122,6 +166,7 @@ class RecursiveResolver:
         total_queries = 0
         total_rtt = 0.0
         every_step_hit = True
+        any_stale = False
         rcode = Rcode.NOERROR
 
         with self.obs.tracer.span("recursive", resolver=self.name,
@@ -132,6 +177,7 @@ class RecursiveResolver:
                 total_queries += step.queries
                 total_rtt += step.rtt_ms
                 every_step_hit = every_step_hit and step.hit
+                any_stale = any_stale or step.stale
                 rcode = step.rcode
                 all_records.extend(step.records)
                 if step.rcode != Rcode.NOERROR:
@@ -145,17 +191,24 @@ class RecursiveResolver:
             span.set(cache_hit=every_step_hit, rcode=int(rcode),
                      upstream_queries=total_queries,
                      upstream_rtt_ms=total_rtt)
+            if any_stale:
+                span.set(stale=True)
+        if rcode == Rcode.SERVFAIL:
+            self.servfail_responses += 1
         return RecursionResult(
             records=tuple(all_records),
             rcode=rcode,
             cache_hit=every_step_hit,
             upstream_queries=total_queries,
             upstream_rtt_ms=total_rtt,
+            stale=any_stale,
         )
 
     def handle_query(self, wire: bytes, src_ip: int, now: float,
                      tcp: bool = False) -> Optional[bytes]:
         """DNS endpoint interface for stub resolvers on the wire."""
+        if not self.alive:
+            return None  # blackout: the client's query times out
         try:
             query = Message.decode(wire)
         except WireFormatError:
@@ -176,7 +229,7 @@ class RecursiveResolver:
 
     def _resolve_step(self, qname: str, qtype: int, client_ip: int,
                       now: float) -> _StepResult:
-        cache_addr = client_ip if self.ecs_enabled else None
+        cache_addr = client_ip if self._ecs_active else None
         with self.obs.tracer.span("step", qname=qname) as span:
             entry = self.cache.lookup(qname, qtype, cache_addr, now)
             if entry is not None:
@@ -204,27 +257,36 @@ class RecursiveResolver:
             self._server_ranking[zone] = ranking
 
         ecs: Optional[ClientSubnetOption] = None
-        if self.ecs_enabled:
+        if self._ecs_active:
             ecs = ClientSubnetOption(
                 prefix_of(client_ip, self.ecs_source_len))
             span.set(ecs_source=str(ecs.prefix))
 
         total_rtt = 0.0
         queries = 0
-        for index, server_ip in enumerate(ranking):
-            query = make_query(qname, qtype, msg_id=self._take_id(),
-                               ecs=ecs)
-            hop = self.network.query(self._ip, server_ip, query, now)
-            self.upstream_queries_total += 1
-            queries += 1
-            if hop.response is None:
-                # Dead server: burn the timeout and fail over to the
-                # next authority in the ranking.
-                total_rtt += hop.rtt_ms + _TIMEOUT_PENALTY_MS
-                self.failovers += 1
+        for server_ip in ranking:
+            response = None
+            for attempt in range(1 + self.max_retries):
+                query = make_query(qname, qtype, msg_id=self._take_id(),
+                                   ecs=ecs)
+                hop = self.network.query(self._ip, server_ip, query, now)
+                self.upstream_queries_total += 1
+                queries += 1
+                if hop.response is not None:
+                    total_rtt += hop.rtt_ms
+                    response = hop.response
+                    break
+                # Timed out: burn an exponentially backed-off retry
+                # timer, then re-query the same server (RFC 1035
+                # suggests retrying before abandoning an authority).
+                penalty = _TIMEOUT_PENALTY_MS * (2.0 ** attempt)
+                hop.span.set(penalty_ms=penalty)
+                total_rtt += hop.rtt_ms + penalty
+            if response is None:
+                # Retry budget exhausted: this authority is dead, fail
+                # over to the next one in the ranking.
+                self.timeout_failovers += 1
                 continue
-            total_rtt += hop.rtt_ms
-            response = hop.response
             if response.flags.tc:
                 # Answer did not fit in UDP: retry this server over
                 # TCP (RFC 1035 4.2.2).
@@ -235,13 +297,26 @@ class RecursiveResolver:
                 queries += 1
                 total_rtt += tcp_hop.rtt_ms
                 if tcp_hop.response is None:
-                    self.failovers += 1
+                    self.tcp_failovers += 1
+                    tcp_hop.span.set(penalty_ms=_TIMEOUT_PENALTY_MS)
                     total_rtt += _TIMEOUT_PENALTY_MS
                     continue
                 response = tcp_hop.response
             return self._process_response(qname, qtype, client_ip,
                                           response, now, queries,
                                           total_rtt, span)
+        # Every authority is unreachable.  Degrade before failing: an
+        # expired cache entry inside the serve-stale window keeps the
+        # client alive with slightly old data (RFC 8767).
+        stale = self.cache.lookup_stale(
+            qname, qtype,
+            client_ip if self._ecs_active else None, now)
+        if stale is not None:
+            self.stale_served += 1
+            span.set(stale=True)
+            return _StepResult(stale.stale_records(_STALE_TTL),
+                               Rcode.NOERROR, False, queries, total_rtt,
+                               stale=True)
         return _StepResult((), Rcode.SERVFAIL, False, queries, total_rtt)
 
     def _process_response(self, qname: str, qtype: int, client_ip: int,

@@ -18,7 +18,7 @@ from repro.dnsproto.name import normalize_name
 from repro.geo.database import GeoDatabase
 from repro.net.ipv4 import format_ipv4
 from repro.net.latency import LatencyModel
-from repro.obs import NOOP, Observability
+from repro.obs import NOOP, NULL_SPAN, Observability
 
 
 class DnsEndpoint(Protocol):
@@ -43,12 +43,37 @@ class QuerySink(Protocol):
                      message: Message) -> None: ...
 
 
+@dataclass(frozen=True)
+class LinkImpairment:
+    """A degraded network path: inflated latency plus packet loss.
+
+    Loss is decided by a deterministic counter-driven hash (no RNG
+    state shared with the rest of the simulation), so an impaired run
+    replays byte-identically under the same schedule.
+    """
+
+    latency_factor: float = 1.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_factor < 1.0:
+            raise ValueError(
+                f"latency_factor must be >= 1: {self.latency_factor}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1): "
+                             f"{self.loss_rate}")
+
+
 @dataclass
 class HopResult:
     """Outcome of one query/response exchange over the network."""
 
     response: Optional[Message]
     rtt_ms: float
+    span: object = NULL_SPAN
+    """The (already closed) trace span of this hop, so callers can
+    annotate it after the fact -- e.g. the retry-timer penalty a
+    recursive charges for a timeout."""
 
 
 class Network:
@@ -69,9 +94,33 @@ class Network:
         self._sinks: List[QuerySink] = []
         self.queries_sent = 0
         self.bytes_sent = 0
+        self.packets_lost = 0
         # RTT memo keyed by /24 pairs: latency is a pure function of
         # the two geo records, and geo granularity is the /24 block.
         self._rtt_cache: Dict[Tuple[int, int], float] = {}
+        # Fault injection: per-endpoint link impairments.  The loss
+        # counter only advances while an impairment with loss is
+        # active, so healthy runs replay byte-identically.
+        self._impairments: Dict[int, LinkImpairment] = {}
+        self._loss_counter = 0
+
+    def impair(self, ip: int, latency_factor: float = 1.0,
+               loss_rate: float = 0.0) -> None:
+        """Degrade every hop to or from ``ip`` (fault injection)."""
+        self._impairments[ip] = LinkImpairment(
+            latency_factor=latency_factor, loss_rate=loss_rate)
+
+    def clear_impairment(self, ip: int) -> None:
+        self._impairments.pop(ip, None)
+
+    def _loss_draw(self) -> float:
+        """Deterministic uniform [0,1) stream for packet-loss coin
+        flips (SplitMix64 over a private counter)."""
+        self._loss_counter += 1
+        z = (self._loss_counter * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return ((z ^ (z >> 31)) >> 11) / float(1 << 53)
 
     def register(self, endpoint: DnsEndpoint) -> None:
         existing = self._endpoints.get(endpoint.ip)
@@ -125,18 +174,33 @@ class Network:
         rtt = self.rtt_ms(src_ip, dst_ip)
         if tcp:
             rtt *= 2.0  # SYN/SYN-ACK before the query can be sent
+        impairment = None
+        if self._impairments:
+            impairment = (self._impairments.get(dst_ip)
+                          or self._impairments.get(src_ip))
+        lost = False
+        if impairment is not None:
+            rtt *= impairment.latency_factor
+            lost = (impairment.loss_rate > 0
+                    and self._loss_draw() < impairment.loss_rate)
         # The hop span wraps the destination's handling, so spans the
         # endpoint opens (authoritative dispatch, mapping decision)
         # nest under this hop in the trace tree.
         with self.obs.tracer.span("hop", dst=format_ipv4(dst_ip),
                                   tcp=tcp) as hop:
-            response_wire = endpoint.handle_query(wire, src_ip, now,
-                                                  tcp=tcp)
+            if lost:
+                self.packets_lost += 1
+                response_wire = None
+                hop.set(lost=True)
+            else:
+                response_wire = endpoint.handle_query(wire, src_ip, now,
+                                                      tcp=tcp)
             hop.set(rtt_ms=rtt, timeout=response_wire is None)
         if response_wire is None:
-            return HopResult(response=None, rtt_ms=rtt)
+            return HopResult(response=None, rtt_ms=rtt, span=hop)
         self.bytes_sent += len(response_wire)
-        return HopResult(response=Message.decode(response_wire), rtt_ms=rtt)
+        return HopResult(response=Message.decode(response_wire),
+                         rtt_ms=rtt, span=hop)
 
 
 class AuthorityDirectory:

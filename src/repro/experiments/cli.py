@@ -146,4 +146,6 @@ def main(argv: List[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
+    print("note: 'python -m repro.experiments.cli' is deprecated; "
+          "use 'python -m repro experiment'", file=sys.stderr)
     sys.exit(main())

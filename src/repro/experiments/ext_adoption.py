@@ -22,7 +22,7 @@ from repro.dnsproto.types import QType
 from repro.experiments.base import ExperimentResult, ratio
 from repro.experiments.scales import get_scale
 from repro.net.geometry import great_circle_miles
-from repro.simulation.world import build_world
+from repro.api import build_world
 
 EXPERIMENT_ID = "ext-adoption"
 TITLE = "Universal EDNS0 adoption: gains for ISP-resolver clients"

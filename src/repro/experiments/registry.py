@@ -6,6 +6,7 @@ from types import ModuleType
 from typing import Dict, List
 
 from repro.experiments import (
+    degradation,
     ext_adoption,
     fig02,
     fig05,
@@ -37,6 +38,7 @@ _MODULES: List[ModuleType] = [
     fig22, fig23, fig24, fig25,
     # Extensions beyond the paper's figures:
     ext_adoption,
+    degradation,
 ]
 
 _BY_ID: Dict[str, ModuleType] = {

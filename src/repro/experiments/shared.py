@@ -19,8 +19,9 @@ from repro.measurement.netsession import (
 )
 from repro.measurement.querylog import PairKey
 from repro.simulation.dnsload import drive_dns_load
-from repro.simulation.rollout import RolloutResult, run_rollout
-from repro.simulation.world import World, build_world
+from repro.api import build_world, run_rollout
+from repro.simulation.rollout import RolloutResult
+from repro.simulation.world import World
 from repro.topology.internet import Internet, build_internet
 
 _internet_cache: Dict[str, Internet] = {}

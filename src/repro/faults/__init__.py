@@ -1,0 +1,21 @@
+"""Deterministic fault injection (`repro.faults`).
+
+* :mod:`repro.faults.schedule` -- declarative ``FaultSchedule`` /
+  ``FaultEvent`` data model: when targets break and recover.
+* :mod:`repro.faults.injector` -- ``FaultInjector`` applies a schedule
+  to a live world day by day, with exact reverts on recovery.
+
+The degradation machinery the schedules exercise (retry/backoff,
+serve-stale, EU->NS fallback, stub failover) lives in the components
+themselves; this package only orchestrates *when* they get exercised.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+]

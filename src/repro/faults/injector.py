@@ -1,0 +1,194 @@
+"""Applies a :class:`FaultSchedule` to a live world, day by day.
+
+The injector is driven by the roll-out loop: ``step(day)`` diffs the
+set of events active on ``day`` against what is currently applied,
+reverts the events that ended, and applies the ones that started --
+always in the schedule's canonical order, so replays are
+deterministic.  Every application records a matching *revert* closure,
+making recovery exact: a cluster outage only revives the servers the
+outage killed, never servers some other fault took down.
+
+While any fault is active the world's tracer carries a ``faults``
+context attribute, so every sampled trace records which outages were
+in force when it ran.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+
+class FaultInjector:
+    """Replays one schedule against one world."""
+
+    def __init__(self, world, schedule: FaultSchedule) -> None:
+        self.world = world
+        self.schedule = schedule
+        self.events_applied = 0
+        self._applied: Dict[FaultEvent, Callable[[], None]] = {}
+
+    @property
+    def active_events(self) -> List[FaultEvent]:
+        return sorted(self._applied,
+                      key=lambda e: (e.start_day, e.kind, e.target))
+
+    def step(self, day: int) -> None:
+        """Bring the world in sync with the schedule for ``day``."""
+        target_set = set(self.schedule.active(day))
+        for event in list(self._applied):
+            if event not in target_set:
+                self._applied.pop(event)()
+        for event in self.schedule.active(day):
+            if event not in self._applied:
+                self._applied[event] = self._apply(event)
+                self.events_applied += 1
+                self.world.obs.registry.counter(
+                    "faults.events_applied").inc()
+        self.world.obs.registry.gauge("faults.active").set(
+            len(self._applied))
+        self._sync_trace_context()
+
+    def finish(self) -> None:
+        """Revert everything still applied (end-of-run cleanup)."""
+        for event in self.active_events:
+            self._applied.pop(event)()
+        self._sync_trace_context()
+
+    # -- application per kind ---------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> Callable[[], None]:
+        handler = {
+            FaultKind.AUTH_OUTAGE: self._apply_auth_outage,
+            FaultKind.CLUSTER_OUTAGE: self._apply_cluster_outage,
+            FaultKind.ECS_STRIP: self._apply_ecs_strip,
+            FaultKind.LDNS_BLACKOUT: self._apply_ldns_blackout,
+            FaultKind.LINK_DEGRADATION: self._apply_link_degradation,
+        }[event.kind]
+        return handler(event)
+
+    def _apply_auth_outage(self, event: FaultEvent):
+        victims = self._nameservers_for(event.target)
+        # Only kill servers this event found alive, so overlapping
+        # outages revert independently.
+        killed = [ns for ns in victims if ns.alive]
+        for ns in killed:
+            ns.fail()
+
+        def revert() -> None:
+            for ns in killed:
+                ns.recover()
+        return revert
+
+    def _apply_cluster_outage(self, event: FaultEvent):
+        cluster = self._cluster_for(event.target)
+        killed = [server for server in cluster.servers if server.alive]
+        for server in killed:
+            server.fail()
+
+        def revert() -> None:
+            for server in killed:
+                server.recover()
+        return revert
+
+    def _apply_ecs_strip(self, event: FaultEvent):
+        stripped = []
+        for ldns in self._resolvers_for(event.target):
+            if not ldns.ecs_stripped:
+                ldns.ecs_stripped = True
+                stripped.append(ldns)
+
+        def revert() -> None:
+            for ldns in stripped:
+                ldns.ecs_stripped = False
+        return revert
+
+    def _apply_ldns_blackout(self, event: FaultEvent):
+        darkened = []
+        for ldns in self._resolvers_for(event.target):
+            if ldns.alive:
+                ldns.fail()
+                darkened.append(ldns)
+
+        def revert() -> None:
+            for ldns in darkened:
+                ldns.recover()
+        return revert
+
+    def _apply_link_degradation(self, event: FaultEvent):
+        network = self.world.network
+        impaired = []
+        for ldns in self._resolvers_for(event.target):
+            network.impair(
+                ldns.ip,
+                latency_factor=event.param("latency_factor", 3.0),
+                loss_rate=event.param("loss_rate", 0.25))
+            impaired.append(ldns.ip)
+
+        def revert() -> None:
+            for ip in impaired:
+                network.clear_impairment(ip)
+        return revert
+
+    # -- target grammars ---------------------------------------------------
+
+    def _nameservers_for(self, target: str):
+        servers = self.world.nameservers
+        if target in ("ns:*", "*"):
+            return list(servers)
+        if target.startswith("ns:"):
+            index = int(target.split(":", 1)[1])
+            if not 0 <= index < len(servers):
+                raise KeyError(f"no nameserver {target!r}")
+            return [servers[index]]
+        raise KeyError(f"bad auth_outage target {target!r}")
+
+    def _cluster_for(self, target: str):
+        clusters = self.world.deployments.clusters
+        if target.startswith("cluster:"):
+            rest = target.split(":", 1)[1]
+            if rest.isdigit():
+                ids = sorted(clusters)
+                index = int(rest)
+                if not 0 <= index < len(ids):
+                    raise KeyError(f"no cluster {target!r}")
+                return clusters[ids[index]]
+        if target in clusters:
+            return clusters[target]
+        raise KeyError(f"unknown cluster {target!r}")
+
+    def _resolvers_for(self, target: str):
+        registry = self.world.ldns_registry
+        public = sorted(self.world.public_ldns_ids())
+        isp = [rid for rid in sorted(registry) if rid not in set(public)]
+        if target == "public:*":
+            ids = public
+        elif target == "isp:*":
+            ids = isp
+        elif target == "*":
+            ids = sorted(registry)
+        else:
+            group, _, rest = target.partition(":")
+            if group in ("public", "isp") and rest.isdigit():
+                pool = public if group == "public" else isp
+                index = int(rest)
+                if not 0 <= index < len(pool):
+                    raise KeyError(f"no resolver {target!r}")
+                ids = [pool[index]]
+            else:
+                rid = rest if group == "resolver" and rest else target
+                if rid not in registry:
+                    raise KeyError(f"unknown resolver {target!r}")
+                ids = [rid]
+        return [registry[rid] for rid in ids]
+
+    # -- trace context ------------------------------------------------------
+
+    def _sync_trace_context(self) -> None:
+        tracer = self.world.obs.tracer
+        if self._applied:
+            labels = sorted(f"{e.kind}:{e.target}" for e in self._applied)
+            tracer.context["faults"] = ",".join(labels)
+        else:
+            tracer.context.pop("faults", None)

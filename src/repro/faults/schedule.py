@@ -1,0 +1,167 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is a list of :class:`FaultEvent` rows --
+``(start_day, duration_days, target, kind)`` -- describing *when* a
+piece of the simulated ecosystem breaks and when it recovers.  The
+schedule itself is pure data: it draws no randomness and touches no
+world state, so two runs with the same seed and schedule replay
+byte-identically (the property the determinism tests pin).  Applying a
+schedule to a live world is the job of
+:class:`repro.faults.injector.FaultInjector`.
+
+Fault kinds (the failure modes Section 4 of the paper rolls out
+around, plus those Kernan et al. and Al-Dalky & Rabinovich measure in
+the wild):
+
+* ``auth_outage`` -- an authoritative name server stops answering;
+  recursives burn retry timers and fail over down their ranking.
+* ``cluster_outage`` -- every edge server in a CDN cluster dies; the
+  mapping system must route demand to surviving clusters.
+* ``ecs_strip`` -- a resolver silently drops the EDNS0 client-subnet
+  option; mapping degrades from EU to NS quality.
+* ``ldns_blackout`` -- a recursive resolver goes dark; stubs fail over
+  to a public resolver after a timeout.
+* ``link_degradation`` -- a network path inflates latency and drops
+  packets for the duration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class FaultKind:
+    """String constants naming the supported fault kinds."""
+
+    AUTH_OUTAGE = "auth_outage"
+    CLUSTER_OUTAGE = "cluster_outage"
+    ECS_STRIP = "ecs_strip"
+    LDNS_BLACKOUT = "ldns_blackout"
+    LINK_DEGRADATION = "link_degradation"
+
+    ALL = (AUTH_OUTAGE, CLUSTER_OUTAGE, ECS_STRIP, LDNS_BLACKOUT,
+           LINK_DEGRADATION)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: a target breaks on ``start_day`` and
+    recovers ``duration_days`` later.
+
+    ``target`` addresses the thing that breaks:
+
+    * ``ns:<index>`` or ``ns:*`` -- authoritative server(s) by build
+      order (``auth_outage``);
+    * a cluster id or ``cluster:<index>`` into the sorted cluster ids
+      (``cluster_outage``);
+    * LDNS deployments (``ecs_strip`` / ``ldns_blackout`` /
+      ``link_degradation``): a resolver id, ``resolver:<id>``,
+      ``public:*`` / ``isp:*`` for whole groups, or
+      ``public:<index>`` / ``isp:<index>`` into the sorted group --
+      index grammar lets schedules address worlds not yet built.
+
+    ``params`` carries kind-specific numbers as a sorted tuple of
+    ``(name, value)`` pairs so events stay hashable and their JSON
+    round-trip is canonical.
+    """
+
+    start_day: int
+    duration_days: int
+    target: str
+    kind: str
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start_day < 0:
+            raise ValueError(f"start_day must be >= 0: {self.start_day}")
+        if self.duration_days < 1:
+            raise ValueError(
+                f"duration_days must be >= 1: {self.duration_days}")
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        object.__setattr__(self, "params",
+                           tuple(sorted(self.params)))
+
+    @property
+    def end_day(self) -> int:
+        """First day the target is healthy again (exclusive bound)."""
+        return self.start_day + self.duration_days
+
+    def active(self, day: int) -> bool:
+        return self.start_day <= day < self.end_day
+
+    def param(self, name: str, default: float = 0.0) -> float:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def to_dict(self) -> Dict:
+        doc = {
+            "start_day": self.start_day,
+            "duration_days": self.duration_days,
+            "target": self.target,
+            "kind": self.kind,
+        }
+        if self.params:
+            doc["params"] = {k: v for k, v in self.params}
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "FaultEvent":
+        return cls(
+            start_day=int(doc["start_day"]),
+            duration_days=int(doc["duration_days"]),
+            target=str(doc["target"]),
+            kind=str(doc["kind"]),
+            params=tuple(sorted(
+                (str(k), float(v))
+                for k, v in doc.get("params", {}).items())),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered collection of fault events for one scenario."""
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(
+            self.events,
+            key=lambda e: (e.start_day, e.kind, e.target)))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def active(self, day: int) -> Tuple[FaultEvent, ...]:
+        """Events in force on ``day``, in canonical order."""
+        return tuple(e for e in self.events if e.active(day))
+
+    def window(self, kind: str) -> Optional[Tuple[int, int]]:
+        """[first start_day, last end_day) across events of ``kind``."""
+        matching = [e for e in self.events if e.kind == kind]
+        if not matching:
+            return None
+        return (min(e.start_day for e in matching),
+                max(e.end_day for e in matching))
+
+    def to_dict(self) -> List[Dict]:
+        return [event.to_dict() for event in self.events]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, docs: Iterable[Dict]) -> "FaultSchedule":
+        return cls(tuple(FaultEvent.from_dict(doc) for doc in docs))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))

@@ -20,11 +20,15 @@ Canonical metric names exported for a wired world:
 ``lb.decisions`` / ``lb.spillovers``  global load balancer
 ``ldns.cache.hits`` / ``lookups`` /
 ``insertions`` / ``evictions`` /
-``expirations``                       summed over the LDNS fleet
+``expirations`` / ``stale_hits``      summed over the LDNS fleet
 ``ldns.client_queries`` /
 ``ldns.upstream_queries`` /
 ``ldns.tcp_retries`` /
-``ldns.failovers``                    recursive resolver activity
+``ldns.failovers`` /
+``ldns.timeout_failovers`` /
+``ldns.tcp_failovers`` /
+``ldns.servfails`` /
+``ldns.stale_served``                 recursive resolver activity
 ``auth.queries`` / ``responses`` /
 ``truncations`` / ``tcp_queries``     authoritative servers
 ``network.queries`` / ``bytes``       simulated wire
@@ -69,8 +73,11 @@ def register_world_collectors(registry: MetricsRegistry, world) -> None:
         reg.gauge("lb.spillovers").set(glb.spillovers)
 
         cache_totals = {"hits": 0, "misses": 0, "insertions": 0,
-                        "evictions": 0, "expirations": 0}
-        client_queries = upstream = tcp_retries = failovers = 0
+                        "evictions": 0, "expirations": 0,
+                        "stale_hits": 0}
+        client_queries = upstream = tcp_retries = 0
+        timeout_failovers = tcp_failovers = 0
+        servfails = stale_served = 0
         for ldns in world.ldns_registry.values():
             for key, value in ldns.cache.stats.as_dict().items():
                 if key in cache_totals:
@@ -78,7 +85,10 @@ def register_world_collectors(registry: MetricsRegistry, world) -> None:
             client_queries += ldns.client_queries
             upstream += ldns.upstream_queries_total
             tcp_retries += ldns.tcp_retries
-            failovers += ldns.failovers
+            timeout_failovers += ldns.timeout_failovers
+            tcp_failovers += ldns.tcp_failovers
+            servfails += ldns.servfail_responses
+            stale_served += ldns.stale_served
         for key, value in cache_totals.items():
             reg.gauge(f"ldns.cache.{key}").set(value)
         reg.gauge("ldns.cache.lookups").set(
@@ -86,7 +96,13 @@ def register_world_collectors(registry: MetricsRegistry, world) -> None:
         reg.gauge("ldns.client_queries").set(client_queries)
         reg.gauge("ldns.upstream_queries").set(upstream)
         reg.gauge("ldns.tcp_retries").set(tcp_retries)
-        reg.gauge("ldns.failovers").set(failovers)
+        # ``failovers`` stays the historical total; the split gauges
+        # distinguish UDP-timeout abandonment from TCP-retry death.
+        reg.gauge("ldns.failovers").set(timeout_failovers + tcp_failovers)
+        reg.gauge("ldns.timeout_failovers").set(timeout_failovers)
+        reg.gauge("ldns.tcp_failovers").set(tcp_failovers)
+        reg.gauge("ldns.servfails").set(servfails)
+        reg.gauge("ldns.stale_served").set(stale_served)
 
         reg.gauge("auth.queries").set(
             sum(ns.queries_received for ns in world.nameservers))

@@ -37,7 +37,7 @@ def run_scenario(scale: str = "tiny", sessions: int = 25, seed: int = 7,
     holding one trace per sampled session.
     """
     from repro.simulation.session import simulate_session
-    from repro.simulation.world import build_world
+    from repro.api import build_world
 
     spec = get_scale(scale)
     world = build_world(spec.world)
@@ -127,4 +127,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
+    import sys as _sys
+
+    print("note: 'python -m repro.obs.dump' is deprecated; "
+          "use 'python -m repro dump'", file=_sys.stderr)
     raise SystemExit(main())

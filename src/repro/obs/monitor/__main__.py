@@ -1,4 +1,8 @@
 from repro.obs.monitor.cli import main
 
 if __name__ == "__main__":
+    import sys as _sys
+
+    print("note: 'python -m repro.obs.monitor' is deprecated; "
+          "use 'python -m repro monitor'", file=_sys.stderr)
     raise SystemExit(main())

@@ -34,8 +34,7 @@ def run_monitored_rollout(
 ) -> Tuple["World", RolloutMonitor, "RolloutResult"]:
     """Build a world and run the scale's roll-out under a monitor."""
     from repro.experiments.scales import get_scale
-    from repro.simulation.rollout import run_rollout
-    from repro.simulation.world import build_world
+    from repro.api import build_world, run_rollout
 
     spec = get_scale(scale)
     overrides = {"seed": seed}

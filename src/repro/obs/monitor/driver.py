@@ -111,6 +111,21 @@ def default_rollout_rules(
         ThresholdRule(
             "edge_cache_hit_rate_low", "edge.cache.hit_rate",
             op="lt", threshold=0.05, severity="warning", for_steps=3),
+        # Fault plane: silent in a healthy run, fire during injected
+        # outages and resolve on recovery (the acceptance property of
+        # the fault-injection suite).
+        ThresholdRule(
+            "auth_timeout_spike", "dns.timeout_failovers",
+            op="gt", threshold=0.0, severity="warning", for_steps=2),
+        ThresholdRule(
+            "dns_servfail", "dns.servfails",
+            op="gt", threshold=0.0, severity="critical", for_steps=2),
+        ThresholdRule(
+            "mapping_degraded", "mapping.degraded_share",
+            op="gt", threshold=0.0, severity="warning", for_steps=2),
+        ThresholdRule(
+            "availability_low", "availability",
+            op="lt", threshold=0.99, severity="critical", for_steps=2),
     ]
 
 
@@ -131,6 +146,7 @@ class RolloutMonitor:
             else rules)
         self._seen_beacons = 0
         self._ewma: Dict[str, float] = {}
+        self._prev_gauges: Dict[str, float] = {}
         self.days_observed = 0
 
     @classmethod
@@ -193,6 +209,36 @@ class RolloutMonitor:
             _ratio(gauges.get("ldns.cache.hits", 0.0),
                    gauges.get("ldns.cache.lookups", 0.0)),
             help="cumulative LDNS-cache hit rate")
+
+        # Fault/degradation plane.  The resolver fault counters are
+        # cumulative gauges, so mirror their per-day deltas -- the
+        # quantity the outage alert rules threshold on.
+        for series, gauge, blurb in (
+                ("dns.timeout_failovers", "ldns.timeout_failovers",
+                 "authority UDP-timeout failovers today"),
+                ("dns.servfails", "ldns.servfails",
+                 "SERVFAIL answers handed to clients today"),
+                ("dns.stale_served", "ldns.stale_served",
+                 "serve-stale answers handed to clients today")):
+            value = gauges.get(gauge, 0.0)
+            self.store.record(day, series,
+                              value - self._prev_gauges.get(gauge, 0.0),
+                              help=blurb)
+            self._prev_gauges[gauge] = value
+        sessions = result.sessions_per_day.get(day, 0)
+        failed = getattr(result, "failed_sessions_per_day",
+                         {}).get(day, 0)
+        degraded = getattr(result, "degraded_sessions_per_day",
+                           {}).get(day, 0)
+        completed = sessions - failed
+        self.store.record(
+            day, "availability",
+            _ratio(completed, sessions) if sessions else 1.0,
+            help="share of sessions that completed today")
+        self.store.record(
+            day, "mapping.degraded_share",
+            _ratio(degraded, completed),
+            help="share of completed sessions that degraded today")
 
     def _cohort_series(self, day: int) -> None:
         """Mirror today's cohort means into the store, raw plus an

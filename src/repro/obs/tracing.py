@@ -147,6 +147,11 @@ class QueryTracer:
         self.started = 0
         self.sampled = 0
         self.dropped = 0
+        self.context: Dict[str, object] = {}
+        """Ambient attributes stamped onto every subsequently started
+        root span -- e.g. the fault injector records which outages are
+        in force, so traces are attributable to their failure regime.
+        Empty (the default) adds nothing to any trace."""
         self._stack: List[Span] = []
         self._next_span_id = 0
 
@@ -172,6 +177,8 @@ class QueryTracer:
             return NULL_SPAN
         self.sampled += 1
         self._next_span_id = 0
+        if self.context:
+            attrs = {**attrs, **self.context}
         return _SpanContext(self, self._make_span(name, attrs))
 
     def span(self, name: str, **attrs):

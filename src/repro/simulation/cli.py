@@ -21,8 +21,8 @@ from typing import List
 from repro.core.reporting import build_status_report
 from repro.experiments.scales import get_scale, scale_names
 from repro.simulation.dnsload import DnsLoadConfig, drive_dns_load
-from repro.simulation.rollout import RolloutConfig, run_rollout
-from repro.simulation.world import build_world
+from repro.api import build_world, run_rollout
+from repro.simulation.rollout import RolloutConfig
 
 
 def _build(scale: str):
@@ -157,4 +157,6 @@ def main(argv: List[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
+    print("note: 'python -m repro.simulation.cli' is deprecated; "
+          "use 'python -m repro sim'", file=sys.stderr)
     sys.exit(main())

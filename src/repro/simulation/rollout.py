@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import datetime
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -80,6 +81,12 @@ class RolloutResult:
     ecs_resolvers_per_day: Dict[int, int] = field(default_factory=dict)
     high_expectation_countries: List[str] = field(default_factory=list)
     median_public_distance: Dict[str, float] = field(default_factory=dict)
+    failed_sessions_per_day: Dict[int, int] = field(default_factory=dict)
+    """Sessions the client could not complete (availability's
+    complement); empty in a fault-free run."""
+    degraded_sessions_per_day: Dict[int, int] = field(default_factory=dict)
+    """Sessions completed through a degradation path (failover, stale
+    answer, ECS strip, dead-server retry); empty in a fault-free run."""
 
     @property
     def before_window(self) -> tuple:
@@ -153,9 +160,26 @@ def classify_expectation_groups(
         {b.prefix: b.country for b in world.internet.blocks})
 
 
-def run_rollout(world: World,
+def run_rollout(*, world: World,
                 config: Optional[RolloutConfig] = None,
                 observer=None) -> RolloutResult:
+    """Deprecated spelling of :func:`repro.api.run_rollout`.
+
+    Kept as a keyword-only shim so existing callers keep working; new
+    code should compose a :class:`repro.api.ScenarioSpec` (or call
+    ``repro.api.run_rollout``) instead.
+    """
+    warnings.warn(
+        "repro.simulation.run_rollout is deprecated; use "
+        "repro.api.run_rollout (or repro.api.run with a ScenarioSpec)",
+        DeprecationWarning, stacklevel=2)
+    return _run_rollout(world, config=config, observer=observer)
+
+
+def _run_rollout(world: World,
+                 config: Optional[RolloutConfig] = None,
+                 observer=None,
+                 injector=None) -> RolloutResult:
     """Run the full roll-out timeline against a world.
 
     ``observer`` is an optional monitoring hook -- any object with an
@@ -165,6 +189,10 @@ def run_rollout(world: World,
     the observer receives no RNG and every random draw happens before
     it is invoked, so a monitored and an unmonitored roll-out replay
     identically.
+
+    ``injector`` is an optional :class:`repro.faults.FaultInjector`
+    stepped at the top of each day, before any session runs, so a
+    day's sessions see exactly the faults scheduled for that day.
     """
     config = config or RolloutConfig()
     rng = random.Random(config.seed)
@@ -187,6 +215,10 @@ def run_rollout(world: World,
 
     registry = world.obs.registry
     for day in range(config.n_days):
+        # --- fault schedule: break/recover targets for this day --------
+        if injector is not None:
+            injector.step(day)
+
         # --- roll-out progress: flip the next tranche of resolvers ----
         fraction = config.rollout_fraction(day)
         n_enabled = int(round(fraction * len(public_ids)))
@@ -204,12 +236,21 @@ def run_rollout(world: World,
         spacing = DAY_SECONDS / sessions_today
 
         requests_today = 0
+        failed_today = 0
+        degraded_today = 0
         for index in range(sessions_today):
             now = day * DAY_SECONDS + index * spacing + rng.uniform(
                 0, spacing * 0.5)
             block = world.internet.pick_block(rng)
             session = simulate_session(world, block, now, rng)
             requests_today += session.requests
+            if session.failed:
+                # No page was loaded: nothing to beacon (real RUM
+                # only reports from pages that rendered).
+                failed_today += 1
+                continue
+            if session.degraded:
+                degraded_today += 1
             result.rum.record(RumBeacon(
                 day=day,
                 block=block.prefix,
@@ -227,10 +268,16 @@ def run_rollout(world: World,
             ))
         result.sessions_per_day[day] = sessions_today
         result.requests_per_day[day] = requests_today
+        result.failed_sessions_per_day[day] = failed_today
+        result.degraded_sessions_per_day[day] = degraded_today
         registry.counter("rollout.sessions").inc(sessions_today)
         registry.counter("rollout.requests").inc(requests_today)
+        if failed_today:
+            registry.counter("rollout.failed_sessions").inc(failed_today)
 
         if observer is not None:
             observer.on_day(day, world, result)
 
+    if injector is not None:
+        injector.finish()
     return result

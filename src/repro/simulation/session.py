@@ -40,6 +40,9 @@ TCP_WINDOW_BYTES = 64 * 1024
 PARALLEL_CONNECTIONS = 6
 #: Edge server base processing time for a cache hit (ms).
 EDGE_PROCESS_MS = 4.0
+#: TCP connect timeout burned per dead edge server the client tries
+#: before the next address in the answer (fault-injection path only).
+CONNECT_TIMEOUT_MS = 3000.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +68,16 @@ class SessionResult:
     """HTTP requests issued (base page + embedded objects): the
     'client requests' series of Figure 2."""
     edge_cache_hits: int
+    failed: bool = False
+    """True when the session could not complete at all (DNS SERVFAIL
+    with no fallback, or every answered server dead): the complement
+    of the availability metric."""
+    degraded: bool = False
+    """Completed, but through a degradation path: stub failover, an
+    ECS-stripped resolution, a stale DNS answer, or a dead-server
+    connect retry."""
+    stale_served: bool = False
+    """The DNS answer came from an expired cache entry (RFC 8767)."""
 
     @property
     def page_load_ms(self) -> float:
@@ -101,27 +114,57 @@ def _run_session(world, block, now, rng, provider, page, client_ip,
     # --- DNS ----------------------------------------------------------------
     resolver_id = block.pick_ldns(rng)
     ldns = world.ldns_registry[resolver_id]
+    fallback_id = None
+    fallback = None
+    if not ldns.alive:
+        # An injected LDNS blackout: the stub will fail over to the
+        # nearest live public resolver after its timeout.
+        fallback_id, fallback = _fallback_ldns(world, client_ip,
+                                               resolver_id)
     stub = StubResolver(client_ip, world.network)
     tracer = world.obs.tracer
     with tracer.span("dns", resolver=resolver_id) as dns_span:
-        resolution = stub.resolve(provider.domain, ldns, now)
+        resolution = stub.resolve(provider.domain, ldns, now,
+                                  fallback=fallback)
         dns_span.set(dns_ms=resolution.dns_time_ms,
                      cache_hit=resolution.ldns_cache_hit,
                      upstream_queries=resolution.upstream_queries)
+        if resolution.failed_over:
+            dns_span.set(failed_over=True, fallback=fallback_id)
+    if resolution.failed_over and fallback_id is not None:
+        resolver_id, ldns = fallback_id, fallback
     if not resolution.ok:
-        raise RuntimeError(
-            f"resolution failed for {provider.domain} via {resolver_id}: "
-            f"rcode={resolution.rcode}")
-    server_ip = resolution.addresses[0]
-    server = world.deployments.server_index.get(server_ip)
+        root.set(failed=True, rcode=int(resolution.rcode))
+        return _failed_session(world, block, provider, resolver_id,
+                               ldns, resolution)
+
+    # Try the answered addresses in order; footnote 2 of the paper has
+    # two servers returned "as a precaution against transient
+    # failures" -- a dead first server costs a connect timeout, not
+    # the session.
+    server_ip = None
+    server = None
+    dead_tried = 0
+    for ip in resolution.addresses:
+        candidate = world.deployments.server_index.get(ip)
+        if candidate is None:
+            raise RuntimeError(f"mapped to unknown server {ip}")
+        if candidate.alive:
+            server_ip, server = ip, candidate
+            break
+        dead_tried += 1
+    if server is None:
+        root.set(failed=True, dead_servers=dead_tried)
+        return _failed_session(world, block, provider, resolver_id,
+                               ldns, resolution)
     cluster = world.deployments.cluster_of_server(server_ip)
-    if server is None or cluster is None:
+    if cluster is None:
         raise RuntimeError(f"mapped to unknown server {server_ip}")
 
     # --- transport characteristics ------------------------------------------
     base_rtt = world.network.rtt_ms(client_ip, server_ip)
     rtt = _with_noise(base_rtt + block.last_mile_ms, rng)
-    connect_ms = rtt
+    connect_ms = rtt + dead_tried * CONNECT_TIMEOUT_MS
 
     # --- base page (TTFB) ------------------------------------------------------
     origin = world.origins[provider.name]
@@ -169,13 +212,20 @@ def _run_session(world, block, now, rng, provider, page, client_ip,
     if account_load:
         answered = [world.deployments.server_index[ip]
                     for ip in resolution.addresses
-                    if ip in world.deployments.server_index]
+                    if ip in world.deployments.server_index
+                    and world.deployments.server_index[ip].alive]
         spread_load(answered, rps=0.01 * requests)
 
+    ecs_used = ldns.ecs_enabled and not ldns.ecs_stripped
+    degraded = (resolution.failed_over or resolution.stale
+                or dead_tried > 0
+                or (ldns.ecs_enabled and ldns.ecs_stripped))
     root.set(cluster=cluster.cluster_id, resolver=resolver_id,
              rtt_ms=rtt, connect_ms=connect_ms, ttfb_ms=ttfb_ms,
              download_ms=download_ms, requests=requests,
              edge_cache_hits=cache_hits)
+    if degraded:
+        root.set(degraded=True)
     meta = world.internet.resolvers[resolver_id]
     return SessionResult(
         block=block,
@@ -183,7 +233,7 @@ def _run_session(world, block, now, rng, provider, page, client_ip,
         domain=provider.domain,
         resolver_id=resolver_id,
         via_public_resolver=meta.is_public,
-        ecs_used=ldns.ecs_enabled,
+        ecs_used=ecs_used,
         server_ip=server_ip,
         cluster_id=cluster.cluster_id,
         dns_ms=resolution.dns_time_ms,
@@ -195,18 +245,82 @@ def _run_session(world, block, now, rng, provider, page, client_ip,
         upstream_dns_queries=resolution.upstream_queries,
         requests=requests,
         edge_cache_hits=cache_hits,
+        degraded=degraded,
+        stale_served=resolution.stale,
+    )
+
+
+def _fallback_ldns(world, client_ip: int, exclude_id: str):
+    """Nearest live public resolver to fail over to, or (None, None).
+
+    Deterministic: ties on RTT break by resolver id.
+    """
+    best_id, best, best_key = None, None, None
+    for rid in world.public_ldns_ids():
+        if rid == exclude_id:
+            continue
+        candidate = world.ldns_registry[rid]
+        if not candidate.alive:
+            continue
+        key = (world.network.rtt_ms(client_ip, candidate.ip), rid)
+        if best_key is None or key < best_key:
+            best_id, best, best_key = rid, candidate, key
+    return best_id, best
+
+
+def _failed_session(world, block, provider, resolver_id, ldns,
+                    resolution) -> SessionResult:
+    """A session the client could not complete: no reachable answer.
+
+    Carries the DNS time actually burned, so availability analyses see
+    the cost; every transfer milestone is zero and no requests count.
+    """
+    meta = world.internet.resolvers[resolver_id]
+    return SessionResult(
+        block=block,
+        provider_name=provider.name,
+        domain=provider.domain,
+        resolver_id=resolver_id,
+        via_public_resolver=meta.is_public,
+        ecs_used=False,
+        server_ip=0,
+        cluster_id=None,
+        dns_ms=resolution.dns_time_ms,
+        connect_ms=0.0,
+        rtt_ms=0.0,
+        ttfb_ms=0.0,
+        download_ms=0.0,
+        mapping_distance_miles=0.0,
+        upstream_dns_queries=resolution.upstream_queries,
+        requests=0,
+        edge_cache_hits=0,
+        failed=True,
     )
 
 
 def _record_session_metrics(registry, block: ClientBlock,
                             result: SessionResult) -> None:
-    """Session-level registry metrics (demand-weighted histograms)."""
+    """Session-level registry metrics (demand-weighted histograms).
+
+    Failed sessions count only toward ``sessions.failed`` -- their
+    zeroed milestones would poison the latency histograms.  The
+    fault-path counters (``sessions.failed`` / ``.degraded`` /
+    ``.stale``) are created lazily on first increment, so a healthy
+    run's registry snapshot is unchanged by their existence.
+    """
+    if result.failed:
+        registry.counter("sessions.failed").inc()
+        return
     registry.counter("sessions.completed").inc()
     registry.counter("sessions.requests").inc(result.requests)
     registry.counter("sessions.edge_cache_hits").inc(
         result.edge_cache_hits)
     if result.ecs_used:
         registry.counter("sessions.ecs_used").inc()
+    if result.degraded:
+        registry.counter("sessions.degraded").inc()
+    if result.stale_served:
+        registry.counter("sessions.stale").inc()
     weight = block.demand
     registry.histogram("session.dns_ms").observe(result.dns_ms, weight)
     registry.histogram("session.rtt_ms").observe(result.rtt_ms, weight)

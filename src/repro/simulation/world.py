@@ -18,6 +18,7 @@ balancer choice of cluster for the client's LDNS").
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -37,6 +38,7 @@ from repro.dnssrv.authoritative import (
     StaticZone,
     WhoAmIZone,
 )
+from repro.dnssrv.cache import EcsAwareCache
 from repro.dnssrv.recursive import RecursiveResolver
 from repro.dnssrv.transport import AuthorityDirectory, Network
 from repro.geo.cities import city_index
@@ -61,6 +63,10 @@ class WorldConfig:
     dns_ttl: int = 300
     """Mapping-answer TTL.  Short TTLs keep mapping responsive; the
     paper's agility/query-rate trade-off is swept by the TTL ablation."""
+    serve_stale_window: float = 0.0
+    """Seconds past expiry LDNS caches may serve stale answers when
+    every authority is unreachable (RFC 8767).  0 -- the default --
+    disables serve-stale, reproducing the pre-fault behaviour."""
     seed: int = 2014
 
     def __post_init__(self) -> None:
@@ -68,6 +74,9 @@ class WorldConfig:
             raise ValueError("need at least one name server")
         if self.n_deployments < self.n_nameservers:
             raise ValueError("more name servers than deployments")
+        if self.serve_stale_window < 0:
+            raise ValueError(
+                f"negative serve_stale_window: {self.serve_stale_window}")
 
     @classmethod
     def tiny(cls) -> "WorldConfig":
@@ -173,8 +182,23 @@ class World:
         return sorted(self.internet.public_resolver_ids())
 
 
-def build_world(config: Optional[WorldConfig] = None,
+def build_world(*, config: Optional[WorldConfig] = None,
                 policy: Optional[MappingPolicy] = None) -> World:
+    """Deprecated spelling of :func:`repro.api.build_world`.
+
+    Kept as a keyword-only shim so existing callers keep working; new
+    code should compose a :class:`repro.api.ScenarioSpec` (or call
+    ``repro.api.build_world``) instead.
+    """
+    warnings.warn(
+        "repro.simulation.build_world is deprecated; use "
+        "repro.api.build_world (or repro.api.run with a ScenarioSpec)",
+        DeprecationWarning, stacklevel=2)
+    return _build_world(config=config, policy=policy)
+
+
+def _build_world(config: Optional[WorldConfig] = None,
+                 policy: Optional[MappingPolicy] = None) -> World:
     """Build and wire a complete world from a config."""
     config = config or WorldConfig.small()
     rng = random.Random(config.seed ^ 0xC0FFEE)
@@ -246,6 +270,8 @@ def build_world(config: Optional[WorldConfig] = None,
             network=network,
             directory=directory,
             ecs_enabled=False,
+            cache=EcsAwareCache(
+                serve_stale_window=config.serve_stale_window),
             name=resolver_id,
             obs=obs,
         )

@@ -1,0 +1,172 @@
+"""The ``repro.api`` scenario facade and the unified CLI.
+
+Pins the API-redesign contracts:
+
+* the legacy ``repro.simulation`` spellings of ``build_world`` /
+  ``run_rollout`` are keyword-only shims that warn but produce results
+  identical to the canonical ``repro.api`` spellings (byte-for-byte at
+  the monitor-report level);
+* :class:`repro.api.ScenarioSpec` + :func:`repro.api.run` compose
+  world, roll-out, faults, and monitoring into one entrypoint;
+* ``python -m repro <subcommand>`` dispatches to every legacy CLI, and
+  the legacy ``python -m repro.<module>`` spellings keep working with a
+  stderr pointer while their stdout stays byte-identical.
+"""
+
+import datetime
+import json
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro.__main__ as repro_main
+from repro.api import ScenarioSpec, build_world, run, run_rollout
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.obs.monitor import RolloutMonitor
+from repro.simulation import rollout as rollout_mod
+from repro.simulation import world as world_mod
+from repro.simulation.rollout import RolloutConfig
+from repro.simulation.world import WorldConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SHORT = RolloutConfig(
+    start_date=datetime.date(2014, 3, 1),
+    end_date=datetime.date(2014, 3, 21),
+    rollout_start=datetime.date(2014, 3, 8),
+    rollout_end=datetime.date(2014, 3, 15),
+    sessions_per_day=20,
+    seed=11,
+)
+
+
+class TestDeprecatedShims:
+    def test_build_world_shim_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            world_mod.build_world(config=WorldConfig.tiny())
+
+    def test_run_rollout_shim_warns(self):
+        world = build_world(WorldConfig.tiny())
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            rollout_mod.run_rollout(world=world, config=SHORT)
+
+    def test_shims_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            world_mod.build_world(WorldConfig.tiny())
+        world = build_world(WorldConfig.tiny())
+        with pytest.raises(TypeError):
+            rollout_mod.run_rollout(world, SHORT)
+
+    def test_canonical_spellings_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            world = build_world(WorldConfig.tiny())
+            run_rollout(world, SHORT)
+
+    def test_legacy_and_api_paths_byte_identical(self):
+        """The acceptance property: old spelling, new spelling, same
+        bytes out of the monitor."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            world = world_mod.build_world(config=WorldConfig.tiny())
+            monitor = RolloutMonitor.for_config(SHORT)
+            legacy = rollout_mod.run_rollout(world=world, config=SHORT,
+                                             observer=monitor)
+        legacy_report = monitor.report({"path": "legacy"})
+
+        outcome = run(ScenarioSpec(world=WorldConfig.tiny(),
+                                   rollout=SHORT))
+        api_report = outcome.report({"path": "legacy"})
+
+        assert len(legacy.rum) == len(outcome.result.rum)
+        assert (json.dumps(legacy_report, sort_keys=True)
+                == json.dumps(api_report, sort_keys=True))
+
+
+class TestScenarioSpec:
+    def test_describe_is_deterministic_and_minimal(self):
+        spec = ScenarioSpec(world=WorldConfig.tiny(), rollout=SHORT)
+        assert spec.describe() == {
+            "seed": 11,
+            "world_seed": WorldConfig.tiny().seed,
+            "sessions_per_day": 20,
+        }
+        assert spec.describe() == spec.describe()
+
+    def test_describe_counts_faults(self):
+        faults = FaultSchedule((FaultEvent(
+            start_day=1, duration_days=2, target="ns:0",
+            kind=FaultKind.AUTH_OUTAGE),))
+        spec = ScenarioSpec(world=WorldConfig.tiny(), rollout=SHORT,
+                            faults=faults)
+        assert spec.describe()["faults"] == 1
+
+    def test_run_without_monitor(self):
+        outcome = run(ScenarioSpec(world=WorldConfig.tiny(),
+                                   rollout=SHORT, monitor=False))
+        assert outcome.monitor is None and outcome.injector is None
+        assert len(outcome.result.rum) > 0
+        with pytest.raises(ValueError):
+            outcome.report()
+
+
+class TestUnifiedCli:
+    def test_no_args_prints_usage_and_fails(self, capsys):
+        assert repro_main.main([]) == 2
+        out = capsys.readouterr().out
+        assert "usage: python -m repro" in out
+        for name in ("sim", "experiment", "dump", "monitor",
+                     "degradation"):
+            assert name in out
+
+    def test_help_is_success(self, capsys):
+        assert repro_main.main(["--help"]) == 0
+        assert "subcommands" in capsys.readouterr().out
+
+    def test_unknown_subcommand(self, capsys):
+        assert repro_main.main(["bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_dispatches_dump(self, tmp_path, capsys):
+        out = tmp_path / "dump.json"
+        rc = repro_main.main(["dump", "--sessions", "2", "--traces",
+                              "0", "--out", str(out)])
+        capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["scenario"]["sessions"] == 2
+
+    def test_dispatches_experiment_list(self, capsys):
+        rc = repro_main.main(["experiment", "list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "degradation" in out and "fig12" in out
+
+
+def _spawn(module_args, timeout=180):
+    return subprocess.run(
+        [sys.executable, "-m", *module_args],
+        capture_output=True, text=True, timeout=timeout,
+        cwd=REPO_ROOT, env={"PYTHONPATH": "src", "PATH": "/usr/bin"})
+
+
+class TestLegacyEntrypoints:
+    def test_bare_module_prints_usage(self):
+        proc = _spawn(["repro"])
+        assert proc.returncode == 2
+        assert "usage: python -m repro" in proc.stdout
+
+    def test_legacy_dump_points_to_new_spelling(self):
+        """Old spelling still works, stderr points forward, stdout is
+        byte-identical to the canonical spelling."""
+        args = ["--sessions", "2", "--traces", "0", "--seed", "5"]
+        legacy = _spawn(["repro.obs.dump", *args])
+        unified = _spawn(["repro", "dump", *args])
+        assert legacy.returncode == 0 and unified.returncode == 0
+        assert "deprecated" in legacy.stderr
+        assert "python -m repro dump" in legacy.stderr
+        assert "deprecated" not in unified.stderr
+        assert legacy.stdout == unified.stdout

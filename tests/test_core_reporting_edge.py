@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.reporting import StatusReport, build_status_report
-from repro.simulation import WorldConfig, build_world
+from repro.api import build_world
+from repro.simulation import WorldConfig
 
 
 class TestIdleWorldReport:

@@ -25,7 +25,7 @@ ALL_FIGURES = [
     "fig02", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
     "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
-    "fig25", "ext-adoption",
+    "fig25", "ext-adoption", "degradation",
 ]
 
 CHEAP_FIGURES = ["fig05", "fig06", "fig07", "fig08", "fig09", "fig10",

@@ -11,7 +11,8 @@ import random
 import pytest
 
 from repro.dnsproto.types import QType
-from repro.simulation import WorldConfig, build_world, simulate_session
+from repro.api import build_world
+from repro.simulation import WorldConfig, simulate_session
 
 
 @pytest.fixture()

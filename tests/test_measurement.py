@@ -16,7 +16,8 @@ from repro.measurement import (
 from repro.measurement.querylog import inflation_by_popularity
 from repro.measurement.rum import expectation_splitter
 from repro.net.ipv4 import Prefix
-from repro.simulation import WorldConfig, build_world
+from repro.api import build_world
+from repro.simulation import WorldConfig
 from repro.topology import InternetConfig, build_internet
 
 

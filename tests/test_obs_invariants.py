@@ -6,8 +6,9 @@ Three pinned identities:
   under arbitrary randomized lookup/store/expiry workloads (every
   lookup is classified exactly once).
 * **Trace RTT sum** -- a session's reported DNS time equals the stub
-  hop RTT plus every upstream hop RTT in its trace, plus the resolver's
-  retry timer (``_TIMEOUT_PENALTY_MS``) once per timed-out hop.
+  hop RTT plus every upstream hop RTT in its trace, plus each timed-out
+  hop's recorded backoff penalty (``penalty_ms``, defaulting to the
+  base retry timer ``_TIMEOUT_PENALTY_MS``).
 * **ECS share bounds** -- ``StatusReport.mapping_ecs_share`` stays in
   [0, 1], including on a world with zero resolutions.
 """
@@ -25,7 +26,8 @@ from repro.dnssrv.recursive import _TIMEOUT_PENALTY_MS
 from repro.dnssrv.stub import StubResolver
 from repro.net.ipv4 import parse_ipv4, prefix_of
 from repro.obs.dump import run_scenario
-from repro.simulation.world import WorldConfig, build_world
+from repro.api import build_world
+from repro.simulation.world import WorldConfig
 
 names = st.sampled_from(["a.example", "b.example", "c.example"])
 clients = st.integers(min_value=0x01000000, max_value=0x01FFFFFF)
@@ -70,10 +72,12 @@ def _hop_rtt_sum(root) -> float:
     total = 0.0
     for stub_hop in root.find("stub.hop"):
         total += stub_hop.attrs["rtt_ms"]
+        if stub_hop.attrs.get("timeout"):
+            total += stub_hop.attrs.get("penalty_ms", 0.0)
     for hop in root.find("hop"):
         total += hop.attrs["rtt_ms"]
         if hop.attrs.get("timeout"):
-            total += _TIMEOUT_PENALTY_MS
+            total += hop.attrs.get("penalty_ms", _TIMEOUT_PENALTY_MS)
     return total
 
 
@@ -95,9 +99,9 @@ class TestTraceRttSum:
         for root in world.obs.tracer.traces:
             for recursive in root.find("recursive"):
                 hops = recursive.find("hop")
-                expected = sum(h.attrs["rtt_ms"] for h in hops) + (
-                    _TIMEOUT_PENALTY_MS
-                    * sum(1 for h in hops if h.attrs.get("timeout")))
+                expected = sum(h.attrs["rtt_ms"] for h in hops) + sum(
+                    h.attrs.get("penalty_ms", _TIMEOUT_PENALTY_MS)
+                    for h in hops if h.attrs.get("timeout"))
                 assert recursive.attrs["upstream_rtt_ms"] == (
                     pytest.approx(expected, abs=1e-9))
 

@@ -5,7 +5,8 @@ import random
 import pytest
 
 from repro.core.reporting import build_status_report, cluster_health
-from repro.simulation import WorldConfig, build_world, simulate_session
+from repro.api import build_world
+from repro.simulation import WorldConfig, simulate_session
 from repro.simulation.cli import main as sim_main
 
 

@@ -7,11 +7,10 @@ import pytest
 
 from repro.core.policies import EUMappingPolicy, NSMappingPolicy
 from repro.clock import SimClock
+from repro.api import build_world, run_rollout
 from repro.simulation import (
     RolloutConfig,
     WorldConfig,
-    build_world,
-    run_rollout,
     simulate_session,
 )
 from repro.simulation.dnsload import DnsLoadConfig, drive_dns_load

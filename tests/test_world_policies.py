@@ -5,7 +5,8 @@ import pytest
 from repro.core.policies import EUMappingPolicy, NSMappingPolicy
 from repro.dnsproto.types import QType
 from repro.net.geometry import great_circle_miles
-from repro.simulation import WorldConfig, build_world
+from repro.api import build_world
+from repro.simulation import WorldConfig
 
 
 @pytest.fixture(scope="module")
