@@ -11,6 +11,16 @@ mechanically::
 The old ``python -m repro.<module>`` entrypoints keep working and
 print a pointer to the new spelling on stderr (stdout stays
 byte-identical for consumers that parse it).
+
+Exit-code contract (pinned by ``tests/test_cli_exit_codes.py``):
+
+* ``0`` -- the subcommand ran and its checks (if any) passed; also
+  ``python -m repro --help``.
+* ``1`` -- the subcommand ran but a gate failed: a degradation
+  acceptance miss, a soak invariant violation, a nondeterministic
+  replay.
+* ``2`` -- usage errors: bare ``python -m repro``, an unknown
+  subcommand, or bad flags (argparse's own convention).
 """
 
 from __future__ import annotations
@@ -29,6 +39,8 @@ _SUBCOMMANDS = {
                 "monitored roll-out: series, cohorts, alerts"),
     "degradation": ("repro.experiments.degradation",
                     "fault-kind degradation experiment (TTFB/RTT CDFs)"),
+    "soak": ("repro.faults.chaos",
+             "seeded chaos soak: N random fault scenarios + invariants"),
 }
 
 

@@ -26,9 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.mapmaker import MapMakerConfig
 from repro.core.policies import MappingPolicy
 from repro.faults import FaultInjector, FaultSchedule
 from repro.obs.monitor import RolloutMonitor
+from repro.obs.monitor.driver import (
+    control_plane_rules,
+    default_rollout_rules,
+    rollout_windows,
+)
 from repro.simulation.rollout import (
     RolloutConfig,
     RolloutResult,
@@ -54,6 +60,10 @@ class ScenarioSpec:
     faults: FaultSchedule = field(default_factory=FaultSchedule)
     policy: Optional[MappingPolicy] = None
     """Mapping policy override; None keeps the default EU mapping."""
+    control_plane: Optional[MapMakerConfig] = None
+    """Opt into the split control plane: maps are compiled/published
+    periodically and the name-server path reads them through the
+    age-bounded degradation ladder.  None keeps per-query scoring."""
     monitor: bool = True
     """Attach a :class:`~repro.obs.monitor.RolloutMonitor` observer."""
     monitor_rules: Optional[List] = None
@@ -68,6 +78,8 @@ class ScenarioSpec:
         }
         if self.faults:
             doc["faults"] = len(self.faults)
+        if self.control_plane is not None:
+            doc["control_plane"] = True
         return doc
 
 
@@ -91,9 +103,11 @@ class ScenarioRun:
 
 
 def build_world(config: Optional[WorldConfig] = None,
-                policy: Optional[MappingPolicy] = None) -> World:
+                policy: Optional[MappingPolicy] = None,
+                control_plane: Optional[MapMakerConfig] = None) -> World:
     """Build and wire a complete world (canonical spelling)."""
-    return _build_world(config=config, policy=policy)
+    return _build_world(config=config, policy=policy,
+                        control_plane=control_plane)
 
 
 def run_rollout(world: World,
@@ -108,13 +122,19 @@ def run_rollout(world: World,
 def run(spec: Optional[ScenarioSpec] = None) -> ScenarioRun:
     """Execute one scenario end to end from its spec."""
     spec = spec or ScenarioSpec()
-    world = _build_world(config=spec.world, policy=spec.policy)
+    world = _build_world(config=spec.world, policy=spec.policy,
+                         control_plane=spec.control_plane)
     injector = (FaultInjector(world, spec.faults)
                 if spec.faults else None)
     monitor = None
     if spec.monitor:
-        monitor = RolloutMonitor.for_config(spec.rollout,
-                                            rules=spec.monitor_rules)
+        rules = spec.monitor_rules
+        if rules is None and spec.control_plane is not None:
+            # Control-plane scenarios watch the map-staleness rules on
+            # top of the defaults; explicit rule overrides win as-is.
+            rules = (default_rollout_rules(rollout_windows(spec.rollout))
+                     + control_plane_rules(spec.control_plane))
+        monitor = RolloutMonitor.for_config(spec.rollout, rules=rules)
     result = _run_rollout(world, config=spec.rollout, observer=monitor,
                           injector=injector)
     return ScenarioRun(spec=spec, world=world, result=result,

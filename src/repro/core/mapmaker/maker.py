@@ -1,0 +1,129 @@
+"""The MapMaker: the periodic map-compiling process, made breakable.
+
+Compilation itself is one batch :meth:`~repro.core.scoring.Scorer.
+score_targets` matrix pass -- the same kernel the per-query path
+trusts -- over every end-user block and every resolver, producing a
+top-K cluster ranking per mapping unit (paper Section 5's "map maker").
+
+:class:`MapMaker` wraps that compile in a *process model* with the
+failure modes the fault plane injects:
+
+* ``alive=False``   -- crashed: no heartbeats, no publications;
+* ``hung=True``     -- wedged: the process exists but makes no
+  progress and sends no heartbeats (indistinguishable from a crash to
+  the watchdog, which is the point);
+* ``slow_factor>1`` -- degraded: publications take ``slow_factor``
+  times longer, so the published map ages between them;
+* ``corrupting=True`` -- poisoned: publications are tampered in
+  flight, so the store's checksum gate must reject them.
+
+One maker is the *primary* (it compiles and publishes); the other is a
+*hot standby* that only heartbeats until the watchdog promotes it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.mapmaker.published import MapEntries
+from repro.core.policies import MapTarget
+
+ROLE_PRIMARY = "primary"
+ROLE_STANDBY = "standby"
+
+
+def compile_entries(deployments, scorer, internet,
+                    top_clusters: int = 8,
+                    max_eu_units: int = 8192) -> MapEntries:
+    """Compile the full published-map table in one matrix pass.
+
+    Units are every geolocatable client /24 (``eu:`` keys, heaviest
+    ``max_eu_units`` by demand) plus every resolver (``ns:`` keys).
+    Rankings reproduce the scalar path's ``(score, cluster_id)`` order
+    exactly: live clusters are pre-sorted by id and the per-column
+    argsort is stable.
+    """
+    geodb = internet.geodb
+    keys: List[str] = []
+    targets: List[MapTarget] = []
+
+    blocks = list(internet.blocks)
+    if len(blocks) > max_eu_units:
+        blocks.sort(key=lambda b: (-getattr(b, "demand", 0.0),
+                                   str(b.prefix)))
+        blocks = blocks[:max_eu_units]
+    for block in blocks:
+        record = geodb.lookup_prefix(block.prefix)
+        if record is None:
+            continue
+        keys.append(f"eu:{block.prefix}")
+        targets.append(MapTarget(geo=record.geo, asn=record.asn))
+
+    for resolver_id in sorted(internet.resolvers):
+        meta = internet.resolvers[resolver_id]
+        record = geodb.lookup(meta.ip)
+        if record is None:
+            continue
+        keys.append(f"ns:{meta.ip}")
+        targets.append(MapTarget(geo=record.geo, asn=record.asn))
+
+    live = sorted(deployments.live_clusters(), key=lambda c: c.cluster_id)
+    entries: MapEntries = {}
+    if not live or not targets:
+        return entries
+    scores = scorer.score_targets(live, targets)
+    top = max(1, top_clusters)
+    for column, key in enumerate(keys):
+        order = np.argsort(scores[:, column], kind="stable")
+        entries[key] = tuple(live[i].cluster_id for i in order[:top])
+    return entries
+
+
+class MapMaker:
+    """One map-compiling process (primary or hot standby)."""
+
+    def __init__(self, name: str, role: str = ROLE_STANDBY) -> None:
+        if role not in (ROLE_PRIMARY, ROLE_STANDBY):
+            raise ValueError(f"unknown MapMaker role {role!r}")
+        self.name = name
+        self.role = role
+        # Fault-plane knobs (flipped by the injector, with exact revert).
+        self.alive = True
+        self.hung = False
+        self.slow_factor = 1.0
+        self.corrupting = False
+        # Progress model: one tick of a healthy maker adds
+        # ``1/slow_factor`` days of compile progress; a publication
+        # completes when progress reaches the publish interval.
+        self.progress = 0.0
+        self.last_heartbeat_day = 0
+        self.publishes = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.alive and not self.hung
+
+    def tick(self, day: int, service) -> None:
+        """One simulated day of this process's life."""
+        if not self.healthy:
+            return
+        self.last_heartbeat_day = day
+        if self.role != ROLE_PRIMARY:
+            return
+        self.progress += 1.0 / max(self.slow_factor, 1e-9)
+        if self.progress >= service.config.publish_interval_days:
+            self.progress = 0.0
+            service.publish_from(self, day)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "role": self.role,
+            "alive": self.alive,
+            "hung": self.hung,
+            "slow_factor": self.slow_factor,
+            "corrupting": self.corrupting,
+            "publishes": self.publishes,
+        }

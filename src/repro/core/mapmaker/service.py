@@ -1,0 +1,216 @@
+"""Map publication, watchdog failover, and the degradation ladder.
+
+:class:`MapPublicationService` owns the control plane's moving parts:
+
+* a primary :class:`~repro.core.mapmaker.maker.MapMaker` plus a hot
+  standby, ticked once per simulated day;
+* the publication store: the latest *accepted* map, guarded by the
+  checksum gate (corrupt publications are rejected and counted; the
+  previous map stays in force and ages);
+* a watchdog that promotes the standby when the primary misses
+  heartbeats for ``watchdog_timeout_days``;
+* the **degradation ladder** the name-server path reads through
+  (:meth:`lookup`): fresh EU -> stale EU -> NS fallback -> static
+  geo map.  The ladder is age-bounded -- EU entries are trusted only
+  while the map is at most ``stale_age_days`` old, NS entries up to
+  ``ns_age_days``, and beyond that only geometry is trusted.
+
+Registry metrics (all under ``mapmaker.``): ``map_version``,
+``map_age_days``, ``failovers``, ``maps_published``, ``maps_rejected``,
+plus per-tier decision counters under ``mapping.tier.<tier>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.mapmaker.maker import (
+    MapMaker,
+    ROLE_PRIMARY,
+    ROLE_STANDBY,
+    compile_entries,
+)
+from repro.core.mapmaker.published import PublishedMap, StaticGeoMap
+from repro.obs import NOOP, Observability
+
+#: Degradation-ladder tiers, best first.  ``ns`` is the *normal* tier
+#: for queries without client-subnet data; ``ns_fallback`` marks an
+#: ECS-carrying query that had to settle for resolver granularity.
+TIERS: Tuple[str, ...] = (
+    "fresh_eu", "stale_eu", "ns", "ns_fallback", "static_geo")
+
+
+@dataclass(frozen=True)
+class MapMakerConfig:
+    """Control-plane knobs: publication cadence and the age bounds."""
+
+    publish_interval_days: int = 1
+    fresh_age_days: int = 2
+    """EU entries answer at full trust while the map is at most this
+    old (the pipeline's normal staleness: compile + publish lag)."""
+    stale_age_days: int = 6
+    """...and at reduced trust (``stale_eu``) up to this age; past it
+    the EU table is considered stale enough that resolver granularity
+    from the same map is the safer bet."""
+    ns_age_days: int = 12
+    """NS entries -- coarser, hence more staleness-tolerant -- are
+    served up to this age; past it only the static geo map remains."""
+    watchdog_timeout_days: int = 2
+    """Missed-heartbeat budget before the standby is promoted."""
+    top_clusters: int = 8
+    max_eu_units: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.publish_interval_days < 1:
+            raise ValueError("publish_interval_days must be >= 1")
+        if not (self.fresh_age_days <= self.stale_age_days
+                <= self.ns_age_days):
+            raise ValueError(
+                "age bounds must be ordered: fresh <= stale <= ns "
+                f"({self.fresh_age_days}/{self.stale_age_days}/"
+                f"{self.ns_age_days})")
+        if self.watchdog_timeout_days < 1:
+            raise ValueError("watchdog_timeout_days must be >= 1")
+        if self.top_clusters < 1:
+            raise ValueError("top_clusters must be >= 1")
+
+
+class MapPublicationService:
+    """The live control plane wired into one world."""
+
+    def __init__(self, config: MapMakerConfig, deployments, scorer,
+                 internet, obs: Optional[Observability] = None) -> None:
+        self.config = config
+        self.deployments = deployments
+        self.scorer = scorer
+        self.internet = internet
+        self.obs = obs if obs is not None else NOOP
+        self.makers: List[MapMaker] = [
+            MapMaker("mapmaker-0", ROLE_PRIMARY),
+            MapMaker("mapmaker-1", ROLE_STANDBY),
+        ]
+        self.static_map = StaticGeoMap(deployments)
+        self.failovers = 0
+        self.maps_published = 0
+        self.maps_rejected = 0
+        self._version = 0
+        self.current: PublishedMap = PublishedMap.build(0, 0, {})
+        # Bootstrap: the world never starts without a map (production
+        # ships the last known-good map with every name-server image).
+        self.publish_from(self.primary, day=0)
+
+    # -- roles -------------------------------------------------------------
+
+    @property
+    def primary(self) -> MapMaker:
+        for maker in self.makers:
+            if maker.role == ROLE_PRIMARY:
+                return maker
+        raise RuntimeError("no primary MapMaker configured")
+
+    @property
+    def standby(self) -> Optional[MapMaker]:
+        for maker in self.makers:
+            if maker.role == ROLE_STANDBY:
+                return maker
+        return None
+
+    # -- publication -------------------------------------------------------
+
+    def publish_from(self, maker: MapMaker, day: int) -> bool:
+        """Compile and submit one map through the checksum gate."""
+        entries = compile_entries(
+            self.deployments, self.scorer, self.internet,
+            top_clusters=self.config.top_clusters,
+            max_eu_units=self.config.max_eu_units)
+        candidate = PublishedMap.build(self._version + 1, day, entries)
+        if maker.corrupting:
+            # Model bit-rot between compile and publish: the payload
+            # no longer matches its checksum.  Deterministic tamper so
+            # replays stay byte-identical.
+            candidate = PublishedMap(
+                version=candidate.version,
+                published_day=candidate.published_day,
+                entries=candidate.entries,
+                checksum="corrupt!" + candidate.checksum[8:])
+        if not candidate.verify():
+            # The gauge export carries the running total; no counter
+            # here (one name cannot be both instrument kinds).
+            self.maps_rejected += 1
+            return False
+        self._version = candidate.version
+        self.current = candidate
+        self.maps_published += 1
+        maker.publishes += 1
+        self.obs.registry.counter("mapmaker.maps_published").inc()
+        return True
+
+    # -- the daily tick ----------------------------------------------------
+
+    def tick(self, day: int) -> None:
+        """Advance the control plane one day: makers, watchdog, gauges."""
+        for maker in self.makers:
+            maker.tick(day, self)
+        primary = self.primary
+        if day - primary.last_heartbeat_day >= (
+                self.config.watchdog_timeout_days):
+            standby = self.standby
+            if standby is not None and standby.healthy:
+                primary.role = ROLE_STANDBY
+                standby.role = ROLE_PRIMARY
+                standby.progress = 0.0
+                self.failovers += 1
+        self._export_gauges(day)
+
+    def _export_gauges(self, day: int) -> None:
+        registry = self.obs.registry
+        registry.gauge("mapmaker.map_version").set(self.current.version)
+        registry.gauge("mapmaker.map_age_days").set(self.map_age(day))
+        registry.gauge("mapmaker.failovers").set(self.failovers)
+        registry.gauge("mapmaker.maps_rejected").set(self.maps_rejected)
+        registry.gauge("mapmaker.makers_healthy").set(
+            sum(1 for m in self.makers if m.healthy))
+
+    def map_age(self, day: int) -> int:
+        return self.current.age(day)
+
+    # -- the degradation ladder (name-server read path) --------------------
+
+    def lookup(self, eu_key: Optional[str], ns_key: str,
+               day: int) -> Tuple[Tuple[str, ...], str]:
+        """(ranked cluster ids, tier) for one query's mapping units.
+
+        ``eu_key`` is None when the query carried no client-subnet
+        option; the empty-id ``static_geo`` result tells the caller to
+        fall back to :meth:`static_ranking`.
+        """
+        current = self.current
+        age = current.age(day)
+        config = self.config
+        if eu_key is not None and age <= config.stale_age_days:
+            ids = current.lookup(eu_key)
+            if ids:
+                tier = ("fresh_eu" if age <= config.fresh_age_days
+                        else "stale_eu")
+                return ids, tier
+        if age <= config.ns_age_days:
+            ids = current.lookup(ns_key)
+            if ids:
+                return ids, ("ns" if eu_key is None else "ns_fallback")
+        return (), "static_geo"
+
+    def static_ranking(self, geo) -> List:
+        """Bottom rung: live clusters by great-circle distance."""
+        return self.static_map.rank(geo)
+
+    def describe(self) -> dict:
+        return {
+            "map_version": self.current.version,
+            "published_day": self.current.published_day,
+            "entries": len(self.current),
+            "failovers": self.failovers,
+            "maps_published": self.maps_published,
+            "maps_rejected": self.maps_rejected,
+            "makers": [m.describe() for m in self.makers],
+        }

@@ -10,6 +10,14 @@ Server-assignment decisions are cached per mapping target for
 ``decision_ttl`` simulated seconds, mirroring the production split
 between the (periodic) scoring pipeline and the (real-time) name
 server path -- and keeping the simulator fast.
+
+When a :class:`~repro.core.mapmaker.service.MapPublicationService` is
+attached (``attach_control_plane``), the split becomes literal: the
+answer path stops scoring at query time entirely and instead reads the
+latest *published map* through the service's age-bounded degradation
+ladder (fresh EU -> stale EU -> NS fallback -> static geo), applying
+only the load-balancer headroom walk to the published ranking.  Worlds
+without a control plane keep the per-query scoring path unchanged.
 """
 
 from __future__ import annotations
@@ -77,12 +85,27 @@ class MappingSystem:
         self.decision_ttl = decision_ttl
         self.stats = MappingStats()
         self._decisions: Dict[MapTarget, _Decision] = {}
+        self.control_plane = None
 
     # -- policy swap (the roll-out flips this) ---------------------------
 
     def set_policy(self, policy: MappingPolicy) -> None:
         """Switch mapping policy; flushes cached decisions."""
         self.policy = policy
+        self._decisions.clear()
+
+    # -- control plane (the published-map read path) ---------------------
+
+    def attach_control_plane(self, service) -> None:
+        """Route answers through a published-map service's ladder.
+
+        ``service`` is a :class:`~repro.core.mapmaker.service.
+        MapPublicationService` (duck-typed: ``lookup`` +
+        ``static_ranking``).  The direct :meth:`assign` API keeps the
+        legacy scoring path -- experiments that bypass DNS measure the
+        scoring kernels, not map publication.
+        """
+        self.control_plane = service
         self._decisions.clear()
 
     # -- AnswerSource interface ------------------------------------------
@@ -116,8 +139,14 @@ class MappingSystem:
                 self.stats.no_target += 1
                 return ZoneAnswer(rcode=Rcode.SERVFAIL)
 
-            hits_before = self.stats.decision_cache_hits
-            cluster = self._pick_cluster(target, now)
+            if self.control_plane is not None:
+                cluster, tier = self._pick_published(context, target, now)
+                cache_label = f"published:{tier}"
+            else:
+                hits_before = self.stats.decision_cache_hits
+                cluster = self._pick_cluster(target, now)
+                cache_label = ("hit" if self.stats.decision_cache_hits
+                               > hits_before else "miss")
             if cluster is None:
                 return ZoneAnswer(rcode=Rcode.SERVFAIL)
             servers = self.local_lb.pick_servers(cluster, provider.name)
@@ -126,8 +155,7 @@ class MappingSystem:
             scope = self.policy.scope_for(context)
             span.set(
                 cluster=cluster.cluster_id,
-                decision_cache=("hit" if self.stats.decision_cache_hits
-                                > hits_before else "miss"),
+                decision_cache=cache_label,
                 scope=scope,
                 servers=len(servers),
             )
@@ -184,6 +212,36 @@ class MappingSystem:
         return filled
 
     # -- internals ---------------------------------------------------------
+
+    def _pick_published(
+        self, context: ResolutionContext, target: MapTarget, now: float,
+    ) -> Tuple[Optional[Cluster], str]:
+        """(cluster, tier) from the latest published map's ladder.
+
+        The published ranking replaces scoring; liveness and the
+        headroom walk still apply at answer time (a published entry may
+        name a cluster that died after publication).  When every rung
+        above it is exhausted -- map too old, unit unknown, or all its
+        clusters dead -- the static geo map answers.
+        """
+        day = int(now // 86400.0)
+        eu_key = (f"eu:{context.ecs.prefix}" if context.ecs is not None
+                  else None)
+        ns_key = f"ns:{context.ldns_ip}"
+        ids, tier = self.control_plane.lookup(eu_key, ns_key, day)
+        ranked = []
+        clusters = self.deployments.clusters
+        for cluster_id in ids:
+            cluster = clusters.get(cluster_id)
+            if cluster is not None and cluster.alive:
+                ranked.append(cluster)
+        if not ranked:
+            tier = "static_geo"
+            ranked = self.control_plane.static_ranking(target.geo)
+        cluster = self.global_lb._pick_from_ranked(ranked)
+        if cluster is not None:
+            self.obs.registry.counter(f"mapping.tier.{tier}").inc()
+        return cluster, tier
 
     def _pick_cluster(self, target: MapTarget,
                       now: float) -> Optional[Cluster]:

@@ -125,6 +125,10 @@ class RecursiveResolver:
         self.tcp_failovers = 0
         self.servfail_responses = 0
         self.stale_served = 0
+        self.retry_penalty_ms_total = 0.0
+        """Cumulative retry-timer backoff charged while re-querying
+        unresponsive authorities (the latency cost of outages that
+        never shows up in per-hop RTT)."""
         self._next_id = 1
         # Server ranking memo per zone: delegation data and RTT
         # rankings are long-lived, so real resolvers stick with the
@@ -281,6 +285,7 @@ class RecursiveResolver:
                 # suggests retrying before abandoning an authority).
                 penalty = _TIMEOUT_PENALTY_MS * (2.0 ** attempt)
                 hop.span.set(penalty_ms=penalty)
+                self.retry_penalty_ms_total += penalty
                 total_rtt += hop.rtt_ms + penalty
             if response is None:
                 # Retry budget exhausted: this authority is dead, fail
@@ -299,6 +304,7 @@ class RecursiveResolver:
                 if tcp_hop.response is None:
                     self.tcp_failovers += 1
                     tcp_hop.span.set(penalty_ms=_TIMEOUT_PENALTY_MS)
+                    self.retry_penalty_ms_total += _TIMEOUT_PENALTY_MS
                     total_rtt += _TIMEOUT_PENALTY_MS
                     continue
                 response = tcp_hop.response

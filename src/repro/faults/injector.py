@@ -65,6 +65,11 @@ class FaultInjector:
             FaultKind.ECS_STRIP: self._apply_ecs_strip,
             FaultKind.LDNS_BLACKOUT: self._apply_ldns_blackout,
             FaultKind.LINK_DEGRADATION: self._apply_link_degradation,
+            FaultKind.MAPMAKER_CRASH: self._apply_mapmaker_crash,
+            FaultKind.MAPMAKER_HANG: self._apply_mapmaker_hang,
+            FaultKind.MAPMAKER_SLOW_PUBLISH: (
+                self._apply_mapmaker_slow_publish),
+            FaultKind.MAP_CORRUPTION: self._apply_map_corruption,
         }[event.kind]
         return handler(event)
 
@@ -131,6 +136,50 @@ class FaultInjector:
                 network.clear_impairment(ip)
         return revert
 
+    def _apply_mapmaker_crash(self, event: FaultEvent):
+        killed = [m for m in self._makers_for(event.target) if m.alive]
+        for maker in killed:
+            maker.alive = False
+
+        def revert() -> None:
+            for maker in killed:
+                maker.alive = True
+        return revert
+
+    def _apply_mapmaker_hang(self, event: FaultEvent):
+        wedged = [m for m in self._makers_for(event.target)
+                  if not m.hung]
+        for maker in wedged:
+            maker.hung = True
+
+        def revert() -> None:
+            for maker in wedged:
+                maker.hung = False
+        return revert
+
+    def _apply_mapmaker_slow_publish(self, event: FaultEvent):
+        factor = event.param("slow_factor", 4.0)
+        slowed = [(m, m.slow_factor)
+                  for m in self._makers_for(event.target)]
+        for maker, _old in slowed:
+            maker.slow_factor = factor
+
+        def revert() -> None:
+            for maker, old in slowed:
+                maker.slow_factor = old
+        return revert
+
+    def _apply_map_corruption(self, event: FaultEvent):
+        poisoned = [m for m in self._makers_for(event.target)
+                    if not m.corrupting]
+        for maker in poisoned:
+            maker.corrupting = True
+
+        def revert() -> None:
+            for maker in poisoned:
+                maker.corrupting = False
+        return revert
+
     # -- target grammars ---------------------------------------------------
 
     def _nameservers_for(self, target: str):
@@ -182,6 +231,33 @@ class FaultInjector:
                     raise KeyError(f"unknown resolver {target!r}")
                 ids = [rid]
         return [registry[rid] for rid in ids]
+
+    def _makers_for(self, target: str):
+        service = getattr(self.world, "control_plane", None)
+        if service is None:
+            raise KeyError(
+                f"mapmaker fault target {target!r} needs a world built "
+                f"with a control plane "
+                f"(ScenarioSpec.control_plane=MapMakerConfig())")
+        makers = service.makers
+        if target in ("mapmaker:*", "*"):
+            return list(makers)
+        _group, _, rest = target.partition(":")
+        # Role targets resolve *at apply time*: after a failover,
+        # "mapmaker:primary" addresses the promoted ex-standby.
+        if rest == "primary":
+            return [service.primary]
+        if rest == "standby":
+            standby = service.standby
+            if standby is None:
+                raise KeyError(f"no standby MapMaker ({target!r})")
+            return [standby]
+        if rest.isdigit():
+            index = int(rest)
+            if not 0 <= index < len(makers):
+                raise KeyError(f"no MapMaker {target!r}")
+            return [makers[index]]
+        raise KeyError(f"bad mapmaker target {target!r}")
 
     # -- trace context ------------------------------------------------------
 

@@ -23,6 +23,17 @@ the wild):
   to a public resolver after a timeout.
 * ``link_degradation`` -- a network path inflates latency and drops
   packets for the duration.
+
+Control-plane kinds (paper Section 5's split makes these injectable):
+
+* ``mapmaker_crash`` -- a MapMaker process dies: no heartbeats, no
+  publications; the watchdog promotes the hot standby.
+* ``mapmaker_hang`` -- the process wedges: alive but silent, which the
+  watchdog treats exactly like a crash.
+* ``mapmaker_slow_publish`` -- publications take ``slow_factor`` times
+  longer, so the published map ages between them.
+* ``map_corruption`` -- publications are tampered in flight; the
+  store's checksum gate rejects them and the old map ages in place.
 """
 
 from __future__ import annotations
@@ -40,9 +51,77 @@ class FaultKind:
     ECS_STRIP = "ecs_strip"
     LDNS_BLACKOUT = "ldns_blackout"
     LINK_DEGRADATION = "link_degradation"
+    MAPMAKER_CRASH = "mapmaker_crash"
+    MAPMAKER_HANG = "mapmaker_hang"
+    MAPMAKER_SLOW_PUBLISH = "mapmaker_slow_publish"
+    MAP_CORRUPTION = "map_corruption"
 
-    ALL = (AUTH_OUTAGE, CLUSTER_OUTAGE, ECS_STRIP, LDNS_BLACKOUT,
-           LINK_DEGRADATION)
+    DATA_PLANE = (AUTH_OUTAGE, CLUSTER_OUTAGE, ECS_STRIP, LDNS_BLACKOUT,
+                  LINK_DEGRADATION)
+    CONTROL_PLANE = (MAPMAKER_CRASH, MAPMAKER_HANG,
+                     MAPMAKER_SLOW_PUBLISH, MAP_CORRUPTION)
+    ALL = DATA_PLANE + CONTROL_PLANE
+
+
+#: Target-grammar prefixes legal for each fault kind (the parse-time
+#: contract behind :meth:`FaultSchedule.validate`).  ``None`` in the
+#: set means a bare token -- a raw cluster/resolver id -- is accepted;
+#: ``"*"`` that the whole-world wildcard is.
+_RESOLVER_PREFIXES = frozenset({"public", "isp", "resolver", None, "*"})
+_TARGET_GRAMMAR = {
+    FaultKind.AUTH_OUTAGE: frozenset({"ns", "*"}),
+    FaultKind.CLUSTER_OUTAGE: frozenset({"cluster", None}),
+    FaultKind.ECS_STRIP: _RESOLVER_PREFIXES,
+    FaultKind.LDNS_BLACKOUT: _RESOLVER_PREFIXES,
+    FaultKind.LINK_DEGRADATION: _RESOLVER_PREFIXES,
+    FaultKind.MAPMAKER_CRASH: frozenset({"mapmaker", "*"}),
+    FaultKind.MAPMAKER_HANG: frozenset({"mapmaker", "*"}),
+    FaultKind.MAPMAKER_SLOW_PUBLISH: frozenset({"mapmaker", "*"}),
+    FaultKind.MAP_CORRUPTION: frozenset({"mapmaker", "*"}),
+}
+
+#: Indexed groups whose ``<group>:<suffix>`` suffix must be a number
+#: or ``*``; ``mapmaker`` additionally accepts its role names.
+_INDEXED_GROUPS = frozenset({"ns", "cluster", "public", "isp"})
+_MAPMAKER_ROLES = frozenset({"primary", "standby"})
+
+
+def _validate_target(kind: str, target: str) -> None:
+    """Raise ``ValueError`` unless ``target`` parses for ``kind``."""
+    allowed = _TARGET_GRAMMAR[kind]
+    if target == "*":
+        if "*" in allowed:
+            return
+        raise ValueError(
+            f"target '*' is not valid for {kind} events")
+    head, sep, rest = target.partition(":")
+    if not sep:
+        if None in allowed:
+            return  # bare cluster/resolver id, resolved at apply time
+        raise ValueError(
+            f"bad {kind} target {target!r}: expected one of "
+            f"{_grammar_hint(kind)}")
+    if head not in allowed:
+        raise ValueError(
+            f"bad {kind} target {target!r}: unknown prefix {head!r} "
+            f"(expected {_grammar_hint(kind)})")
+    if not rest:
+        raise ValueError(f"bad {kind} target {target!r}: empty suffix")
+    if head in _INDEXED_GROUPS and not (rest == "*" or rest.isdigit()):
+        raise ValueError(
+            f"bad {kind} target {target!r}: {head}: takes an index "
+            f"or '*'")
+    if head == "mapmaker" and not (
+            rest == "*" or rest.isdigit() or rest in _MAPMAKER_ROLES):
+        raise ValueError(
+            f"bad {kind} target {target!r}: mapmaker: takes "
+            f"'primary', 'standby', an index, or '*'")
+
+
+def _grammar_hint(kind: str) -> str:
+    names = sorted(("<bare id>" if p is None else f"{p}:" if p != "*"
+                    else "'*'") for p in _TARGET_GRAMMAR[kind])
+    return ", ".join(names)
 
 
 @dataclass(frozen=True)
@@ -152,6 +231,34 @@ class FaultSchedule:
         return (min(e.start_day for e in matching),
                 max(e.end_day for e in matching))
 
+    def validate(self) -> "FaultSchedule":
+        """Parse-time checks beyond per-event field validation.
+
+        Raises :class:`ValueError` for targets outside the documented
+        grammar of their kind and for overlapping events with the same
+        ``(kind, target)`` -- both of which would otherwise surface as
+        confusing errors (or silent double-application diffs) deep
+        inside injector replay.  Targets are compared as exact
+        strings; overlapping events addressing one resolver via two
+        spellings are legal (the injector's per-event victim lists
+        keep their reverts exact).  Returns ``self`` for chaining.
+        """
+        for event in self.events:
+            _validate_target(event.kind, event.target)
+        previous: Dict[Tuple[str, str], FaultEvent] = {}
+        for event in self.events:  # already sorted by start_day
+            key = (event.kind, event.target)
+            earlier = previous.get(key)
+            if earlier is not None and event.start_day < earlier.end_day:
+                raise ValueError(
+                    f"overlapping {event.kind} events for target "
+                    f"{event.target!r}: days "
+                    f"[{earlier.start_day}, {earlier.end_day}) and "
+                    f"[{event.start_day}, {event.end_day})")
+            if earlier is None or event.end_day > earlier.end_day:
+                previous[key] = event
+        return self
+
     def to_dict(self) -> List[Dict]:
         return [event.to_dict() for event in self.events]
 
@@ -160,7 +267,9 @@ class FaultSchedule:
 
     @classmethod
     def from_dict(cls, docs: Iterable[Dict]) -> "FaultSchedule":
-        return cls(tuple(FaultEvent.from_dict(doc) for doc in docs))
+        """Parse and validate (the hardened deserialization path)."""
+        return cls(tuple(FaultEvent.from_dict(doc)
+                         for doc in docs)).validate()
 
     @classmethod
     def from_json(cls, text: str) -> "FaultSchedule":

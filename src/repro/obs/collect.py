@@ -28,7 +28,8 @@ Canonical metric names exported for a wired world:
 ``ldns.timeout_failovers`` /
 ``ldns.tcp_failovers`` /
 ``ldns.servfails`` /
-``ldns.stale_served``                 recursive resolver activity
+``ldns.stale_served`` /
+``ldns.retry_penalty_ms``             recursive resolver activity
 ``auth.queries`` / ``responses`` /
 ``truncations`` / ``tcp_queries``     authoritative servers
 ``network.queries`` / ``bytes``       simulated wire
@@ -78,6 +79,7 @@ def register_world_collectors(registry: MetricsRegistry, world) -> None:
         client_queries = upstream = tcp_retries = 0
         timeout_failovers = tcp_failovers = 0
         servfails = stale_served = 0
+        retry_penalty_ms = 0.0
         for ldns in world.ldns_registry.values():
             for key, value in ldns.cache.stats.as_dict().items():
                 if key in cache_totals:
@@ -89,6 +91,8 @@ def register_world_collectors(registry: MetricsRegistry, world) -> None:
             tcp_failovers += ldns.tcp_failovers
             servfails += ldns.servfail_responses
             stale_served += ldns.stale_served
+            retry_penalty_ms += getattr(ldns, "retry_penalty_ms_total",
+                                        0.0)
         for key, value in cache_totals.items():
             reg.gauge(f"ldns.cache.{key}").set(value)
         reg.gauge("ldns.cache.lookups").set(
@@ -103,6 +107,7 @@ def register_world_collectors(registry: MetricsRegistry, world) -> None:
         reg.gauge("ldns.tcp_failovers").set(tcp_failovers)
         reg.gauge("ldns.servfails").set(servfails)
         reg.gauge("ldns.stale_served").set(stale_served)
+        reg.gauge("ldns.retry_penalty_ms").set(retry_penalty_ms)
 
         reg.gauge("auth.queries").set(
             sum(ns.queries_received for ns in world.nameservers))

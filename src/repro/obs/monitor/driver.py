@@ -129,6 +129,34 @@ def default_rollout_rules(
     ]
 
 
+#: Degradation-ladder tiers mirrored as per-day share series (kept in
+#: sync with :data:`repro.core.mapmaker.service.TIERS`; duplicated here
+#: so ``repro.obs`` stays import-free of ``repro.core``).
+CONTROL_PLANE_TIERS: Tuple[str, ...] = (
+    "fresh_eu", "stale_eu", "ns", "ns_fallback", "static_geo")
+
+
+def control_plane_rules(config) -> List[AlertRule]:
+    """Alert rules for a world running the split control plane.
+
+    ``config`` is duck-typed on :class:`repro.core.mapmaker.service.
+    MapMakerConfig` (``fresh_age_days``).  ``map_stale`` fires while
+    the published map is older than its fresh bound -- the signature of
+    a dead/hung/slow/corrupting pipeline -- and resolves when a
+    publication lands.  ``mapmaker_failover`` fires the day the
+    watchdog promotes the standby.
+    """
+    return [
+        ThresholdRule(
+            "map_stale", "mapmaker.map_age_days",
+            op="gt", threshold=float(config.fresh_age_days),
+            severity="warning", for_steps=2),
+        ThresholdRule(
+            "mapmaker_failover", "mapmaker.failovers_today",
+            op="gt", threshold=0.0, severity="critical", for_steps=1),
+    ]
+
+
 class RolloutMonitor:
     """Day-by-day monitoring plane over one roll-out run."""
 
@@ -219,12 +247,15 @@ class RolloutMonitor:
                 ("dns.servfails", "ldns.servfails",
                  "SERVFAIL answers handed to clients today"),
                 ("dns.stale_served", "ldns.stale_served",
-                 "serve-stale answers handed to clients today")):
+                 "serve-stale answers handed to clients today"),
+                ("dns.retry_penalty_ms", "ldns.retry_penalty_ms",
+                 "retry-timer backoff penalty ms charged today")):
             value = gauges.get(gauge, 0.0)
             self.store.record(day, series,
                               value - self._prev_gauges.get(gauge, 0.0),
                               help=blurb)
             self._prev_gauges[gauge] = value
+        self._control_plane_series(day, snapshot, gauges)
         sessions = result.sessions_per_day.get(day, 0)
         failed = getattr(result, "failed_sessions_per_day",
                          {}).get(day, 0)
@@ -239,6 +270,40 @@ class RolloutMonitor:
             day, "mapping.degraded_share",
             _ratio(degraded, completed),
             help="share of completed sessions that degraded today")
+
+    def _control_plane_series(self, day: int, snapshot: Dict,
+                              gauges: Dict) -> None:
+        """Derived map-publication series, for control-plane worlds.
+
+        Presence of the ``mapmaker.map_version`` gauge is the opt-in
+        signal; legacy worlds export none of these (so their reports
+        stay byte-identical).  The raw ``mapmaker.map_age_days`` gauge
+        is already captured as a series by the snapshot; derived here
+        are the per-day failover count and the share of today's
+        mapping decisions answered by each degradation-ladder tier.
+        """
+        if "mapmaker.map_version" not in gauges:
+            return
+        failovers = gauges.get("mapmaker.failovers", 0.0)
+        self.store.record(
+            day, "mapmaker.failovers_today",
+            failovers - self._prev_gauges.get("mapmaker.failovers", 0.0),
+            help="watchdog-driven standby promotions today")
+        self._prev_gauges["mapmaker.failovers"] = failovers
+        counters = snapshot.get("counters", {})
+        deltas = {}
+        for tier in CONTROL_PLANE_TIERS:
+            counter = f"mapping.tier.{tier}"
+            value = counters.get(counter, 0.0)
+            deltas[tier] = value - self._prev_gauges.get(counter, 0.0)
+            self._prev_gauges[counter] = value
+        total = sum(deltas.values())
+        for tier in CONTROL_PLANE_TIERS:
+            self.store.record(
+                day, f"mapping.tier_share.{tier}",
+                _ratio(deltas[tier], total),
+                help=f"share of today's decisions answered at "
+                     f"the {tier} tier")
 
     def _cohort_series(self, day: int) -> None:
         """Mirror today's cohort means into the store, raw plus an

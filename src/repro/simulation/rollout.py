@@ -219,6 +219,12 @@ def _run_rollout(world: World,
         if injector is not None:
             injector.step(day)
 
+        # --- control plane: makers compile/publish, watchdog runs ------
+        # Ticked after the injector so a maker killed today misses
+        # today's publication, exactly like a real mid-cycle crash.
+        if world.control_plane is not None:
+            world.control_plane.tick(day)
+
         # --- roll-out progress: flip the next tranche of resolvers ----
         fraction = config.rollout_fraction(day)
         n_enabled = int(round(fraction * len(public_ids)))

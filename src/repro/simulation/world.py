@@ -26,6 +26,7 @@ from repro.cdn.content import ContentCatalog, build_catalog
 from repro.cdn.deployments import DeploymentPlan, build_deployments
 from repro.cdn.origin import OriginServer, deploy_origin, make_origin_allocator
 from repro.core.discovery import CandidateIndex
+from repro.core.mapmaker import MapMakerConfig, MapPublicationService
 from repro.core.measurement import MeasurementService
 from repro.core.policies import EUMappingPolicy, MappingPolicy
 from repro.core.scoring import Scorer, TrafficClass
@@ -114,6 +115,10 @@ class World:
     """The world's observability plane: every component shares this
     registry + tracer; ``register_world_collectors`` exposes component
     internals as canonical metrics at snapshot time."""
+    control_plane: Optional[MapPublicationService] = None
+    """The map-publication control plane, when the world was built
+    with one (``control_plane=MapMakerConfig(...)``); None keeps the
+    legacy per-query scoring path."""
 
     def set_policy(self, policy: MappingPolicy) -> None:
         """Swap the mapping policy (NS / EU / CANS) world-wide."""
@@ -198,8 +203,16 @@ def build_world(*, config: Optional[WorldConfig] = None,
 
 
 def _build_world(config: Optional[WorldConfig] = None,
-                 policy: Optional[MappingPolicy] = None) -> World:
-    """Build and wire a complete world from a config."""
+                 policy: Optional[MappingPolicy] = None,
+                 control_plane: Optional[MapMakerConfig] = None) -> World:
+    """Build and wire a complete world from a config.
+
+    ``control_plane`` opts the world into the split control plane: a
+    :class:`~repro.core.mapmaker.service.MapPublicationService` is
+    built (publishing its first map immediately) and attached to the
+    mapping system, whose answer path then reads published maps
+    through the degradation ladder instead of scoring per query.
+    """
     config = config or WorldConfig.small()
     rng = random.Random(config.seed ^ 0xC0FFEE)
     obs = Observability()
@@ -224,6 +237,13 @@ def _build_world(config: Optional[WorldConfig] = None,
     mapping = MappingSystem(
         deployments, catalog, mapping_policy, scorer,
         candidate_index=CandidateIndex(deployments), obs=obs)
+
+    publication_service: Optional[MapPublicationService] = None
+    if control_plane is not None:
+        publication_service = MapPublicationService(
+            control_plane, deployments=deployments, scorer=scorer,
+            internet=internet, obs=obs)
+        mapping.attach_control_plane(publication_service)
 
     # --- authoritative name servers inside CDN clusters -------------------
     nameservers: List[AuthoritativeServer] = []
@@ -302,6 +322,7 @@ def _build_world(config: Optional[WorldConfig] = None,
         ldns_registry=ldns_registry,
         query_log=query_log,
         obs=obs,
+        control_plane=publication_service,
     )
     register_world_collectors(obs.registry, world)
     return world

@@ -1,0 +1,62 @@
+"""The ``python -m repro`` exit-code contract.
+
+Every subcommand follows one convention (documented in
+``repro.__main__``): 0 for success, 1 for a failed gate, 2 for usage
+errors.  CI and shell scripts branch on these numbers, so the contract
+is pinned here for the dispatcher itself and for each subcommand's
+cheap paths (``--help`` and flag errors run no simulation; the
+expensive success/failure paths are covered per-subsystem --
+``tests/test_chaos_soak.py`` pins soak's 0-and-1,
+``tests/test_experiments.py`` degradation's).
+"""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.__main__ import _SUBCOMMANDS, main
+
+
+def _run(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        try:
+            code = main(argv)
+        except SystemExit as exit_:  # argparse raises on --help / errors
+            code = int(exit_.code or 0)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestDispatcher:
+    def test_bare_invocation_is_a_usage_error(self):
+        code, out, _ = _run([])
+        assert code == 2
+        assert "usage:" in out
+
+    def test_help_exits_zero_and_lists_everything(self):
+        code, out, _ = _run(["--help"])
+        assert code == 0
+        for name in _SUBCOMMANDS:
+            assert name in out
+
+    def test_unknown_subcommand_exits_two(self):
+        code, _, err = _run(["frobnicate"])
+        assert code == 2
+        assert "unknown subcommand" in err
+
+    def test_soak_is_registered(self):
+        assert _SUBCOMMANDS["soak"][0] == "repro.faults.chaos"
+
+
+class TestSubcommandConventions:
+    @pytest.mark.parametrize("name", sorted(_SUBCOMMANDS))
+    def test_help_exits_zero(self, name):
+        code, out, _ = _run([name, "--help"])
+        assert code == 0, f"{name} --help exited {code}"
+        assert out, f"{name} --help printed nothing"
+
+    @pytest.mark.parametrize("name", sorted(_SUBCOMMANDS))
+    def test_bad_flag_exits_two(self, name):
+        code, _, _ = _run([name, "--no-such-flag"])
+        assert code == 2, f"{name} bad flag exited {code}"
