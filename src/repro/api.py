@@ -19,6 +19,15 @@ The lower-level :func:`build_world` / :func:`run_rollout` here are the
 the old names still work but emit :class:`DeprecationWarning` and
 delegate to the same implementations, so both paths produce identical
 results (a property the shim tests pin byte-for-byte).
+
+Both :func:`run` and :func:`run_rollout` accept ``workers=N`` to
+execute through the sharded multi-process engine
+(:mod:`repro.parallel`): the client population splits into ``shards``
+closed sub-worlds and reports merge back deterministically --
+byte-identical across worker counts, since the shard plan (not the
+pool size) is the unit of determinism.  ``workers=None`` (the
+default) keeps the single-RNG serial engine, whose outputs existing
+golden fixtures pin.
 """
 
 from __future__ import annotations
@@ -110,31 +119,81 @@ def build_world(config: Optional[WorldConfig] = None,
                         control_plane=control_plane)
 
 
+def _monitor_for_spec(spec: ScenarioSpec) -> RolloutMonitor:
+    """The monitor a spec asks for (shared with the sharded engine,
+    so a replayed monitor evaluates the same rule set)."""
+    rules = spec.monitor_rules
+    if rules is None and spec.control_plane is not None:
+        # Control-plane scenarios watch the map-staleness rules on
+        # top of the defaults; explicit rule overrides win as-is.
+        rules = (default_rollout_rules(rollout_windows(spec.rollout))
+                 + control_plane_rules(spec.control_plane))
+    return RolloutMonitor.for_config(spec.rollout, rules=rules)
+
+
 def run_rollout(world: World,
                 config: Optional[RolloutConfig] = None,
                 observer=None,
-                injector: Optional[FaultInjector] = None) -> RolloutResult:
-    """Drive the roll-out timeline (canonical spelling)."""
-    return _run_rollout(world, config=config, observer=observer,
-                        injector=injector)
+                injector: Optional[FaultInjector] = None,
+                workers: Optional[int] = None,
+                shards: Optional[int] = None) -> RolloutResult:
+    """Drive the roll-out timeline (canonical spelling).
+
+    With ``workers=N`` the run executes through the sharded engine:
+    the passed world serves as the *configuration carrier* (shard
+    workers rebuild identical worlds from ``world.config`` in their
+    own processes; the parent's instance is left untouched), and the
+    merged :class:`RolloutResult` comes back byte-deterministic for
+    any worker count.  ``observer``/``injector`` close over the
+    caller's world and cannot cross process boundaries -- attach
+    monitoring via :func:`run` with a :class:`ScenarioSpec` instead.
+    """
+    if workers is None:
+        if shards is not None:
+            raise ValueError("shards=N requires workers=N")
+        return _run_rollout(world, config=config, observer=observer,
+                            injector=injector)
+    if observer is not None or injector is not None:
+        raise ValueError(
+            "workers=N cannot ship a live observer/injector to shard "
+            "processes; compose a ScenarioSpec and use run(spec, "
+            "workers=N)")
+    from repro.parallel import DEFAULT_SHARDS, run_sharded
+
+    spec = ScenarioSpec(
+        world=world.config,
+        rollout=config or RolloutConfig(),
+        control_plane=(world.control_plane.config
+                       if world.control_plane is not None else None),
+        monitor=False,
+    )
+    sharded = run_sharded(spec, workers=workers,
+                          n_shards=shards or DEFAULT_SHARDS)
+    return sharded.result
 
 
-def run(spec: Optional[ScenarioSpec] = None) -> ScenarioRun:
-    """Execute one scenario end to end from its spec."""
+def run(spec: Optional[ScenarioSpec] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None):
+    """Execute one scenario end to end from its spec.
+
+    Returns a :class:`ScenarioRun` (serial, the default) or a
+    :class:`repro.parallel.ShardedRun` when ``workers=N`` -- both
+    expose ``spec`` / ``result`` / ``monitor`` / ``report()``.
+    """
     spec = spec or ScenarioSpec()
+    if workers is not None:
+        from repro.parallel import DEFAULT_SHARDS, run_sharded
+
+        return run_sharded(spec, workers=workers,
+                           n_shards=shards or DEFAULT_SHARDS)
+    if shards is not None:
+        raise ValueError("shards=N requires workers=N")
     world = _build_world(config=spec.world, policy=spec.policy,
                          control_plane=spec.control_plane)
     injector = (FaultInjector(world, spec.faults)
                 if spec.faults else None)
-    monitor = None
-    if spec.monitor:
-        rules = spec.monitor_rules
-        if rules is None and spec.control_plane is not None:
-            # Control-plane scenarios watch the map-staleness rules on
-            # top of the defaults; explicit rule overrides win as-is.
-            rules = (default_rollout_rules(rollout_windows(spec.rollout))
-                     + control_plane_rules(spec.control_plane))
-        monitor = RolloutMonitor.for_config(spec.rollout, rules=rules)
+    monitor = _monitor_for_spec(spec) if spec.monitor else None
     result = _run_rollout(world, config=spec.rollout, observer=monitor,
                           injector=injector)
     return ScenarioRun(spec=spec, world=world, result=result,

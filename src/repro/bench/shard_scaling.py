@@ -1,0 +1,159 @@
+"""Worker-scaling bench for the sharded engine (``repro.parallel``).
+
+Times the sharded day loop at the ``large`` scale -- 2^20 (~1.05M)
+client-block sessions in one simulated day -- across a curve of worker
+counts, and writes a ``bench/v2`` snapshot (``BENCH_PR6.json``) with
+one bench per worker count plus explicit scaling ratios::
+
+    PYTHONPATH=src python -m repro.bench.shard_scaling --out BENCH_PR6.json
+    PYTHONPATH=src python -m repro.bench.shard_scaling --sessions 5000 \
+        --workers 1,2            # quick smoke on a laptop
+
+The snapshot records the measuring host's CPU budget next to the
+numbers: scaling ratios are *host-relative*, and on a single-core
+container the multi-worker configurations mostly measure process-pool
+overhead and scheduler slack, not parallel headroom.  The regress gate never compares these
+``large/*`` keys against older ``BENCH_*.json`` files (they exist only
+from PR 6 on; the gate intersects key sets), so the curve documents
+capacity without gating on the CI host's core count.
+
+The beacon list and pair-row tracking are disabled for the timed runs:
+at this volume they dominate memory and inter-process transfer without
+touching the day-loop wall-clock under test (the determinism tests
+cover them at small volume).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.api import ScenarioSpec
+from repro.experiments.scales import get_scale
+from repro.parallel import DEFAULT_SHARDS, run_sharded
+
+SCHEMA = "bench/v2"
+
+DEFAULT_WORKERS = (1, 2, 4)
+
+
+def scaling_spec(sessions: Optional[int] = None) -> ScenarioSpec:
+    """The benched scenario: the ``large`` scale, monitor off."""
+    scale = get_scale("large")
+    rollout = scale.rollout
+    if sessions is not None:
+        rollout = replace(rollout, sessions_per_day=sessions)
+    return ScenarioSpec(world=scale.world, rollout=rollout,
+                        monitor=False)
+
+
+def host_fingerprint() -> Dict:
+    """Where these numbers were measured (scaling is host-relative)."""
+    affinity = (len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity") else None)
+    return {
+        "cpus": os.cpu_count(),
+        "cpus_available": affinity,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def run_curve(spec: ScenarioSpec, workers_list: List[int],
+              n_shards: int = DEFAULT_SHARDS) -> Dict[int, Dict]:
+    """Time ``run_sharded`` once per worker count, same spec/plan."""
+    curve: Dict[int, Dict] = {}
+    for workers in workers_list:
+        print(f"  workers={workers} (shards={n_shards})...",
+              file=sys.stderr)
+        start = time.perf_counter()
+        sharded = run_sharded(spec, workers=workers, n_shards=n_shards,
+                              keep_beacons=False, pair_tracking=False)
+        wall = time.perf_counter() - start
+        sessions = sum(sharded.shard_sessions)
+        curve[workers] = {
+            "wall_s": round(wall, 6),
+            "calls": sessions,
+            "scale": "large",
+            "workers": workers,
+            "n_shards": n_shards,
+            "sessions_per_s": round(sessions / wall, 1),
+        }
+        print(f"  workers={workers}: {wall:9.2f}s  "
+              f"({sessions:,} sessions, "
+              f"{curve[workers]['sessions_per_s']:,.0f}/s)",
+              file=sys.stderr)
+    return curve
+
+
+def build_payload(curve: Dict[int, Dict]) -> Dict:
+    """The ``bench/v2`` document for one scaling run."""
+    benches = {f"large/shard_day_loop_w{workers}": row
+               for workers, row in sorted(curve.items())}
+    speedups: Dict[str, float] = {}
+    baseline = curve.get(1)
+    if baseline is not None:
+        for workers, row in sorted(curve.items()):
+            if workers == 1:
+                continue
+            speedups[f"large/shard_scaling_w{workers}"] = round(
+                baseline["wall_s"] / max(row["wall_s"], 1e-9), 3)
+    return {
+        "schema": SCHEMA,
+        "benches": benches,
+        "speedups": speedups,
+        "host": host_fingerprint(),
+    }
+
+
+def _workers_list(text: str) -> List[int]:
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}") from None
+    if not values or any(value < 1 for value in values):
+        raise argparse.ArgumentTypeError(
+            f"worker counts must be positive, got {text!r}")
+    return values
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR6.json",
+                        help="output JSON path")
+    parser.add_argument("--workers", type=_workers_list,
+                        default=list(DEFAULT_WORKERS),
+                        help="comma-separated worker counts "
+                             "(default 1,2,4)")
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS,
+                        help="shard count of the deterministic plan")
+    parser.add_argument("--sessions", type=int, default=None,
+                        help="override sessions/day (smoke runs; the "
+                             "committed snapshot uses the large "
+                             "scale's 2^20)")
+    args = parser.parse_args(argv)
+
+    spec = scaling_spec(args.sessions)
+    print(f"shard-scaling bench: "
+          f"{spec.rollout.sessions_per_day:,} sessions/day x "
+          f"{spec.rollout.n_days} day(s)", file=sys.stderr)
+    curve = run_curve(spec, args.workers, n_shards=args.shards)
+    payload = build_payload(curve)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    for name, ratio in payload["speedups"].items():
+        print(f"  {name:40s} {ratio:6.2f}x", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -143,7 +143,10 @@ class MapPublicationService:
         self.current = candidate
         self.maps_published += 1
         maker.publishes += 1
-        self.obs.registry.counter("mapmaker.maps_published").inc()
+        # Every shard of a sharded run replays the identical
+        # publication schedule, so this merges by max, not sum.
+        self.obs.registry.counter("mapmaker.maps_published",
+                                  merge="max").inc()
         return True
 
     # -- the daily tick ----------------------------------------------------
@@ -164,12 +167,19 @@ class MapPublicationService:
         self._export_gauges(day)
 
     def _export_gauges(self, day: int) -> None:
+        # Control-plane state is replicated identically in every shard
+        # of a sharded run: merge by max so a merged registry reports
+        # the one control plane, not n_shards copies of it.
         registry = self.obs.registry
-        registry.gauge("mapmaker.map_version").set(self.current.version)
-        registry.gauge("mapmaker.map_age_days").set(self.map_age(day))
-        registry.gauge("mapmaker.failovers").set(self.failovers)
-        registry.gauge("mapmaker.maps_rejected").set(self.maps_rejected)
-        registry.gauge("mapmaker.makers_healthy").set(
+        registry.gauge("mapmaker.map_version",
+                       merge="max").set(self.current.version)
+        registry.gauge("mapmaker.map_age_days",
+                       merge="max").set(self.map_age(day))
+        registry.gauge("mapmaker.failovers",
+                       merge="max").set(self.failovers)
+        registry.gauge("mapmaker.maps_rejected",
+                       merge="max").set(self.maps_rejected)
+        registry.gauge("mapmaker.makers_healthy", merge="max").set(
             sum(1 for m in self.makers if m.healthy))
 
     def map_age(self, day: int) -> int:

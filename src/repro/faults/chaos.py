@@ -22,6 +22,12 @@ module, no global state -- so scenario *i* under seed *S* is one
 deterministic function of ``(S, i)``.  That makes checkpoint/resume
 trivial: a soak interrupted after k scenarios resumes at k+1 and
 produces the byte-identical report the uninterrupted run would have.
+
+The same purity makes the campaign embarrassingly parallel:
+``--workers N`` fans pending scenarios across a process pool while the
+parent appends finished rows *in index order* (checkpointing each
+extension), so the report and every intermediate checkpoint stay
+byte-identical to the serial run's.
 """
 
 from __future__ import annotations
@@ -335,6 +341,45 @@ def run_scenario(config: SoakConfig, index: int) -> Dict:
 
 # -- the soak campaign with checkpoint/resume -------------------------------
 
+def _scenario_task(payload: Tuple[SoakConfig, int]) -> Dict:
+    """Module-level pool target: run one scenario from (config, index).
+
+    ``run_scenario`` is a pure function of its arguments, so a row
+    computed in a pool process is byte-identical to one computed
+    inline.
+    """
+    config, index = payload
+    return run_scenario(config, index)
+
+
+def _run_pending(config: SoakConfig, indices: List[int],
+                 workers: Optional[int], progress):
+    """Yield rows for ``indices``, in index order, serial or pooled.
+
+    The pool path submits every pending scenario up front and gathers
+    futures in submission (= index) order: completion order never
+    surfaces, so parallel rows land exactly where serial rows would --
+    and the caller checkpoints each yielded row just like the serial
+    loop does.
+    """
+    if workers is None or workers <= 1 or len(indices) <= 1:
+        for index in indices:
+            if progress is not None:
+                progress(index, config.count)
+            yield run_scenario(config, index)
+        return
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(
+            max_workers=min(workers, len(indices))) as pool:
+        futures = [pool.submit(_scenario_task, (config, index))
+                   for index in indices]
+        for index, future in zip(indices, futures):
+            if progress is not None:
+                progress(index, config.count)
+            yield future.result()
+
+
 def _load_checkpoint(path: str, config: SoakConfig) -> List[Dict]:
     with open(path) as handle:
         doc = json.load(handle)
@@ -362,12 +407,16 @@ def run_soak(config: SoakConfig,
              checkpoint: Optional[str] = None,
              resume: bool = False,
              stop_after: Optional[int] = None,
-             progress=None) -> Dict:
+             progress=None,
+             workers: Optional[int] = None) -> Dict:
     """Run (or resume) a soak campaign and return its report document.
 
     ``stop_after`` limits how many *new* scenarios this invocation
     runs (interruption, for the checkpoint tests); the report of a
-    stopped run carries ``"partial": true``.
+    stopped run carries ``"partial": true``.  ``workers=N`` fans
+    scenarios across N processes; rows append (and checkpoints write)
+    in index order regardless, so report and checkpoint bytes match
+    the serial run's exactly.
     """
     rows: List[Dict] = []
     if resume:
@@ -376,15 +425,11 @@ def run_soak(config: SoakConfig,
         rows = _load_checkpoint(checkpoint, config)
         rows = rows[: config.count]
 
-    ran = 0
-    while len(rows) < config.count:
-        if stop_after is not None and ran >= stop_after:
-            break
-        index = len(rows)
-        if progress is not None:
-            progress(index, config.count)
-        rows.append(run_scenario(config, index))
-        ran += 1
+    pending = list(range(len(rows), config.count))
+    if stop_after is not None:
+        pending = pending[:stop_after]
+    for row in _run_pending(config, pending, workers, progress):
+        rows.append(row)
         if checkpoint:
             _write_checkpoint(checkpoint, config, rows)
 
@@ -446,6 +491,20 @@ def render_report(report: Dict) -> str:
     return "\n".join(lines)
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: strictly positive integer (usage error -- exit
+    code 2 -- otherwise, per the documented contract)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro soak", description=__doc__,
@@ -465,6 +524,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--stop-after", type=int, default=None,
                         help="run at most this many new scenarios "
                              "(for interruption testing)")
+    parser.add_argument("--workers", type=_positive_int, default=None,
+                        help="fan scenarios across N processes "
+                             "(report/checkpoint bytes unchanged)")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text")
     parser.add_argument("--out", default=None,
@@ -482,7 +544,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = run_soak(config, checkpoint=args.checkpoint,
                       resume=args.resume, stop_after=args.stop_after,
-                      progress=progress)
+                      progress=progress, workers=args.workers)
     if args.format == "json":
         text = json.dumps(report, indent=2, sort_keys=True) + "\n"
     else:

@@ -44,9 +44,11 @@ class FaultInjector:
             if event not in self._applied:
                 self._applied[event] = self._apply(event)
                 self.events_applied += 1
+                # The fault schedule replays identically in every shard
+                # of a sharded run, so both instruments merge by max.
                 self.world.obs.registry.counter(
-                    "faults.events_applied").inc()
-        self.world.obs.registry.gauge("faults.active").set(
+                    "faults.events_applied", merge="max").inc()
+        self.world.obs.registry.gauge("faults.active", merge="max").set(
             len(self._applied))
         self._sync_trace_context()
 

@@ -125,6 +125,27 @@ class QueryLog:
             return 0.0
         return sum(counts) / (len(counts) * self.bucket_seconds)
 
+    def merge(self, other: "QueryLog") -> "QueryLog":
+        """Fold another log's accounting into this one.
+
+        The sharded engine gives every worker its own sink over its own
+        sub-population, then merges in fixed shard order: totals and
+        per-bucket counts add; pair rows concatenate in merge order
+        (every consumer aggregates them into per-pair counts, so the
+        row order never surfaces).  Merging an empty log is the
+        identity.  Returns ``self`` for chaining.
+        """
+        self.total_queries += other.total_queries
+        self.ecs_queries += other.ecs_queries
+        for bucket, count in sorted(other._buckets_total.items()):
+            self._buckets_total[bucket] = (
+                self._buckets_total.get(bucket, 0) + count)
+        for bucket, count in sorted(other._buckets_public.items()):
+            self._buckets_public[bucket] = (
+                self._buckets_public.get(bucket, 0) + count)
+        self._pair_counts.extend(other._pair_counts)
+        return self
+
     def reset(self) -> None:
         self.total_queries = 0
         self.ecs_queries = 0

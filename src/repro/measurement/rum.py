@@ -58,6 +58,19 @@ class RumCollector:
     def record(self, beacon: RumBeacon) -> None:
         self.beacons.append(beacon)
 
+    def merge(self, other: "RumCollector") -> "RumCollector":
+        """Fold another collector's beacons into this one, re-ordered.
+
+        Beacons concatenate then stable-sort by day, so merging shard
+        collectors in fixed shard order yields one deterministic
+        ``(day, shard, arrival)`` ordering -- the key every
+        incremental consumer (the monitor's per-day ingestion) relies
+        on.  Returns ``self`` for chaining.
+        """
+        self.beacons.extend(other.beacons)
+        self.beacons.sort(key=lambda beacon: beacon.day)
+        return self
+
     def __len__(self) -> int:
         return len(self.beacons)
 

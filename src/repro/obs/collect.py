@@ -129,8 +129,11 @@ def register_world_collectors(registry: MetricsRegistry, world) -> None:
 
         clusters = list(world.deployments.clusters.values())
         alive = [c for c in clusters if c.alive]
-        reg.gauge("clusters.total").set(len(clusters))
-        reg.gauge("clusters.alive").set(len(alive))
+        # Deployment geometry is replicated identically in every shard
+        # of a sharded run (merge=max); utilization is load-driven and
+        # load splits across shards, so the mean keeps the sum default.
+        reg.gauge("clusters.total", merge="max").set(len(clusters))
+        reg.gauge("clusters.alive", merge="max").set(len(alive))
         reg.gauge("clusters.mean_utilization").set(
             sum(c.utilization for c in alive) / len(alive)
             if alive else 0.0)

@@ -28,6 +28,18 @@ Two usage styles coexist:
 Snapshots are deterministic: instruments are exported sorted by name
 and all floats are plain Python floats, so two identical runs produce
 byte-identical JSON.
+
+Registries also *merge* (:meth:`MetricsRegistry.merge`): the sharded
+simulation engine (``repro.parallel``) runs one registry per worker
+process and folds them back together.  Counters and gauges carry a
+``merge`` mode -- ``"sum"`` (the default: shard-local activity adds
+up) or ``"max"`` (state replicated identically in every closed
+sub-world, e.g. the control plane's map version, where summing would
+multiply-count).  Histograms merge exactly via their moment
+accumulators (count / weighted total / weight) while the retained
+samples concatenate in merge order and re-compact deterministically,
+so merging shard registries in a fixed shard order yields
+byte-identical snapshots regardless of how many processes ran.
 """
 
 from __future__ import annotations
@@ -42,16 +54,29 @@ from repro.analysis.stats import weighted_quantiles
 #: five, footnote 6).
 EXPORT_QUANTILES: Tuple[float, ...] = (0.05, 0.25, 0.50, 0.75, 0.95)
 
+#: Valid scalar merge modes (see module docstring).
+MERGE_MODES: Tuple[str, ...] = ("sum", "max")
+
+
+def _check_merge_mode(name: str, merge: str) -> str:
+    if merge not in MERGE_MODES:
+        raise ValueError(
+            f"metric {name!r}: unknown merge mode {merge!r} "
+            f"(choose from {MERGE_MODES})")
+    return merge
+
 
 class Counter:
     """Monotonic event counter."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "merge")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 merge: str = "sum") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self.merge = _check_merge_mode(name, merge)
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -62,12 +87,14 @@ class Counter:
 class Gauge:
     """Point-in-time value; freely settable."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "merge")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 merge: str = "sum") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self.merge = _check_merge_mode(name, merge)
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -138,6 +165,39 @@ class Histogram:
         self._values = values
         self._weights = weights
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        The moment accumulators (count, weighted total, total weight)
+        add exactly; the retained samples concatenate in call order and
+        re-compact through the same deterministic pairwise scheme
+        :meth:`observe` uses, so merging a fixed sequence of histograms
+        always yields the same state.  A corrupted source -- non-finite
+        moments, which :meth:`observe` can never produce -- is rejected
+        rather than silently poisoning every downstream quantile.
+        """
+        if (not math.isfinite(other.total)
+                or not math.isfinite(other.weight_total)):
+            raise ValueError(
+                f"histogram {self.name}: refusing to merge non-finite "
+                f"accumulators from {other.name!r} (NaN/inf)")
+        if other.weight_total < 0:
+            raise ValueError(
+                f"histogram {self.name}: refusing to merge negative "
+                f"weight from {other.name!r}")
+        for value, weight in zip(other._values, other._weights):
+            if not (math.isfinite(value) and math.isfinite(weight)):
+                raise ValueError(
+                    f"histogram {self.name}: non-finite sample in "
+                    f"{other.name!r} (NaN/inf)")
+        self.count += other.count
+        self.total += other.total
+        self.weight_total += other.weight_total
+        self._values.extend(other._values)
+        self._weights.extend(other._weights)
+        while len(self._values) > self.max_samples:
+            self._compact()
+
     def quantiles(
         self, qs: Sequence[float] = EXPORT_QUANTILES
     ) -> List[float]:
@@ -172,20 +232,26 @@ class MetricsRegistry:
 
     # -- instrument access (get-or-create) ------------------------------
 
-    def counter(self, name: str, help: str = "") -> Counter:
+    def counter(self, name: str, help: str = "",
+                merge: Optional[str] = None) -> Counter:
         self._check_free(name, self._counters)
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = Counter(name, help)
+            instrument = Counter(name, help, merge=merge or "sum")
             self._counters[name] = instrument
+        elif merge is not None:
+            instrument.merge = _check_merge_mode(name, merge)
         return instrument
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
+    def gauge(self, name: str, help: str = "",
+              merge: Optional[str] = None) -> Gauge:
         self._check_free(name, self._gauges)
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = Gauge(name, help)
+            instrument = Gauge(name, help, merge=merge or "sum")
             self._gauges[name] = instrument
+        elif merge is not None:
+            instrument.merge = _check_merge_mode(name, merge)
         return instrument
 
     def histogram(self, name: str, help: str = "",
@@ -215,6 +281,86 @@ class MetricsRegistry:
     def collect(self) -> None:
         for collector in self._collectors:
             collector(self)
+
+    # -- merge / clone / pickling ----------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one.
+
+        Counters and gauges combine per their ``merge`` mode (``sum``
+        for shard-local activity, ``max`` for state replicated in every
+        shard); histograms merge exactly through their moment
+        accumulators.  Instruments missing on either side behave as the
+        zero instrument -- merging an empty registry is the identity,
+        and merging into an empty registry copies ``other``.  The mode
+        travels with the source instrument, so a freshly created merge
+        target needs no up-front declarations.  Collectors are *not*
+        transferred: a merged registry is a passive aggregate, not a
+        live view of any world.  Returns ``self`` for chaining.
+        """
+        for name in sorted(other._counters):
+            source = other._counters[name]
+            target = self.counter(name, source.help, merge=source.merge)
+            if source.merge == "max":
+                target.value = max(target.value, source.value)
+            else:
+                target.value += source.value
+        for name in sorted(other._gauges):
+            source = other._gauges[name]
+            target = self.gauge(name, source.help, merge=source.merge)
+            if source.merge == "max":
+                target.value = max(target.value, source.value)
+            else:
+                target.value += source.value
+        for name in sorted(other._histograms):
+            source = other._histograms[name]
+            target = self.histogram(name, source.help,
+                                    max_samples=source.max_samples)
+            target.merge(source)
+        return self
+
+    def clone(self) -> "MetricsRegistry":
+        """Deep copy of every instrument, without the collectors.
+
+        Collector-backed gauges hold whatever the last
+        :meth:`collect` wrote, so call that first to capture live
+        component state (the sharded engine clones once per simulated
+        day to feed the monitor replay).
+        """
+        self.collect()
+        copy = MetricsRegistry()
+        for name, counter in self._counters.items():
+            duplicate = copy.counter(name, counter.help,
+                                     merge=counter.merge)
+            duplicate.value = counter.value
+        for name, gauge in self._gauges.items():
+            duplicate = copy.gauge(name, gauge.help, merge=gauge.merge)
+            duplicate.value = gauge.value
+        for name, hist in self._histograms.items():
+            duplicate = copy.histogram(name, hist.help,
+                                       max_samples=hist.max_samples)
+            duplicate.count = hist.count
+            duplicate.total = hist.total
+            duplicate.weight_total = hist.weight_total
+            duplicate._values = list(hist._values)
+            duplicate._weights = list(hist._weights)
+        return copy
+
+    def __getstate__(self) -> Dict:
+        """Pickle support for process-pool transport.
+
+        Collectors are closures over live component objects (a whole
+        :class:`~repro.simulation.world.World`) and cannot cross a
+        process boundary; shard workers run :meth:`collect` before
+        shipping the registry, so the materialized gauge values travel
+        while the closures stay behind.
+        """
+        state = self.__dict__.copy()
+        state["_collectors"] = []
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
 
     # -- export ----------------------------------------------------------
 

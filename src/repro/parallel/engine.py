@@ -1,0 +1,419 @@
+"""The sharded roll-out engine: shard workers, pool, merge, replay.
+
+Execution model
+---------------
+
+``run_sharded(spec, workers=N, n_shards=K)`` splits the *client
+population* of one :class:`~repro.api.ScenarioSpec` into ``K`` closed
+sub-worlds (:mod:`repro.parallel.plan`) and executes them on up to
+``N`` processes.  Each shard worker
+
+1. rebuilds the **full** world from the spec -- worlds are pure
+   functions of their seeds, so infrastructure (clusters, name
+   servers, LDNS fleet, fault schedule, control plane) is replicated
+   identically in every shard;
+2. replays the exact roll-out timeline (fault steps, control-plane
+   ticks, ECS tranche flips) while simulating **only its own blocks'
+   sessions**, drawn from a shard-local RNG seeded by
+   ``f"{seed}:shard:{index}"`` and paced by the shard's
+   largest-remainder session quota for each day;
+3. returns its registry, beacons, query log, traces, and -- when a
+   monitor is attached -- one registry clone per simulated day.
+
+The parent merges everything in fixed shard order
+(:mod:`repro.parallel.merge`) and *replays the monitor* over the
+merged per-day registries, so alert rules evaluate the same global
+per-day signals they see in a serial monitored run.
+
+Determinism contract
+--------------------
+
+``workers`` only sizes the process pool; the shard plan (and hence
+every random draw) is fixed by ``n_shards``.  ``workers=1`` executes
+the same shards serially in-process, so reports are **byte-identical**
+across worker counts.  The legacy serial engine (``workers=None`` at
+the API layer) draws from one global RNG and remains the reference for
+existing golden fixtures; the sharded engine is its own determinism
+domain.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.measurement.querylog import QueryLog
+from repro.measurement.rum import RumBeacon, RumCollector
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.merge import (
+    merge_query_logs,
+    merge_registries,
+    merge_rum,
+    merge_traces,
+    sum_day_dicts,
+)
+from repro.parallel.plan import DEFAULT_SHARDS, ShardPlan, plan_shards
+
+DAY_SECONDS = 86400.0
+
+
+@dataclass
+class ShardOutput:
+    """Everything one shard worker ships back to the parent."""
+
+    shard: int
+    registry: MetricsRegistry
+    rum: RumCollector
+    query_log: QueryLog
+    traces: List[Dict]
+    trace_counts: Dict[str, int]
+    sessions_per_day: Dict[int, int]
+    requests_per_day: Dict[int, int]
+    failed_per_day: Dict[int, int]
+    degraded_per_day: Dict[int, int]
+    ecs_resolvers_per_day: Dict[int, int]
+    high_expectation: List[str]
+    medians: Dict[str, float]
+    day_registries: Dict[int, MetricsRegistry] = field(
+        default_factory=dict)
+    day_query_cums: Dict[int, Tuple[int, int]] = field(
+        default_factory=dict)
+
+
+def _shard_worker(payload: Tuple) -> ShardOutput:
+    """Run one shard end to end (executes inside a pool process).
+
+    A near-verbatim mirror of the serial day loop in
+    :func:`repro.simulation.rollout._run_rollout`; the deltas are
+    marked ``SHARD:`` -- the shard-local RNG, the apportioned session
+    quota, and the shard-restricted block pick.  Everything else
+    (fault steps, control-plane ticks, ECS flips, instrument writes)
+    replays the identical timeline in every shard.
+    """
+    (spec, shard, n_shards, capture_days, keep_beacons,
+     pair_tracking) = payload
+    # Imported here, not at module top: ``repro.api`` reaches into
+    # this package (lazily), and function-scope imports keep the edge
+    # acyclic in both directions.
+    from repro.faults import FaultInjector
+    from repro.simulation.world import _build_world
+    from repro.simulation.rollout import (
+        classify_expectation_groups,
+        split_expectation_groups,
+    )
+    from repro.simulation.session import simulate_session
+
+    world = _build_world(config=spec.world, policy=spec.policy,
+                         control_plane=spec.control_plane)
+    config = spec.rollout
+    injector = FaultInjector(world, spec.faults) if spec.faults else None
+    plan = plan_shards(world.internet, n_shards)
+
+    # SHARD: one independent RNG per shard, seeded by (seed, shard).
+    # String seeds hash through SHA-512 inside random.Random, so the
+    # stream is stable across platforms and hash randomization.
+    rng = random.Random(f"{config.seed}:shard:{shard}")
+
+    medians = classify_expectation_groups(world)
+    high_expectation, _ = split_expectation_groups(
+        medians, config.expectation_threshold_miles)
+
+    world.disable_all_ecs()
+    if pair_tracking:
+        world.query_log.enable_pair_tracking()
+    public_ids = world.public_ldns_ids()
+
+    registry = world.obs.registry
+    rum = RumCollector()
+    output = ShardOutput(
+        shard=shard, registry=registry, rum=rum,
+        query_log=world.query_log, traces=[], trace_counts={},
+        sessions_per_day={}, requests_per_day={}, failed_per_day={},
+        degraded_per_day={}, ecs_resolvers_per_day={},
+        high_expectation=sorted(high_expectation), medians=medians)
+
+    for day in range(config.n_days):
+        if injector is not None:
+            injector.step(day)
+        if world.control_plane is not None:
+            world.control_plane.tick(day)
+
+        fraction = config.rollout_fraction(day)
+        n_enabled = int(round(fraction * len(public_ids)))
+        world.enable_ecs(public_ids[:n_enabled],
+                         source_prefix_len=config.ecs_source_len)
+        output.ecs_resolvers_per_day[day] = world.ecs_enabled_count()
+        registry.gauge("rollout.day", merge="max").set(day)
+        registry.gauge("rollout.ecs_resolvers", merge="max").set(
+            output.ecs_resolvers_per_day[day])
+
+        # SHARD: the global volume formula, apportioned by demand.
+        month = day // 30
+        sessions_global = int(round(
+            config.sessions_per_day
+            * (1.0 + config.monthly_growth * month)))
+        quota = plan.sessions_for_day(sessions_global)[shard]
+        spacing = DAY_SECONDS / quota if quota else DAY_SECONDS
+
+        requests_today = 0
+        failed_today = 0
+        degraded_today = 0
+        for index in range(quota):
+            now = day * DAY_SECONDS + index * spacing + rng.uniform(
+                0, spacing * 0.5)
+            # SHARD: demand-weighted pick within this shard's blocks.
+            block = plan.pick_block(shard, world.internet.blocks, rng)
+            session = simulate_session(world, block, now, rng)
+            requests_today += session.requests
+            if session.failed:
+                failed_today += 1
+                continue
+            if session.degraded:
+                degraded_today += 1
+            if keep_beacons:
+                rum.record(RumBeacon(
+                    day=day,
+                    block=block.prefix,
+                    country=block.country,
+                    domain=session.domain,
+                    high_expectation=block.country in high_expectation,
+                    via_public_resolver=session.via_public_resolver,
+                    dns_ms=session.dns_ms,
+                    rtt_ms=session.rtt_ms,
+                    ttfb_ms=session.ttfb_ms,
+                    download_ms=session.download_ms,
+                    mapping_distance_miles=(
+                        session.mapping_distance_miles),
+                    server_ip=session.server_ip,
+                    ecs_used=session.ecs_used,
+                ))
+        output.sessions_per_day[day] = quota
+        output.requests_per_day[day] = requests_today
+        output.failed_per_day[day] = failed_today
+        output.degraded_per_day[day] = degraded_today
+        registry.counter("rollout.sessions").inc(quota)
+        registry.counter("rollout.requests").inc(requests_today)
+        if failed_today:
+            registry.counter("rollout.failed_sessions").inc(failed_today)
+
+        if capture_days:
+            # One instrument-only clone per day feeds the parent's
+            # monitor replay; clone() runs the collectors first, so
+            # collector-backed gauges hold end-of-day component state.
+            output.day_registries[day] = registry.clone()
+            output.day_query_cums[day] = (
+                world.query_log.total_queries,
+                world.query_log.ecs_queries)
+
+    if injector is not None:
+        injector.finish()
+
+    # Materialize collector gauges one last time, then detach the
+    # world: only the registry's instrument state crosses the process
+    # boundary (``MetricsRegistry.__getstate__`` drops collectors).
+    registry.collect()
+    tracer = world.obs.tracer
+    output.traces = tracer.export()
+    output.trace_counts = {"started": tracer.started,
+                           "sampled": tracer.sampled,
+                           "dropped": tracer.dropped}
+    return output
+
+
+# -- replay views ------------------------------------------------------------
+
+class _QueryLogView:
+    """Per-day window over the merged query log.
+
+    ``bucket_rate`` delegates (buckets are keyed by day, so later days
+    never leak into earlier reads); ``ecs_share`` is overridden with
+    the day's *cumulative-to-date* totals -- the value the serial
+    monitor sees mid-run, which the finished merged log can no longer
+    answer by itself.
+    """
+
+    def __init__(self, log: QueryLog, total: int, ecs: int) -> None:
+        self._log = log
+        self._total = total
+        self._ecs = ecs
+
+    def bucket_rate(self, bucket: int, public_only: bool = False) -> float:
+        return self._log.bucket_rate(bucket, public_only)
+
+    def ecs_share(self) -> float:
+        return self._ecs / self._total if self._total else 0.0
+
+
+class _RumView:
+    """The merged beacon list truncated to days <= the replay day."""
+
+    def __init__(self, beacons: List[RumBeacon]) -> None:
+        self.beacons = beacons
+
+
+class _ReplayResult:
+    """What the monitor reads from ``result`` during replay, scoped to
+    one day: day-keyed dicts pass through whole (lookups are by day),
+    while the beacon list and cumulative query totals are windows."""
+
+    def __init__(self, merged, rum_view, query_view) -> None:
+        self.rum = rum_view
+        self.query_log = query_view
+        self.sessions_per_day = merged.sessions_per_day
+        self.failed_sessions_per_day = merged.failed_sessions_per_day
+        self.degraded_sessions_per_day = merged.degraded_sessions_per_day
+
+
+class _WorldView:
+    """The one attribute path the monitor reads: ``world.obs.registry``."""
+
+    class _Obs:
+        def __init__(self, registry: MetricsRegistry) -> None:
+            self.registry = registry
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.obs = self._Obs(registry)
+
+
+# -- the merged run ----------------------------------------------------------
+
+@dataclass
+class ShardedRun:
+    """A completed sharded scenario: merged outputs, replayed monitor.
+
+    The sharded sibling of :class:`repro.api.ScenarioRun`.  There is no
+    single live ``world`` (each worker's world died with its process);
+    the merged registry and trace export stand in for the world-level
+    observability surfaces.
+    """
+
+    spec: object
+    result: object
+    monitor: Optional[object]
+    registry: MetricsRegistry
+    traces: List[Dict]
+    trace_counts: Dict[str, int]
+    n_shards: int
+    workers: int
+    shard_sessions: List[int]
+    """Total sessions simulated per shard (the load-split record)."""
+
+    def report(self, scenario: Optional[Dict] = None) -> Dict:
+        """The monitor's deterministic report document."""
+        if self.monitor is None:
+            raise ValueError(
+                "scenario ran without a monitor (spec.monitor=False)")
+        return self.monitor.report(scenario if scenario is not None
+                                   else self.spec.describe())
+
+
+def _validate_parallelism(value, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be a positive integer, "
+                         f"got {value!r}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def run_sharded(spec=None, *, workers: int = 1,
+                n_shards: int = DEFAULT_SHARDS,
+                keep_beacons: bool = True,
+                pair_tracking: bool = True) -> ShardedRun:
+    """Execute one scenario sharded across worker processes.
+
+    ``keep_beacons`` / ``pair_tracking`` exist for the bench harness:
+    at millions of sessions per day the beacon list and pair-row log
+    dominate memory and inter-process transfer without affecting the
+    wall-clock being measured.  Leave both True for report-producing
+    runs.
+    """
+    from repro.api import ScenarioSpec, _monitor_for_spec
+
+    spec = spec or ScenarioSpec()
+    workers = _validate_parallelism(workers, "workers")
+    n_shards = _validate_parallelism(n_shards, "n_shards")
+    if spec.policy is not None:
+        raise ValueError(
+            "sharded execution rebuilds the world in each worker and "
+            "cannot ship a live policy object; pass policy=None (the "
+            "default mapping) or run serially (workers=None)")
+
+    capture_days = spec.monitor
+    payloads = [(spec, shard, n_shards, capture_days, keep_beacons,
+                 pair_tracking) for shard in range(n_shards)]
+    if workers == 1:
+        outputs = [_shard_worker(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, n_shards)) as pool:
+            futures = [pool.submit(_shard_worker, payload)
+                       for payload in payloads]
+            outputs = [future.result() for future in futures]
+
+    # -- merge, in fixed shard order --------------------------------------
+    from repro.simulation.rollout import RolloutResult
+
+    first = outputs[0]
+    result = RolloutResult(
+        config=spec.rollout,
+        rum=merge_rum([out.rum for out in outputs]),
+        query_log=merge_query_logs([out.query_log for out in outputs]),
+        sessions_per_day=sum_day_dicts(
+            out.sessions_per_day for out in outputs),
+        requests_per_day=sum_day_dicts(
+            out.requests_per_day for out in outputs),
+        failed_sessions_per_day=sum_day_dicts(
+            out.failed_per_day for out in outputs),
+        degraded_sessions_per_day=sum_day_dicts(
+            out.degraded_per_day for out in outputs),
+        ecs_resolvers_per_day=dict(first.ecs_resolvers_per_day),
+        high_expectation_countries=list(first.high_expectation),
+        median_public_distance=dict(first.medians),
+    )
+    registry = merge_registries([out.registry for out in outputs])
+    traces = merge_traces([out.traces for out in outputs])
+    trace_counts = {
+        key: sum(out.trace_counts.get(key, 0) for out in outputs)
+        for key in ("started", "sampled", "dropped")}
+
+    monitor = None
+    if spec.monitor:
+        monitor = _monitor_for_spec(spec)
+        _replay_monitor(monitor, spec, outputs, result)
+
+    return ShardedRun(
+        spec=spec, result=result, monitor=monitor, registry=registry,
+        traces=traces, trace_counts=trace_counts, n_shards=n_shards,
+        workers=workers,
+        shard_sessions=[sum(out.sessions_per_day.values())
+                        for out in outputs])
+
+
+def _replay_monitor(monitor, spec, outputs: List[ShardOutput],
+                    result) -> None:
+    """Drive the monitor over merged per-day registries.
+
+    The serial engine calls ``monitor.on_day`` with the live world
+    after each day; here every shard captured a registry clone per day,
+    so the replay merges the clones for day *d* (fixed shard order) and
+    presents them behind the same observer interface.  Beacons arrive
+    through a day-truncated window of the merged day-sorted list, and
+    the query log's cumulative ECS share is reconstructed from per-day
+    (total, ecs) checkpoints summed across shards.
+    """
+    completed_cum = 0
+    for day in range(spec.rollout.n_days):
+        day_registry = merge_registries(
+            [out.day_registries[day] for out in outputs])
+        total = sum(out.day_query_cums[day][0] for out in outputs)
+        ecs = sum(out.day_query_cums[day][1] for out in outputs)
+        completed_cum += (result.sessions_per_day.get(day, 0)
+                          - result.failed_sessions_per_day.get(day, 0))
+        view = _ReplayResult(
+            result,
+            rum_view=_RumView(result.rum.beacons[:completed_cum]),
+            query_view=_QueryLogView(result.query_log, total, ecs))
+        monitor.on_day(day, _WorldView(day_registry), view)

@@ -1,0 +1,156 @@
+"""Shard planning: a deterministic partition of the client population.
+
+The paper's mapping system scales by partitioning the address space
+into units that can be processed independently (the map units of
+Section 5; Gursun's prefix clustering makes the same move for
+measurement).  The simulator's analog: split the client /24 blocks
+into ``n_shards`` *closed sub-populations* by hashing each block's
+prefix address through the SplitMix64 finalizer.  The partition is a
+pure function of (prefix, n_shards) -- independent of block order,
+world scale, Python hash randomization, and, critically, of how many
+worker processes execute the shards.
+
+Closed-world invariant: a shard owns its blocks' *sessions*, but every
+shard worker rebuilds the full world from the same spec, so shared
+infrastructure -- published maps, the fault schedule, the ECS roll-out
+timeline, name servers, cluster geometry -- is replicated identically
+everywhere.  Only client-driven activity differs per shard, and that
+is exactly the part the merge algebra can add back together.
+
+Per-day load: the serial engine draws ``sessions_today`` sessions from
+the global demand distribution.  Sharded, each shard must know its
+quota without coordinating, so the planner apportions the global count
+across shards by demand share with the largest-remainder method --
+deterministic, exact (quotas always sum to the global count), and
+stable under worker count.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+#: Default shard count.  Fixed independently of ``workers`` so the
+#: shard plan -- and therefore every merged report byte -- is identical
+#: whether 1, 2, or 16 processes execute it.
+DEFAULT_SHARDS = 8
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix64(value: int) -> int:
+    """The SplitMix64 finalizer (the simulator's shared PRNG idiom:
+    the latency model, the network loss stream, and the chaos plane all
+    hash through these constants)."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def shard_of_prefix(prefix_addr: int, n_shards: int) -> int:
+    """Which shard owns the client block at this prefix address."""
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    return _mix64(prefix_addr) % n_shards
+
+
+def apportion(total: int, shares: Sequence[float]) -> List[int]:
+    """Split ``total`` integer units across ``shares`` exactly.
+
+    Largest-remainder apportionment: each bucket gets the floor of its
+    proportional quota, then leftover units go to the largest
+    fractional parts (ties broken by lower index).  Deterministic, and
+    the result always sums to ``total``.
+    """
+    if total < 0:
+        raise ValueError(f"cannot apportion a negative total: {total}")
+    weight = sum(shares)
+    if weight <= 0:
+        # No demand anywhere: dump everything in bucket 0 so the total
+        # is conserved (only reachable with a degenerate world).
+        return [total] + [0] * (len(shares) - 1) if shares else []
+    quotas = [total * share / weight for share in shares]
+    floors = [int(quota) for quota in quotas]
+    remainder = total - sum(floors)
+    by_fraction = sorted(range(len(shares)),
+                         key=lambda i: (floors[i] - quotas[i], i))
+    for i in by_fraction[:remainder]:
+        floors[i] += 1
+    return floors
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition of one world's client blocks into shards."""
+
+    n_shards: int
+    block_indices: Tuple[Tuple[int, ...], ...]
+    """Per shard: indices into ``internet.blocks``, ascending."""
+    demands: Tuple[float, ...]
+    """Per shard: total client demand owned."""
+
+    # Derived per-shard pickers, built lazily (the plan is computed
+    # inside every worker, so nothing here crosses a process boundary).
+    _cum_demand: List[List[float]] = field(
+        default_factory=list, repr=False, compare=False)
+
+    @property
+    def total_demand(self) -> float:
+        return sum(self.demands)
+
+    def sessions_for_day(self, sessions_today: int) -> List[int]:
+        """Per-shard session quotas for one day's global count."""
+        return apportion(sessions_today, self.demands)
+
+    def shard_cum_demand(self, shard: int,
+                         blocks: Sequence) -> List[float]:
+        """Cumulative demand over the shard's own blocks (for the
+        shard-local demand-weighted block pick)."""
+        while len(self._cum_demand) < self.n_shards:
+            self._cum_demand.append([])
+        cached = self._cum_demand[shard]
+        if not cached and self.block_indices[shard]:
+            running = 0.0
+            for index in self.block_indices[shard]:
+                running += blocks[index].demand
+                cached.append(running)
+        return cached
+
+    def pick_block(self, shard: int, blocks: Sequence, rng):
+        """Demand-weighted block pick *within* one shard.
+
+        Mirrors :meth:`repro.topology.internet.Internet.pick_block`
+        (one uniform draw, bisect over cumulative demand) restricted to
+        the shard's own blocks.
+        """
+        indices = self.block_indices[shard]
+        if not indices:
+            raise ValueError(f"shard {shard} owns no client blocks")
+        cum = self.shard_cum_demand(shard, blocks)
+        target = rng.random() * cum[-1]
+        position = bisect.bisect_right(cum, target)
+        return blocks[indices[min(position, len(indices) - 1)]]
+
+
+def plan_shards(internet, n_shards: int = DEFAULT_SHARDS) -> ShardPlan:
+    """Partition a built Internet's client blocks into shards.
+
+    Pure function of (block prefixes, demands, n_shards): every worker
+    process recomputes the identical plan from its own copy of the
+    world, so no plan state ever needs to cross a process boundary.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    members: List[List[int]] = [[] for _ in range(n_shards)]
+    demands = [0.0] * n_shards
+    for index, block in enumerate(internet.blocks):
+        shard = shard_of_prefix(block.prefix.network, n_shards)
+        members[shard].append(index)
+        demands[shard] += block.demand
+    return ShardPlan(
+        n_shards=n_shards,
+        block_indices=tuple(tuple(m) for m in members),
+        demands=tuple(demands),
+    )

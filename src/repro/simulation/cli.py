@@ -25,6 +25,21 @@ from repro.api import build_world, run_rollout
 from repro.simulation.rollout import RolloutConfig
 
 
+def positive_int(text: str) -> int:
+    """argparse type for worker/shard counts: a strictly positive
+    integer, rejected with exit code 2 (the usage-error contract)
+    otherwise."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
 def _build(scale: str):
     spec = get_scale(scale)
     print(f"building world (scale={scale})...", file=sys.stderr)
@@ -47,7 +62,6 @@ def _cmd_world_info(args) -> int:
 
 
 def _cmd_rollout(args) -> int:
-    world = _build(args.scale)
     start = datetime.date(2014, 3, 1)
     end = start + datetime.timedelta(days=args.days - 1)
     third = datetime.timedelta(days=max(args.days // 3, 1))
@@ -59,7 +73,22 @@ def _cmd_rollout(args) -> int:
         sessions_per_day=args.sessions,
         seed=args.seed,
     )
-    result = run_rollout(world, config)
+    if args.workers is not None:
+        # Sharded engine: workers only sizes the pool; the shard plan
+        # fixes every byte of the output, so --workers 1 and
+        # --workers 8 print identical reports.
+        from repro.api import ScenarioSpec, run
+        from repro.experiments.scales import get_scale
+
+        spec = ScenarioSpec(world=get_scale(args.scale).world,
+                            rollout=config, monitor=False)
+        print(f"running {args.shards} shards on {args.workers} "
+              f"worker(s)...", file=sys.stderr)
+        result = run(spec, workers=args.workers,
+                     shards=args.shards).result
+    else:
+        world = _build(args.scale)
+        result = run_rollout(world, config)
     print(f"{len(result.rum)} RUM beacons over {config.n_days} days")
     for metric in ("mapping_distance_miles", "rtt_ms", "ttfb_ms",
                    "download_ms"):
@@ -132,6 +161,12 @@ def main(argv: List[str] | None = None) -> int:
     rollout.add_argument("--days", type=int, default=45)
     rollout.add_argument("--sessions", type=int, default=150,
                          help="sessions per day")
+    rollout.add_argument("--workers", type=positive_int, default=None,
+                         help="run sharded across N worker processes "
+                              "(output is byte-identical for any N)")
+    rollout.add_argument("--shards", type=positive_int, default=8,
+                         help="shard count of the deterministic plan "
+                              "(default 8); needs --workers")
 
     dnsload = sub.add_parser("dnsload", help="drive DNS-only load")
     add_common(dnsload)

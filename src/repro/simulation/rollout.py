@@ -231,8 +231,11 @@ def _run_rollout(world: World,
         world.enable_ecs(public_ids[:n_enabled],
                          source_prefix_len=config.ecs_source_len)
         result.ecs_resolvers_per_day[day] = world.ecs_enabled_count()
-        registry.gauge("rollout.day").set(day)
-        registry.gauge("rollout.ecs_resolvers").set(
+        # Roll-out progress is replicated state, not activity: every
+        # shard of a sharded run walks the identical timeline, so these
+        # merge by max instead of multiply-counting.
+        registry.gauge("rollout.day", merge="max").set(day)
+        registry.gauge("rollout.ecs_resolvers", merge="max").set(
             result.ecs_resolvers_per_day[day])
 
         # --- measurement volume grows month over month -----------------

@@ -121,5 +121,26 @@ class TestMain:
     def test_checked_in_trajectory_passes_ci_tolerance(self):
         """The gate CI actually runs: the committed BENCH_* files must
         stay comparable under the loose cross-machine tolerance."""
-        files = ["BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json"]
+        files = ["BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json",
+                 "BENCH_PR6.json"]
         assert main(files + ["--tolerance", "0.6"]) == 0
+
+
+class TestNewBenches:
+    """A PR may introduce bench scales its predecessors never ran
+    (PR 6 adds ``large/*``); the gate compares the intersection only,
+    so new keys in the newer file must never fail the trajectory."""
+
+    def test_benches_only_in_newer_file_are_ignored(self, tmp_path):
+        old = _write(tmp_path / "old.json", _v2({"tiny/x": 10.0}))
+        new = _write(tmp_path / "new.json",
+                     _v2({"tiny/x": 10.0, "large/shard_w4": 1.7}))
+        rows = compare_pair(old, new, tolerance=0.2)
+        assert [row.bench for row in rows] == ["tiny/x"]
+        assert main([old, new]) == 0
+
+    def test_disjoint_files_pass_vacuously(self, tmp_path):
+        old = _write(tmp_path / "old.json", _v2({"tiny/x": 10.0}))
+        new = _write(tmp_path / "new.json", _v2({"large/y": 2.0}))
+        assert compare_pair(old, new, tolerance=0.2) == []
+        assert main([old, new]) == 0

@@ -154,3 +154,30 @@ class TestSoakCli:
         assert code == 1
         text = capsys.readouterr().out
         assert "below floor" in text and "passed=False" in text
+
+
+class TestParallelSoak:
+    """``workers=N`` fans scenarios across processes; every byte of
+    the report and the checkpoint must match the serial run (scenario
+    rows are pure functions of (seed, index), and the parent appends
+    them in index order regardless of completion order)."""
+
+    def test_parallel_report_and_checkpoint_match_serial(
+            self, soak_report, tmp_path):
+        serial_ckpt = tmp_path / "serial.ckpt.json"
+        parallel_ckpt = tmp_path / "parallel.ckpt.json"
+        run_soak(_CFG, checkpoint=str(serial_ckpt))
+        parallel = run_soak(_CFG, checkpoint=str(parallel_ckpt),
+                            workers=2)
+        assert (json.dumps(parallel, sort_keys=True)
+                == json.dumps(soak_report, sort_keys=True))
+        assert parallel_ckpt.read_bytes() == serial_ckpt.read_bytes()
+
+    def test_parallel_resumes_a_serial_checkpoint(self, soak_report,
+                                                  tmp_path):
+        checkpoint = str(tmp_path / "soak.ckpt.json")
+        run_soak(_CFG, checkpoint=checkpoint, stop_after=1)
+        resumed = run_soak(_CFG, checkpoint=checkpoint, resume=True,
+                           workers=2)
+        assert (json.dumps(resumed, sort_keys=True)
+                == json.dumps(soak_report, sort_keys=True))

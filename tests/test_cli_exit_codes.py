@@ -60,3 +60,35 @@ class TestSubcommandConventions:
     def test_bad_flag_exits_two(self, name):
         code, _, _ = _run([name, "--no-such-flag"])
         assert code == 2, f"{name} bad flag exited {code}"
+
+
+class TestWorkersValidation:
+    """``--workers`` / ``--shards`` follow the usage-error contract:
+    anything but a strictly positive integer exits 2 before any
+    simulation starts (these are pure argparse paths)."""
+
+    @pytest.mark.parametrize("value", ["0", "-3", "1.5", "abc", ""])
+    def test_sim_rollout_rejects_bad_workers(self, value):
+        code, _, err = _run(["sim", "rollout", "--workers", value])
+        assert code == 2
+        assert "positive integer" in err
+
+    @pytest.mark.parametrize("value", ["0", "-1", "2.5"])
+    def test_sim_rollout_rejects_bad_shards(self, value):
+        code, _, err = _run(["sim", "rollout", "--shards", value])
+        assert code == 2
+        assert "positive integer" in err
+
+    @pytest.mark.parametrize("value", ["0", "-4", "0.5", "four"])
+    def test_soak_rejects_bad_workers(self, value):
+        code, _, err = _run(["soak", "--workers", value])
+        assert code == 2
+        assert "positive integer" in err
+
+    def test_workers_flag_is_advertised(self):
+        code, out, _ = _run(["sim", "rollout", "--help"])
+        assert code == 0
+        assert "--workers" in out
+        code, out, _ = _run(["soak", "--help"])
+        assert code == 0
+        assert "--workers" in out

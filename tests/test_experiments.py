@@ -54,7 +54,12 @@ class TestRegistry:
 
 class TestScales:
     def test_known_scales(self):
-        assert scale_names() == ["paper", "small", "tiny"]
+        assert scale_names() == ["large", "paper", "small", "tiny"]
+
+    def test_large_is_a_volume_scale(self):
+        large = get_scale("large")
+        assert large.rollout.sessions_per_day >= 1_000_000
+        assert large.rollout.n_days == 1
 
     def test_scales_ordered_by_size(self):
         tiny = get_scale("tiny")

@@ -1,0 +1,303 @@
+"""The sharded engine (``repro.parallel``): plan, merge, determinism.
+
+The headline contract is pinned three ways:
+
+* **worker-count invariance** -- the same spec run with 1, 2, and 4
+  workers produces byte-identical monitor reports, merged registries,
+  and trace exports, for both the golden fault scenario (soak scenario
+  0: faults + control plane) and a plain monitored roll-out;
+* **golden fixtures** -- a discrete (float-free) projection of each
+  sharded report is checked in under ``tests/data/``, so drift in the
+  shard plan, the merge algebra, or the monitor replay shows up as a
+  reviewable fixture diff (regenerate with ``REGEN_GOLDEN=1``);
+* **plan algebra** -- the prefix partitioner and largest-remainder
+  apportioner are pinned against hand-computed values, since every
+  byte above depends on them.
+"""
+
+import datetime
+import difflib
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.api import ScenarioSpec, build_world, run, run_rollout
+from repro.faults.chaos import SoakConfig, _scenario_spec
+from repro.parallel import (
+    DEFAULT_SHARDS,
+    apportion,
+    plan_shards,
+    run_sharded,
+    shard_of_prefix,
+)
+from repro.simulation.rollout import RolloutConfig
+from repro.simulation.world import WorldConfig
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+FAULT_SPEC = _scenario_spec(
+    SoakConfig(seed=2025, count=1, sessions_per_day=10), 0)
+"""Soak scenario 0: fault schedule + map-maker control plane + monitor
+-- the heaviest path through the sharded engine."""
+
+
+def _rollout_spec() -> ScenarioSpec:
+    start = datetime.date(2014, 3, 1)
+    return ScenarioSpec(
+        world=WorldConfig.tiny(),
+        rollout=RolloutConfig(
+            start_date=start,
+            end_date=start + datetime.timedelta(days=13),
+            rollout_start=start + datetime.timedelta(days=4),
+            rollout_end=start + datetime.timedelta(days=9),
+            sessions_per_day=16,
+            seed=5,
+        ),
+        monitor=True)
+
+
+ROLLOUT_SPEC = _rollout_spec()
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def fault_runs():
+    return {workers: run_sharded(FAULT_SPEC, workers=workers, n_shards=4)
+            for workers in WORKER_COUNTS}
+
+
+@pytest.fixture(scope="module")
+def rollout_runs():
+    return {workers: run_sharded(ROLLOUT_SPEC, workers=workers,
+                                 n_shards=4)
+            for workers in WORKER_COUNTS}
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    return build_world(WorldConfig.tiny())
+
+
+# -- worker-count invariance -------------------------------------------------
+
+def _frozen(sharded) -> dict:
+    """Every byte-comparable artifact of one sharded run."""
+    return {
+        "report": json.dumps(sharded.report(), sort_keys=True),
+        "registry": sharded.registry.to_json(),
+        "traces": json.dumps(sharded.traces, sort_keys=True),
+        "sessions": json.dumps(sharded.result.sessions_per_day),
+        "beacons": repr([
+            (b.day, str(b.block), b.rtt_ms)
+            for b in sharded.result.rum.beacons[:50]]),
+        "shard_sessions": sharded.shard_sessions,
+    }
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS[1:])
+    def test_fault_scenario_is_byte_identical(self, fault_runs, workers):
+        assert _frozen(fault_runs[workers]) == _frozen(fault_runs[1])
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS[1:])
+    def test_monitored_rollout_is_byte_identical(self, rollout_runs,
+                                                 workers):
+        assert _frozen(rollout_runs[workers]) == _frozen(rollout_runs[1])
+
+    def test_shard_sessions_account_for_every_session(self, rollout_runs):
+        sharded = rollout_runs[1]
+        assert sum(sharded.shard_sessions) == sum(
+            sharded.result.sessions_per_day.values())
+        assert len(sharded.shard_sessions) == sharded.n_shards
+
+    def test_merged_beacons_arrive_day_sorted(self, fault_runs):
+        days = [beacon.day
+                for beacon in fault_runs[1].result.rum.beacons]
+        assert days == sorted(days)
+
+    def test_monitor_replay_produces_a_report(self, fault_runs):
+        report = fault_runs[1].report()
+        assert report["days_observed"] == FAULT_SPEC.rollout.n_days
+        assert "alerts" in report and "series" in report
+
+
+# -- golden fixtures ---------------------------------------------------------
+
+def _stable(item) -> bool:
+    """Keep everything except floats with a fractional part (those
+    carry platform libm noise; integral floats -- counts, day indices
+    -- survive any libm)."""
+    if not isinstance(item, float):
+        return True
+    return item in (float("inf"), float("-inf")) or (
+        item == item and item == int(item))
+
+
+def _discrete(value):
+    """Projection of a report keeping only platform-stable values."""
+    if isinstance(value, dict):
+        return {key: _discrete(item) for key, item in value.items()
+                if _stable(item) or isinstance(item, (dict, list))}
+    if isinstance(value, list):
+        return [_discrete(item) for item in value
+                if _stable(item) or isinstance(item, (dict, list))]
+    return value
+
+
+def _check_golden(path: pathlib.Path, document: dict) -> None:
+    import os
+
+    rendered = json.dumps(document, indent=2, sort_keys=True,
+                          default=str) + "\n"
+    if os.environ.get("REGEN_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (f"missing fixture {path}; run with "
+                           "REGEN_GOLDEN=1 to create it")
+    expected = path.read_text()
+    if rendered != expected:
+        diff = "".join(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            rendered.splitlines(keepends=True),
+            fromfile=f"{path.name} (checked in)",
+            tofile=f"{path.name} (this run)"))
+        pytest.fail("sharded golden fixture drifted; if intentional, "
+                    f"regenerate with REGEN_GOLDEN=1 and review.\n{diff}")
+
+
+def _golden_document(sharded) -> dict:
+    snapshot = sharded.registry.snapshot()
+    return {
+        "n_shards": sharded.n_shards,
+        "shard_sessions": sharded.shard_sessions,
+        "report": _discrete(sharded.report()),
+        "counters": {
+            "rollout.sessions": snapshot["counters"]["rollout.sessions"],
+            "sessions.completed": snapshot["counters"][
+                "sessions.completed"],
+            "mapping.resolutions": snapshot["gauges"][
+                "mapping.resolutions"],
+        },
+        "trace_counts": sharded.trace_counts,
+    }
+
+
+class TestGoldenFixtures:
+    def test_fault_scenario_fixture(self, fault_runs):
+        _check_golden(DATA_DIR / "golden_shard_fault.json",
+                      _golden_document(fault_runs[1]))
+
+    def test_monitored_rollout_fixture(self, rollout_runs):
+        _check_golden(DATA_DIR / "golden_shard_rollout.json",
+                      _golden_document(rollout_runs[1]))
+
+
+# -- plan algebra ------------------------------------------------------------
+
+class TestShardOfPrefix:
+    def test_pinned_values(self):
+        # Hand-computed through the SplitMix64 finalizer; a change here
+        # re-deals every block and invalidates the golden fixtures.
+        assert shard_of_prefix(0, 8) == 7
+        assert shard_of_prefix(0x0A000000, 8) == 2
+        assert shard_of_prefix(0xC0A80000, 8) == 0
+
+    def test_range_and_determinism(self):
+        for addr in range(0, 1 << 16, 977):
+            first = shard_of_prefix(addr, 8)
+            assert 0 <= first < 8
+            assert shard_of_prefix(addr, 8) == first
+
+    def test_spreads_sequential_prefixes(self):
+        """Adjacent /24s land on different shards (the whole point of
+        hashing instead of range-splitting)."""
+        shards = {shard_of_prefix(addr << 8, 8)
+                  for addr in range(256)}
+        assert len(shards) == 8
+
+
+class TestApportion:
+    def test_preserves_total_exactly(self):
+        shares = [0.1, 0.2, 0.3, 0.4]
+        for total in (0, 1, 7, 100, 1_000_003):
+            assert sum(apportion(total, shares)) == total
+
+    def test_largest_remainder_hand_example(self):
+        # Quotas 1.4 / 2.8 / 2.8: floors give 5, the two 0.8
+        # remainders win the missing units.
+        assert apportion(7, [0.2, 0.4, 0.4]) == [1, 3, 3]
+
+    def test_zero_weight_goes_to_first_bucket(self):
+        assert apportion(5, [0.0, 0.0]) == [5, 0]
+
+    def test_deterministic_tie_break_by_index(self):
+        assert apportion(1, [0.5, 0.5]) == [1, 0]
+
+
+class TestShardPlan:
+    def test_partitions_every_block_exactly_once(self, tiny_world):
+        internet = tiny_world.internet
+        plan = plan_shards(internet, 4)
+        assert plan.n_shards == 4
+        seen = sorted(index for shard in plan.block_indices
+                      for index in shard)
+        assert seen == list(range(len(internet.blocks)))
+
+    def test_matches_prefix_hash(self, tiny_world):
+        internet = tiny_world.internet
+        plan = plan_shards(internet, 4)
+        for shard, indices in enumerate(plan.block_indices):
+            for index in indices:
+                prefix = internet.blocks[index].prefix
+                assert shard_of_prefix(prefix.network, 4) == shard
+
+    def test_pick_block_stays_inside_the_shard(self, tiny_world):
+        internet = tiny_world.internet
+        plan = plan_shards(internet, 4)
+        rng = random.Random(3)
+        own = {internet.blocks[i].prefix for i in plan.block_indices[2]}
+        for _ in range(64):
+            block = plan.pick_block(2, internet.blocks, rng)
+            assert block.prefix in own
+
+    def test_session_quotas_follow_demand(self, tiny_world):
+        plan = plan_shards(tiny_world.internet, 4)
+        quotas = plan.sessions_for_day(10_000)
+        assert sum(quotas) == 10_000
+        total_demand = sum(plan.demands)
+        for shard, quota in enumerate(quotas):
+            expected = 10_000 * plan.demands[shard] / total_demand
+            assert abs(quota - expected) < 1.0
+
+
+# -- guard rails -------------------------------------------------------------
+
+class TestValidation:
+    def test_workers_must_be_positive_ints(self):
+        for bad in (0, -1, 1.5, True, "2"):
+            with pytest.raises(ValueError):
+                run_sharded(ROLLOUT_SPEC, workers=bad, n_shards=2)
+        with pytest.raises(ValueError):
+            run_sharded(ROLLOUT_SPEC, workers=1, n_shards=0)
+
+    def test_live_policy_objects_cannot_shard(self):
+        spec = ScenarioSpec(world=WorldConfig.tiny(), policy=object())
+        with pytest.raises(ValueError, match="policy"):
+            run_sharded(spec, workers=2)
+
+    def test_shards_without_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run(ROLLOUT_SPEC, shards=4)
+
+    def test_run_rollout_rejects_live_observer_with_workers(
+            self, tiny_world):
+        with pytest.raises(ValueError, match="observer"):
+            run_rollout(tiny_world, ROLLOUT_SPEC.rollout,
+                        observer=object(), workers=2)
+
+    def test_default_shard_count_is_eight(self):
+        assert DEFAULT_SHARDS == 8

@@ -1,0 +1,63 @@
+"""Unit tests for the worker-scaling bench (repro.bench.shard_scaling)."""
+
+import json
+
+from repro.bench.shard_scaling import (
+    build_payload,
+    host_fingerprint,
+    run_curve,
+    scaling_spec,
+)
+
+
+def _row(workers, wall_s):
+    return {"wall_s": wall_s, "calls": 1000, "scale": "large",
+            "workers": workers, "n_shards": 8,
+            "sessions_per_s": round(1000 / wall_s, 1)}
+
+
+class TestPayload:
+    def test_schema_and_scaling_ratios(self):
+        payload = build_payload({1: _row(1, 10.0), 2: _row(2, 5.0),
+                                 4: _row(4, 4.0)})
+        assert payload["schema"] == "bench/v2"
+        assert sorted(payload["benches"]) == [
+            "large/shard_day_loop_w1", "large/shard_day_loop_w2",
+            "large/shard_day_loop_w4"]
+        assert payload["speedups"] == {"large/shard_scaling_w2": 2.0,
+                                       "large/shard_scaling_w4": 2.5}
+        assert payload["host"]["cpus"] == host_fingerprint()["cpus"]
+
+    def test_no_serial_baseline_means_no_ratios(self):
+        payload = build_payload({2: _row(2, 5.0)})
+        assert payload["speedups"] == {}
+
+    def test_scaling_spec_defaults_to_the_large_scale(self):
+        spec = scaling_spec()
+        assert spec.rollout.sessions_per_day >= 1_000_000
+        assert spec.rollout.n_days == 1
+        assert spec.monitor is False
+
+    def test_scaling_spec_sessions_override(self):
+        assert scaling_spec(500).rollout.sessions_per_day == 500
+
+
+class TestSmoke:
+    def test_single_worker_curve_runs(self):
+        curve = run_curve(scaling_spec(64), [1], n_shards=4)
+        assert curve[1]["calls"] == 64
+        assert curve[1]["wall_s"] > 0
+        assert curve[1]["n_shards"] == 4
+
+
+class TestCheckedInSnapshot:
+    def test_bench_pr6_records_the_large_curve(self):
+        with open("BENCH_PR6.json") as handle:
+            doc = json.load(handle)
+        assert doc["schema"] == "bench/v2"
+        serial = doc["benches"]["large/shard_day_loop_w1"]
+        assert serial["calls"] >= 1_000_000
+        assert {"cpus", "platform", "python"} <= set(doc["host"])
+        for workers in (2, 4):
+            assert f"large/shard_day_loop_w{workers}" in doc["benches"]
+            assert f"large/shard_scaling_w{workers}" in doc["speedups"]
