@@ -41,6 +41,9 @@ _SUBCOMMANDS = {
                     "fault-kind degradation experiment (TTFB/RTT CDFs)"),
     "soak": ("repro.faults.chaos",
              "seeded chaos soak: N random fault scenarios + invariants"),
+    "load_tradeoff": ("repro.experiments.load_tradeoff",
+                      "flash crowd: distance-only vs load-aware "
+                      "mapping"),
 }
 
 

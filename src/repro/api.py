@@ -32,9 +32,13 @@ golden fixtures pin.
 
 from __future__ import annotations
 
+import dataclasses
+import datetime
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.loadfeedback import LoadFeedbackConfig
 from repro.core.mapmaker import MapMakerConfig
 from repro.core.policies import MappingPolicy
 from repro.faults import FaultInjector, FaultSchedule
@@ -50,6 +54,9 @@ from repro.simulation.rollout import (
     _run_rollout,
 )
 from repro.simulation.world import World, WorldConfig, _build_world
+from repro.topology.internet import InternetConfig
+from repro.topology.resolvers import PublicProvider
+from repro.topology.traffic import TrafficSchedule
 
 __all__ = [
     "ScenarioRun",
@@ -77,6 +84,15 @@ class ScenarioSpec:
     """Attach a :class:`~repro.obs.monitor.RolloutMonitor` observer."""
     monitor_rules: Optional[List] = None
     """Alert-rule override for the monitor; None uses the defaults."""
+    traffic: TrafficSchedule = field(default_factory=TrafficSchedule)
+    """Surge-traffic shapes (flash crowds, regional events, diurnal
+    waves, content surges) layered over the baseline demand.  An empty
+    schedule (the default) replays the legacy draw sequence exactly."""
+    load_feedback: Optional[LoadFeedbackConfig] = None
+    """Opt into the load-feedback mapping loop: clusters report
+    smoothed utilization daily and the scorer penalizes (and past the
+    overload threshold, demotes) hot clusters.  None keeps scoring
+    load-blind, pinning every existing golden fixture."""
 
     def describe(self) -> Dict:
         """Deterministic scenario metadata for monitor reports."""
@@ -89,7 +105,172 @@ class ScenarioSpec:
             doc["faults"] = len(self.faults)
         if self.control_plane is not None:
             doc["control_plane"] = True
+        if self.traffic:
+            doc["traffic"] = len(self.traffic)
+        if self.load_feedback is not None:
+            doc["load_feedback"] = True
         return doc
+
+    # -- the scenario/v1 wire format ------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe document of the whole spec (``scenario/v1``).
+
+        Live objects have no declarative form: a spec carrying a
+        ``policy`` or ``monitor_rules`` override refuses to serialize
+        rather than silently dropping behaviour.
+        """
+        if self.policy is not None:
+            raise ValueError(
+                "a live policy object cannot serialize; specs with "
+                "policy overrides are in-process only")
+        if self.monitor_rules is not None:
+            raise ValueError(
+                "monitor-rule overrides are live objects and cannot "
+                "serialize; use the default rules for portable specs")
+        doc: Dict = {
+            "schema": _SCHEMA,
+            "world": _world_to_dict(self.world),
+            "rollout": _rollout_to_dict(self.rollout),
+            "monitor": self.monitor,
+        }
+        if self.faults:
+            doc["faults"] = self.faults.to_dict()
+        if self.control_plane is not None:
+            doc["control_plane"] = dataclasses.asdict(self.control_plane)
+        if self.traffic:
+            doc["traffic"] = self.traffic.to_dict()
+        if self.load_feedback is not None:
+            doc["load_feedback"] = self.load_feedback.to_dict()
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "ScenarioSpec":
+        """Parse and validate a ``scenario/v1`` document.
+
+        Unknown keys raise at parse time (a typo'd field silently
+        reverting to a default is the failure mode this guards).
+        """
+        if not isinstance(doc, dict):
+            raise ValueError("a scenario spec is a JSON object")
+        schema = doc.get("schema", _SCHEMA)
+        if schema != _SCHEMA:
+            raise ValueError(f"unsupported scenario schema: {schema!r}")
+        known = {"schema", "world", "rollout", "monitor", "faults",
+                 "control_plane", "traffic", "load_feedback"}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario fields: {sorted(unknown)}")
+        kwargs: Dict = {}
+        if "world" in doc:
+            kwargs["world"] = _world_from_dict(doc["world"])
+        if "rollout" in doc:
+            kwargs["rollout"] = _rollout_from_dict(doc["rollout"])
+        if "monitor" in doc:
+            kwargs["monitor"] = bool(doc["monitor"])
+        if "faults" in doc:
+            kwargs["faults"] = FaultSchedule.from_dict(doc["faults"])
+        if "control_plane" in doc:
+            kwargs["control_plane"] = MapMakerConfig(
+                **doc["control_plane"])
+        if "traffic" in doc:
+            kwargs["traffic"] = TrafficSchedule.from_dict(doc["traffic"])
+        if "load_feedback" in doc:
+            kwargs["load_feedback"] = LoadFeedbackConfig.from_dict(
+                doc["load_feedback"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+_SCHEMA = "scenario/v1"
+
+#: Scalar config fields serialized verbatim (dates handled separately).
+_INTERNET_FIELDS = (
+    "n_client_blocks", "n_ases", "enterprise_fraction", "pareto_alpha",
+    "block_jitter_miles", "block_demand_sigma", "secondary_ldns_rate",
+    "isp_anycast_misroute", "total_demand",
+)
+_WORLD_FIELDS = (
+    "n_deployments", "servers_per_cluster", "n_providers",
+    "n_nameservers", "dns_ttl", "serve_stale_window",
+    "server_capacity_rps", "seed",
+)
+_ROLLOUT_DATES = ("start_date", "end_date", "rollout_start",
+                  "rollout_end")
+_ROLLOUT_SCALARS = ("sessions_per_day", "monthly_growth",
+                    "expectation_threshold_miles", "ecs_source_len",
+                    "seed")
+
+
+def _reject_unknown(doc: Dict, known, what: str) -> None:
+    unknown = set(doc) - set(known)
+    if unknown:
+        raise ValueError(f"unknown {what} fields: {sorted(unknown)}")
+
+
+def _provider_to_dict(provider: PublicProvider) -> Dict:
+    # ``deployments`` is builder-populated runtime state, never config.
+    return {
+        "name": provider.name,
+        "asn": provider.asn,
+        "deployment_cities": list(provider.deployment_cities),
+        "popularity": provider.popularity,
+        "misroute_rate": provider.misroute_rate,
+    }
+
+
+def _internet_to_dict(config: InternetConfig) -> Dict:
+    doc = {name: getattr(config, name) for name in _INTERNET_FIELDS}
+    doc["providers"] = [_provider_to_dict(p) for p in config.providers]
+    return doc
+
+
+def _internet_from_dict(doc: Dict) -> InternetConfig:
+    _reject_unknown(doc, _INTERNET_FIELDS + ("providers",), "internet")
+    kwargs = {name: doc[name] for name in _INTERNET_FIELDS
+              if name in doc}
+    if "providers" in doc:
+        kwargs["providers"] = tuple(
+            PublicProvider(**provider) for provider in doc["providers"])
+    return InternetConfig(**kwargs)
+
+
+def _world_to_dict(config: WorldConfig) -> Dict:
+    doc = {name: getattr(config, name) for name in _WORLD_FIELDS}
+    doc["internet"] = _internet_to_dict(config.internet)
+    return doc
+
+
+def _world_from_dict(doc: Dict) -> WorldConfig:
+    _reject_unknown(doc, _WORLD_FIELDS + ("internet",), "world")
+    kwargs = {name: doc[name] for name in _WORLD_FIELDS if name in doc}
+    if "internet" in doc:
+        kwargs["internet"] = _internet_from_dict(doc["internet"])
+    return WorldConfig(**kwargs)
+
+
+def _rollout_to_dict(config: RolloutConfig) -> Dict:
+    doc = {name: getattr(config, name).isoformat()
+           for name in _ROLLOUT_DATES}
+    doc.update({name: getattr(config, name)
+                for name in _ROLLOUT_SCALARS})
+    return doc
+
+
+def _rollout_from_dict(doc: Dict) -> RolloutConfig:
+    _reject_unknown(doc, _ROLLOUT_DATES + _ROLLOUT_SCALARS, "rollout")
+    kwargs: Dict = {name: datetime.date.fromisoformat(doc[name])
+                    for name in _ROLLOUT_DATES if name in doc}
+    kwargs.update({name: doc[name] for name in _ROLLOUT_SCALARS
+                   if name in doc})
+    return RolloutConfig(**kwargs)
 
 
 @dataclass
@@ -190,11 +371,13 @@ def run(spec: Optional[ScenarioSpec] = None,
     if shards is not None:
         raise ValueError("shards=N requires workers=N")
     world = _build_world(config=spec.world, policy=spec.policy,
-                         control_plane=spec.control_plane)
+                         control_plane=spec.control_plane,
+                         load_feedback=spec.load_feedback)
     injector = (FaultInjector(world, spec.faults)
                 if spec.faults else None)
     monitor = _monitor_for_spec(spec) if spec.monitor else None
     result = _run_rollout(world, config=spec.rollout, observer=monitor,
-                          injector=injector)
+                          injector=injector,
+                          traffic=spec.traffic if spec.traffic else None)
     return ScenarioRun(spec=spec, world=world, result=result,
                        monitor=monitor, injector=injector)

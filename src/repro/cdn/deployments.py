@@ -96,6 +96,13 @@ class DeploymentPlan:
     def live_clusters(self) -> List[Cluster]:
         return [c for c in self.clusters.values() if c.alive]
 
+    def decay_load(self, retention: float) -> None:
+        """Apply one day of load decay to every server (dead servers
+        included, so stale heat never resurrects on recovery)."""
+        for cluster in self.clusters.values():
+            for server in cluster.servers:
+                server.decay_load(retention)
+
     def total_capacity_rps(self) -> float:
         return sum(c.capacity_rps for c in self.clusters.values())
 

@@ -11,6 +11,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+#: Fraction of a server's accumulated load that survives into the next
+#: simulated day.  Load accounting (``spread_load`` / ``add_load``)
+#: only ever added, so multi-day runs monotonically saturated servers;
+#: the engines now decay every server once per day with this retention
+#: (half-life of one day: load tracks a ~2x window of recent demand).
+DAILY_LOAD_RETENTION = 0.5
+
 
 @dataclass
 class CacheStats:
@@ -121,6 +128,12 @@ class EdgeServer:
 
     def add_load(self, rps: float) -> None:
         self.load_rps = max(0.0, self.load_rps + rps)
+
+    def decay_load(self, retention: float = DAILY_LOAD_RETENTION) -> None:
+        """Age accumulated load by one day (see DAILY_LOAD_RETENTION)."""
+        if not 0.0 <= retention <= 1.0:
+            raise ValueError(f"retention must be in [0, 1]: {retention}")
+        self.load_rps *= retention
 
     def reset_load(self) -> None:
         self.load_rps = 0.0

@@ -133,6 +133,9 @@ class GlobalLoadBalancer:
         fallback = min(ranked[: self.config.candidate_limit],
                        key=lambda c: c.utilization)
         self.spillovers += 1
+        # Created lazily: fault-free runs at fixture scale never
+        # saturate every candidate, so snapshots there are unchanged.
+        self.obs.registry.counter("lb.overloaded_picks").inc()
         return fallback
 
     # -- batch path -------------------------------------------------------

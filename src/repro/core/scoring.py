@@ -65,6 +65,12 @@ class Scorer:
         self.measurement = measurement
         self.weights = ScoringWeights.for_class(traffic)
         self.traffic = traffic
+        self.load_tracker = None
+        """Optional :class:`repro.core.loadfeedback.ClusterLoadTracker`.
+        When attached, every score grows that cluster's load penalty
+        (equivalent-ms), making both the per-query ranking and the
+        map-maker's batch compile pass load-aware.  None (the default)
+        keeps the pure distance/peering scoring path bit-for-bit."""
 
     def expected_loss_pct(self, rtt_ms: float) -> float:
         """Loss proxy: longer paths cross more peering points.
@@ -82,11 +88,14 @@ class Scorer:
             cluster, target.geo, target.asn)
         loss = self.expected_loss_pct(rtt)
         weights = self.weights
-        return (
+        base = (
             weights.latency * rtt
             + weights.loss_penalty_ms * loss
             + weights.throughput_sensitivity * rtt
         )
+        if self.load_tracker is not None:
+            base += self.load_tracker.penalty_ms(cluster.cluster_id)
+        return base
 
     def scores_from_rtt(self, rtt_ms: np.ndarray) -> np.ndarray:
         """Vectorized score from precomputed RTTs (any array shape).
@@ -123,7 +132,15 @@ class Scorer:
         if not clusters or not targets:
             return np.empty((len(clusters), len(targets)))
         rtt = self.measurement.rtt_matrix_to_targets(clusters, targets)
-        return self.scores_from_rtt(rtt)
+        scores = self.scores_from_rtt(rtt)
+        if self.load_tracker is not None:
+            # One penalty per cluster row; elementwise float64 adds
+            # keep the batch path bit-identical to the scalar one.
+            penalties = np.array(
+                [self.load_tracker.penalty_ms(c.cluster_id)
+                 for c in clusters], dtype=float)
+            scores = scores + penalties[:, None]
+        return scores
 
     def score_weighted(self, cluster: Cluster,
                        targets: list[tuple[MapTarget, float]]) -> float:

@@ -8,6 +8,7 @@ from typing import Dict, List
 from repro.experiments import (
     degradation,
     ext_adoption,
+    load_tradeoff,
     fig02,
     fig05,
     fig06,
@@ -39,6 +40,7 @@ _MODULES: List[ModuleType] = [
     # Extensions beyond the paper's figures:
     ext_adoption,
     degradation,
+    load_tradeoff,
 ]
 
 _BY_ID: Dict[str, ModuleType] = {

@@ -168,6 +168,11 @@ class SoakConfig:
     sessions_per_day: int = 20
     availability_floor: float = 0.95
     max_events: int = 4
+    surge: bool = False
+    """Layer a generated surge-traffic schedule (flash crowds,
+    regional events, diurnal waves, content surges) over every
+    scenario and run it with the load-feedback loop on, soaking the
+    scenario library against the same invariants."""
 
     def identity(self) -> Dict:
         """The fields a resumed run must match exactly."""
@@ -176,6 +181,7 @@ class SoakConfig:
             "sessions_per_day": self.sessions_per_day,
             "availability_floor": self.availability_floor,
             "max_events": self.max_events,
+            "surge": self.surge,
         }
 
 
@@ -184,9 +190,11 @@ def _scenario_spec(config: SoakConfig, index: int):
     # Imported here so ``repro.faults`` has no hard import edge into
     # the simulation layer (schedules/injector stay world-agnostic).
     from repro.api import ScenarioSpec
+    from repro.core.loadfeedback import LoadFeedbackConfig
     from repro.core.mapmaker import MapMakerConfig
     from repro.simulation.rollout import RolloutConfig
     from repro.simulation.world import WorldConfig
+    from repro.topology.traffic import generate_surges
 
     sub_seed = scenario_seed(config.seed, index)
     rollout = RolloutConfig(
@@ -201,8 +209,21 @@ def _scenario_spec(config: SoakConfig, index: int):
     schedule = generate_schedule(rng, rollout.n_days,
                                  max_events=config.max_events)
     world = replace(WorldConfig.tiny(), serve_stale_window=900.0)
+    if not config.surge:
+        return ScenarioSpec(world=world, rollout=rollout,
+                            faults=schedule,
+                            control_plane=MapMakerConfig())
+    # Surge mode: a generated traffic schedule from its own derived
+    # stream (the fault schedule above stays byte-identical to the
+    # non-surge scenario), plus the load-feedback loop over servers
+    # small enough that surges actually move utilization.
+    surge_rng = SplitMix64(sub_seed ^ 0x5355524745)  # "SURGE"
+    traffic = generate_surges(surge_rng, rollout.n_days)
+    world = replace(world, server_capacity_rps=0.2)
     return ScenarioSpec(world=world, rollout=rollout, faults=schedule,
-                        control_plane=MapMakerConfig())
+                        control_plane=MapMakerConfig(),
+                        traffic=traffic,
+                        load_feedback=LoadFeedbackConfig())
 
 
 # -- invariants -------------------------------------------------------------
@@ -300,6 +321,8 @@ def run_scenario(config: SoakConfig, index: int) -> Dict:
         "schedule": spec.faults.to_dict(),
         "violations": [],
     }
+    if spec.traffic:  # surge mode only; non-surge rows are unchanged
+        row["traffic"] = spec.traffic.to_dict()
     try:
         outcome = run_api(spec)
     except Exception as exc:  # invariant: faults never crash the sim
@@ -516,6 +539,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="sessions per simulated day")
     parser.add_argument("--availability-floor", type=float, default=0.95)
     parser.add_argument("--max-events", type=int, default=4)
+    parser.add_argument("--surge", action="store_true",
+                        help="layer generated surge-traffic schedules "
+                             "over every scenario (load feedback on)")
     parser.add_argument("--checkpoint", default=None,
                         help="write progress here after every scenario")
     parser.add_argument("--resume", action="store_true",
@@ -537,7 +563,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed, count=args.count,
         sessions_per_day=args.sessions,
         availability_floor=args.availability_floor,
-        max_events=args.max_events)
+        max_events=args.max_events, surge=args.surge)
 
     def progress(index: int, count: int) -> None:
         print(f"soak scenario {index + 1}/{count}...", file=sys.stderr)

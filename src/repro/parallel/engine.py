@@ -54,7 +54,12 @@ from repro.parallel.merge import (
     merge_traces,
     sum_day_dicts,
 )
-from repro.parallel.plan import DEFAULT_SHARDS, ShardPlan, plan_shards
+from repro.parallel.plan import (
+    DEFAULT_SHARDS,
+    ShardPlan,
+    apportion,
+    plan_shards,
+)
 
 DAY_SECONDS = 86400.0
 
@@ -97,6 +102,7 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
     # Imported here, not at module top: ``repro.api`` reaches into
     # this package (lazily), and function-scope imports keep the edge
     # acyclic in both directions.
+    from repro.cdn.server import DAILY_LOAD_RETENTION
     from repro.faults import FaultInjector
     from repro.simulation.world import _build_world
     from repro.simulation.rollout import (
@@ -104,12 +110,23 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
         split_expectation_groups,
     )
     from repro.simulation.session import simulate_session
+    from repro.topology.traffic import DayTraffic, day_weight
 
+    # SHARD: each worker sees 1/n_shards of the demand, so observed
+    # load scales back up by n_shards to keep the utilization signal
+    # (and hence scoring penalties) aligned across worker counts.
     world = _build_world(config=spec.world, policy=spec.policy,
-                         control_plane=spec.control_plane)
+                         control_plane=spec.control_plane,
+                         load_feedback=spec.load_feedback,
+                         load_scale=float(n_shards))
     config = spec.rollout
     injector = FaultInjector(world, spec.faults) if spec.faults else None
     plan = plan_shards(world.internet, n_shards)
+    traffic = spec.traffic if spec.traffic else None
+    if traffic is not None:
+        blocks = world.internet.blocks
+        shard_blocks = [[blocks[i] for i in plan.block_indices[s]]
+                        for s in range(n_shards)]
 
     # SHARD: one independent RNG per shard, seeded by (seed, shard).
     # String seeds hash through SHA-512 inside random.Random, so the
@@ -137,6 +154,9 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
     for day in range(config.n_days):
         if injector is not None:
             injector.step(day)
+        if world.load_tracker is not None:
+            world.load_tracker.observe_day(world.deployments, registry)
+        world.deployments.decay_load(DAILY_LOAD_RETENTION)
         if world.control_plane is not None:
             world.control_plane.tick(day)
 
@@ -154,7 +174,21 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
         sessions_global = int(round(
             config.sessions_per_day
             * (1.0 + config.monthly_growth * month)))
-        quota = plan.sessions_for_day(sessions_global)[shard]
+        if traffic is not None:
+            # Volume scales by the *global* multiplier (identical in
+            # every worker), then apportions by surge-weighted shard
+            # demand so a shard holding the surging geo gets the extra
+            # sessions.
+            global_view = DayTraffic(traffic, day, world.internet.blocks)
+            sessions_global = max(1, int(round(
+                sessions_global * global_view.volume_multiplier)))
+            weights = [day_weight(traffic, day, shard_blocks[s])
+                       for s in range(n_shards)]
+            quota = apportion(sessions_global, weights)[shard]
+            day_traffic = DayTraffic(traffic, day, shard_blocks[shard])
+        else:
+            quota = plan.sessions_for_day(sessions_global)[shard]
+            day_traffic = None
         spacing = DAY_SECONDS / quota if quota else DAY_SECONDS
 
         requests_today = 0
@@ -164,8 +198,14 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
             now = day * DAY_SECONDS + index * spacing + rng.uniform(
                 0, spacing * 0.5)
             # SHARD: demand-weighted pick within this shard's blocks.
-            block = plan.pick_block(shard, world.internet.blocks, rng)
-            session = simulate_session(world, block, now, rng)
+            if day_traffic is not None:
+                block = day_traffic.pick_block(rng)
+                provider = day_traffic.pick_provider(rng, world.catalog)
+                session = simulate_session(world, block, now, rng,
+                                           provider=provider)
+            else:
+                block = plan.pick_block(shard, world.internet.blocks, rng)
+                session = simulate_session(world, block, now, rng)
             requests_today += session.requests
             if session.failed:
                 failed_today += 1

@@ -40,6 +40,25 @@ def positive_int(text: str) -> int:
     return value
 
 
+def traffic_schedule(text: str):
+    """argparse type for ``--traffic``: inline JSON or an ``@file``
+    path, parsed and grammar-validated up front so malformed shapes
+    are a usage error (exit code 2), never a mid-run crash."""
+    from repro.topology.traffic import TrafficSchedule
+
+    try:
+        if text.startswith("@"):
+            with open(text[1:]) as handle:
+                text = handle.read()
+        return TrafficSchedule.from_json(text)
+    except OSError as exc:
+        raise argparse.ArgumentTypeError(
+            f"cannot read traffic schedule: {exc}") from None
+    except (ValueError, KeyError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad traffic schedule: {exc}") from None
+
+
 def _build(scale: str):
     spec = get_scale(scale)
     print(f"building world (scale={scale})...", file=sys.stderr)
@@ -73,19 +92,33 @@ def _cmd_rollout(args) -> int:
         sessions_per_day=args.sessions,
         seed=args.seed,
     )
-    if args.workers is not None:
-        # Sharded engine: workers only sizes the pool; the shard plan
-        # fixes every byte of the output, so --workers 1 and
-        # --workers 8 print identical reports.
+    load_feedback = None
+    if args.load_feedback:
+        from repro.core.loadfeedback import LoadFeedbackConfig
+
+        load_feedback = LoadFeedbackConfig()
+    traffic = args.traffic
+    if args.workers is not None or traffic is not None \
+            or load_feedback is not None:
+        # Scenario route: surge traffic and load feedback are spec
+        # features, so any of them (or --workers, which only sizes the
+        # pool -- --workers 1 and --workers 8 print identical reports)
+        # goes through ScenarioSpec + run().
         from repro.api import ScenarioSpec, run
         from repro.experiments.scales import get_scale
+        from repro.topology.traffic import TrafficSchedule
 
         spec = ScenarioSpec(world=get_scale(args.scale).world,
-                            rollout=config, monitor=False)
-        print(f"running {args.shards} shards on {args.workers} "
-              f"worker(s)...", file=sys.stderr)
-        result = run(spec, workers=args.workers,
-                     shards=args.shards).result
+                            rollout=config, monitor=False,
+                            traffic=traffic or TrafficSchedule(),
+                            load_feedback=load_feedback)
+        if args.workers is not None:
+            print(f"running {args.shards} shards on {args.workers} "
+                  f"worker(s)...", file=sys.stderr)
+            result = run(spec, workers=args.workers,
+                         shards=args.shards).result
+        else:
+            result = run(spec).result
     else:
         world = _build(args.scale)
         result = run_rollout(world, config)
@@ -167,6 +200,14 @@ def main(argv: List[str] | None = None) -> int:
     rollout.add_argument("--shards", type=positive_int, default=8,
                          help="shard count of the deterministic plan "
                               "(default 8); needs --workers")
+    rollout.add_argument("--traffic", type=traffic_schedule,
+                         default=None, metavar="JSON|@FILE",
+                         help="surge-traffic schedule (JSON list of "
+                              "shapes, or @path to a file)")
+    rollout.add_argument("--load-feedback", action="store_true",
+                         help="turn on the load-feedback mapping loop "
+                              "(cluster utilization penalizes and "
+                              "demotes hot clusters)")
 
     dnsload = sub.add_parser("dnsload", help="drive DNS-only load")
     add_common(dnsload)

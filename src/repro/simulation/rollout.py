@@ -18,11 +18,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import weighted_quantile
+from repro.cdn.server import DAILY_LOAD_RETENTION
 from repro.measurement.netsession import NetSessionCollector
 from repro.measurement.rum import RumBeacon, RumCollector
 from repro.measurement.querylog import QueryLog
 from repro.simulation.session import simulate_session
 from repro.simulation.world import World
+from repro.topology.traffic import DayTraffic, TrafficSchedule
 
 DAY_SECONDS = 86400.0
 
@@ -179,7 +181,8 @@ def run_rollout(*, world: World,
 def _run_rollout(world: World,
                  config: Optional[RolloutConfig] = None,
                  observer=None,
-                 injector=None) -> RolloutResult:
+                 injector=None,
+                 traffic: Optional[TrafficSchedule] = None) -> RolloutResult:
     """Run the full roll-out timeline against a world.
 
     ``observer`` is an optional monitoring hook -- any object with an
@@ -193,6 +196,12 @@ def _run_rollout(world: World,
     ``injector`` is an optional :class:`repro.faults.FaultInjector`
     stepped at the top of each day, before any session runs, so a
     day's sessions see exactly the faults scheduled for that day.
+
+    ``traffic`` is an optional
+    :class:`~repro.topology.traffic.TrafficSchedule` of surge shapes;
+    each day's session volume, block picks, and provider picks flow
+    through a :class:`~repro.topology.traffic.DayTraffic` view.  An
+    empty/None schedule replays the legacy draw sequence bit-for-bit.
     """
     config = config or RolloutConfig()
     rng = random.Random(config.seed)
@@ -219,6 +228,13 @@ def _run_rollout(world: World,
         if injector is not None:
             injector.step(day)
 
+        # --- load feedback: report yesterday's heat, then age it -------
+        # Observed before the control plane ticks, so a map compiled
+        # today scores against the freshest smoothed utilization.
+        if world.load_tracker is not None:
+            world.load_tracker.observe_day(world.deployments, registry)
+        world.deployments.decay_load(DAILY_LOAD_RETENTION)
+
         # --- control plane: makers compile/publish, watchdog runs ------
         # Ticked after the injector so a maker killed today misses
         # today's publication, exactly like a real mid-cycle crash.
@@ -242,6 +258,11 @@ def _run_rollout(world: World,
         month = day // 30
         sessions_today = int(round(
             config.sessions_per_day * (1.0 + config.monthly_growth * month)))
+        day_traffic = (DayTraffic(traffic, day, world.internet.blocks)
+                       if traffic else None)
+        if day_traffic is not None:
+            sessions_today = max(1, int(round(
+                sessions_today * day_traffic.volume_multiplier)))
         spacing = DAY_SECONDS / sessions_today
 
         requests_today = 0
@@ -250,8 +271,14 @@ def _run_rollout(world: World,
         for index in range(sessions_today):
             now = day * DAY_SECONDS + index * spacing + rng.uniform(
                 0, spacing * 0.5)
-            block = world.internet.pick_block(rng)
-            session = simulate_session(world, block, now, rng)
+            if day_traffic is not None:
+                block = day_traffic.pick_block(rng)
+                provider = day_traffic.pick_provider(rng, world.catalog)
+                session = simulate_session(world, block, now, rng,
+                                           provider=provider)
+            else:
+                block = world.internet.pick_block(rng)
+                session = simulate_session(world, block, now, rng)
             requests_today += session.requests
             if session.failed:
                 # No page was loaded: nothing to beacon (real RUM

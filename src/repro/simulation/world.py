@@ -26,6 +26,7 @@ from repro.cdn.content import ContentCatalog, build_catalog
 from repro.cdn.deployments import DeploymentPlan, build_deployments
 from repro.cdn.origin import OriginServer, deploy_origin, make_origin_allocator
 from repro.core.discovery import CandidateIndex
+from repro.core.loadfeedback import ClusterLoadTracker, LoadFeedbackConfig
 from repro.core.mapmaker import MapMakerConfig, MapPublicationService
 from repro.core.measurement import MeasurementService
 from repro.core.policies import EUMappingPolicy, MappingPolicy
@@ -68,6 +69,10 @@ class WorldConfig:
     """Seconds past expiry LDNS caches may serve stale answers when
     every authority is unreachable (RFC 8767).  0 -- the default --
     disables serve-stale, reproducing the pre-fault behaviour."""
+    server_capacity_rps: float = 1000.0
+    """Request rate each edge server absorbs before overload.  The
+    default is far above any fixture-scale load; surge scenarios turn
+    it down to make utilization (and the load-feedback loop) bite."""
     seed: int = 2014
 
     def __post_init__(self) -> None:
@@ -78,6 +83,10 @@ class WorldConfig:
         if self.serve_stale_window < 0:
             raise ValueError(
                 f"negative serve_stale_window: {self.serve_stale_window}")
+        if self.server_capacity_rps <= 0:
+            raise ValueError(
+                f"server_capacity_rps must be > 0: "
+                f"{self.server_capacity_rps}")
 
     @classmethod
     def tiny(cls) -> "WorldConfig":
@@ -119,6 +128,11 @@ class World:
     """The map-publication control plane, when the world was built
     with one (``control_plane=MapMakerConfig(...)``); None keeps the
     legacy per-query scoring path."""
+    load_tracker: Optional[ClusterLoadTracker] = None
+    """The load-feedback report channel, when the world was built with
+    ``load_feedback=LoadFeedbackConfig(...)``: the engines observe it
+    once per day and the scorer reads its penalties.  None keeps
+    scoring load-blind (the legacy behaviour)."""
 
     def set_policy(self, policy: MappingPolicy) -> None:
         """Swap the mapping policy (NS / EU / CANS) world-wide."""
@@ -204,7 +218,9 @@ def build_world(*, config: Optional[WorldConfig] = None,
 
 def _build_world(config: Optional[WorldConfig] = None,
                  policy: Optional[MappingPolicy] = None,
-                 control_plane: Optional[MapMakerConfig] = None) -> World:
+                 control_plane: Optional[MapMakerConfig] = None,
+                 load_feedback: Optional[LoadFeedbackConfig] = None,
+                 load_scale: float = 1.0) -> World:
     """Build and wire a complete world from a config.
 
     ``control_plane`` opts the world into the split control plane: a
@@ -212,6 +228,13 @@ def _build_world(config: Optional[WorldConfig] = None,
     built (publishing its first map immediately) and attached to the
     mapping system, whose answer path then reads published maps
     through the degradation ladder instead of scoring per query.
+
+    ``load_feedback`` opts into the load-feedback loop: a
+    :class:`~repro.core.loadfeedback.ClusterLoadTracker` is attached
+    to the scorer, so rankings (and published maps, when the control
+    plane is on) penalize and demote hot clusters.  ``load_scale``
+    multiplies observed load -- shard workers pass their shard count,
+    since each sees only its own slice of the global demand.
     """
     config = config or WorldConfig.small()
     rng = random.Random(config.seed ^ 0xC0FFEE)
@@ -225,6 +248,7 @@ def _build_world(config: Optional[WorldConfig] = None,
         internet.geodb,
         seed=config.seed + 1,
         servers_per_cluster=config.servers_per_cluster,
+        server_capacity_rps=config.server_capacity_rps,
         host_ases=list(internet.ases.values()),
     )
 
@@ -233,6 +257,11 @@ def _build_world(config: Optional[WorldConfig] = None,
 
     measurement = MeasurementService(internet.geodb)
     scorer = Scorer(measurement, TrafficClass.WEB)
+    load_tracker: Optional[ClusterLoadTracker] = None
+    if load_feedback is not None:
+        load_tracker = ClusterLoadTracker(load_feedback,
+                                          load_scale=load_scale)
+        scorer.load_tracker = load_tracker
     mapping_policy = policy or EUMappingPolicy(internet.geodb)
     mapping = MappingSystem(
         deployments, catalog, mapping_policy, scorer,
@@ -323,6 +352,7 @@ def _build_world(config: Optional[WorldConfig] = None,
         query_log=query_log,
         obs=obs,
         control_plane=publication_service,
+        load_tracker=load_tracker,
     )
     register_world_collectors(obs.registry, world)
     return world

@@ -101,6 +101,25 @@ class TestSoakInvariants:
         row = run_scenario(_CFG, 0)
         assert row == soak_report["rows"][0]
 
+    def test_surge_soak_layers_traffic_over_the_same_faults(self):
+        """``--surge`` adds a generated traffic schedule and the
+        load-feedback loop on a capacity-starved world; the fault
+        schedule stream is untouched, so scenario i keeps the same
+        faults with and without surges, and the invariants still
+        hold."""
+        surge_cfg = SoakConfig(seed=2025, count=2, sessions_per_day=8,
+                               surge=True)
+        report = run_soak(surge_cfg)
+        assert report["passed"], report["summary"]
+        assert report["summary"]["violations"] == 0
+        plain_row = run_scenario(_CFG, 0)
+        for index, row in enumerate(report["rows"]):
+            assert row["traffic"], "surge scenario carried no shapes"
+            if index == 0:
+                assert row["schedule"] == plain_row["schedule"]
+        # Identity strings differ, so checkpoints can't cross modes.
+        assert surge_cfg.identity() != _CFG.identity()
+
 
 class TestCheckpointResume:
     def test_interrupted_soak_resumes_byte_identically(

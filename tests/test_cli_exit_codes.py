@@ -92,3 +92,53 @@ class TestWorkersValidation:
         code, out, _ = _run(["soak", "--help"])
         assert code == 0
         assert "--workers" in out
+
+
+class TestTrafficValidation:
+    """``--traffic`` parses and grammar-validates before any world is
+    built, so every malformed schedule is a usage error (exit 2), not
+    a mid-run stack trace."""
+
+    @pytest.mark.parametrize("value", [
+        "not json",
+        '{"kind": "flash_crowd"}',          # object, not a list
+        '[{"kind": "flash_crowd"}]',        # missing required fields
+        '[{"start_day": 0, "duration_days": 2, "target": "cluster:0",'
+        ' "kind": "flash_crowd", "magnitude": 3.0}]',  # bad grammar
+        '[{"start_day": 0, "duration_days": 2, "target":'
+        ' "continent:NA", "kind": "flash_crowd", "magnitude": 0.5}]',
+        '[{"start_day": 0, "duration_days": 2, "target":'
+        ' "continent:NA", "kind": "flash_crowd", "magnitude": 3.0,'
+        ' "ramp": "linear"}]',              # unknown field
+    ], ids=["not-json", "not-a-list", "missing-fields", "bad-target",
+            "bad-magnitude", "unknown-field"])
+    def test_sim_rollout_rejects_malformed_traffic(self, value):
+        code, _, err = _run(["sim", "rollout", "--traffic", value])
+        assert code == 2
+        assert "traffic schedule" in err
+
+    def test_unreadable_traffic_file_exits_two(self):
+        code, _, err = _run(["sim", "rollout", "--traffic",
+                             "@/no/such/traffic.json"])
+        assert code == 2
+        assert "cannot read traffic schedule" in err
+
+    def test_overlapping_same_target_shapes_exit_two(self):
+        shapes = ('[{"start_day": 0, "duration_days": 4, "target":'
+                  ' "continent:NA", "kind": "flash_crowd",'
+                  ' "magnitude": 2.0},'
+                  ' {"start_day": 2, "duration_days": 4, "target":'
+                  ' "continent:NA", "kind": "flash_crowd",'
+                  ' "magnitude": 3.0}]')
+        code, _, err = _run(["sim", "rollout", "--traffic", shapes])
+        assert code == 2
+        assert "overlapping" in err
+
+    def test_surge_flags_are_advertised(self):
+        code, out, _ = _run(["sim", "rollout", "--help"])
+        assert code == 0
+        assert "--traffic" in out
+        assert "--load-feedback" in out
+        code, out, _ = _run(["soak", "--help"])
+        assert code == 0
+        assert "--surge" in out

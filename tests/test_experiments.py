@@ -25,7 +25,7 @@ ALL_FIGURES = [
     "fig02", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
     "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
-    "fig25", "ext-adoption", "degradation",
+    "fig25", "ext-adoption", "degradation", "load_tradeoff",
 ]
 
 CHEAP_FIGURES = ["fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
@@ -141,6 +141,21 @@ def test_cheap_experiments_pass_at_tiny(experiment_id):
     assert result.rows, "experiment produced no rows"
     failed = [str(c) for c in result.checks if not c.passed]
     assert result.passed, "\n".join(failed)
+
+
+def test_load_tradeoff_experiment_passes_at_tiny():
+    """The load-feedback trade: a flash crowd with feedback on must
+    relieve overload (fewer all-candidates-over-ceiling picks, a
+    flatter peak p95 utilization) at a bounded distance cost, and the
+    load-aware run must shard deterministically (workers=1 == 4)."""
+    result = get_experiment("load_tradeoff").run("tiny")
+    failed = [str(c) for c in result.checks if not c.passed]
+    assert result.passed, "\n".join(failed)
+    by_arm = {row["arm"]: row for row in result.rows}
+    assert (by_arm["load_aware"]["overloaded_picks"]
+            < by_arm["distance_only"]["overloaded_picks"])
+    assert by_arm["load_aware"]["demoted_share"] > 0.0
+    assert 1.0 <= result.summary["distance_ratio"] <= 2.25
 
 
 class TestMarkdownRendering:

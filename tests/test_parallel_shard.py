@@ -24,7 +24,10 @@ import random
 import pytest
 
 from repro.api import ScenarioSpec, build_world, run, run_rollout
+from repro.core.loadfeedback import LoadFeedbackConfig
+from repro.core.mapmaker import MapMakerConfig
 from repro.faults.chaos import SoakConfig, _scenario_spec
+from repro.topology.traffic import TrafficSchedule, TrafficShape
 from repro.parallel import (
     DEFAULT_SHARDS,
     apportion,
@@ -60,6 +63,33 @@ def _rollout_spec() -> ScenarioSpec:
 
 ROLLOUT_SPEC = _rollout_spec()
 
+
+def _load_feedback_spec() -> ScenarioSpec:
+    """A flash crowd + content surge over a capacity-starved world
+    with the load-feedback loop on: the path where shard-local load
+    accounting (scaled by ``n_shards``) must still merge and replay
+    byte-identically."""
+    import dataclasses
+
+    spec = _rollout_spec()
+    return dataclasses.replace(
+        spec,
+        world=dataclasses.replace(spec.world,
+                                  server_capacity_rps=0.08),
+        control_plane=MapMakerConfig(),
+        traffic=TrafficSchedule((
+            TrafficShape(start_day=6, duration_days=6,
+                         target="continent:NA", kind="flash_crowd",
+                         magnitude=4.0),
+            TrafficShape(start_day=4, duration_days=5,
+                         target="provider:provider1",
+                         kind="content_surge", magnitude=6.0),
+        )).validate(),
+        load_feedback=LoadFeedbackConfig())
+
+
+LOAD_FEEDBACK_SPEC = _load_feedback_spec()
+
 WORKER_COUNTS = (1, 2, 4)
 
 
@@ -74,6 +104,13 @@ def rollout_runs():
     return {workers: run_sharded(ROLLOUT_SPEC, workers=workers,
                                  n_shards=4)
             for workers in WORKER_COUNTS}
+
+
+@pytest.fixture(scope="module")
+def feedback_runs():
+    return {workers: run_sharded(LOAD_FEEDBACK_SPEC, workers=workers,
+                                 n_shards=4)
+            for workers in (1, 4)}
 
 
 @pytest.fixture(scope="module")
@@ -122,6 +159,20 @@ class TestWorkerInvariance:
         report = fault_runs[1].report()
         assert report["days_observed"] == FAULT_SPEC.rollout.n_days
         assert "alerts" in report and "series" in report
+
+    def test_load_feedback_run_is_byte_identical(self, feedback_runs):
+        assert _frozen(feedback_runs[4]) == _frozen(feedback_runs[1])
+
+    def test_load_feedback_gauges_survive_the_merge(self, feedback_runs):
+        """The tracker's gauges are replicated state (merge=max): the
+        merged registry carries the per-shard-scaled utilization
+        signal, not ``n_shards`` times it."""
+        snapshot = feedback_runs[1].registry.snapshot()
+        assert snapshot["gauges"]["cluster.load.p95"] > 0.0
+        demoted = snapshot["gauges"]["mapping.load_demoted_share"]
+        assert 0.0 < demoted <= 1.0
+        assert (feedback_runs[4].registry.snapshot()["gauges"]
+                ["mapping.load_demoted_share"] == demoted)
 
 
 # -- golden fixtures ---------------------------------------------------------
@@ -194,6 +245,20 @@ class TestGoldenFixtures:
     def test_monitored_rollout_fixture(self, rollout_runs):
         _check_golden(DATA_DIR / "golden_shard_rollout.json",
                       _golden_document(rollout_runs[1]))
+
+    def test_load_feedback_fixture(self, feedback_runs):
+        """Flash crowd + content surge + load feedback, sharded: pins
+        the surge apportionment, the scaled load accounting, and the
+        overload fallback counter alongside the standard projection."""
+        sharded = feedback_runs[1]
+        snapshot = sharded.registry.snapshot()
+        document = _golden_document(sharded)
+        document["counters"]["lb.overloaded_picks"] = (
+            snapshot["counters"].get("lb.overloaded_picks", 0.0))
+        document["load_gauges"] = sorted(
+            name for name in snapshot["gauges"]
+            if name.startswith(("cluster.load.", "mapping.load_")))
+        _check_golden(DATA_DIR / "golden_load_feedback.json", document)
 
 
 # -- plan algebra ------------------------------------------------------------
