@@ -44,6 +44,9 @@ _SUBCOMMANDS = {
     "load_tradeoff": ("repro.experiments.load_tradeoff",
                       "flash crowd: distance-only vs load-aware "
                       "mapping"),
+    "profile": ("repro.obs.profile",
+                "engine self-profile: phase tree, flamegraph stacks, "
+                "hotspots"),
 }
 
 

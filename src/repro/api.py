@@ -43,6 +43,7 @@ from repro.core.mapmaker import MapMakerConfig
 from repro.core.policies import MappingPolicy
 from repro.faults import FaultInjector, FaultSchedule
 from repro.obs.monitor import RolloutMonitor
+from repro.obs.profile import PhaseProfiler, ProfileConfig
 from repro.obs.monitor.driver import (
     control_plane_rules,
     default_rollout_rules,
@@ -93,6 +94,13 @@ class ScenarioSpec:
     smoothed utilization daily and the scorer penalizes (and past the
     overload threshold, demotes) hot clusters.  None keeps scoring
     load-blind, pinning every existing golden fixture."""
+    profile: Optional[ProfileConfig] = None
+    """Opt into engine self-profiling: the run records a hierarchical
+    phase tree (world build, day loop, session/DNS, scorer, mapmaker,
+    shard plan/execute/merge) exposed as ``ScenarioRun.profiler`` /
+    ``ShardedRun.profiler``.  None (the default) wires the shared
+    disabled profiler -- a pure no-op, so every unprofiled output
+    stays byte-identical."""
 
     def describe(self) -> Dict:
         """Deterministic scenario metadata for monitor reports."""
@@ -109,6 +117,8 @@ class ScenarioSpec:
             doc["traffic"] = len(self.traffic)
         if self.load_feedback is not None:
             doc["load_feedback"] = True
+        if self.profile is not None:
+            doc["profile"] = True
         return doc
 
     # -- the scenario/v1 wire format ------------------------------------
@@ -142,6 +152,8 @@ class ScenarioSpec:
             doc["traffic"] = self.traffic.to_dict()
         if self.load_feedback is not None:
             doc["load_feedback"] = self.load_feedback.to_dict()
+        if self.profile is not None:
+            doc["profile"] = self.profile.to_dict()
         return doc
 
     def to_json(self) -> str:
@@ -160,7 +172,7 @@ class ScenarioSpec:
         if schema != _SCHEMA:
             raise ValueError(f"unsupported scenario schema: {schema!r}")
         known = {"schema", "world", "rollout", "monitor", "faults",
-                 "control_plane", "traffic", "load_feedback"}
+                 "control_plane", "traffic", "load_feedback", "profile"}
         unknown = set(doc) - known
         if unknown:
             raise ValueError(
@@ -182,6 +194,8 @@ class ScenarioSpec:
         if "load_feedback" in doc:
             kwargs["load_feedback"] = LoadFeedbackConfig.from_dict(
                 doc["load_feedback"])
+        if "profile" in doc:
+            kwargs["profile"] = ProfileConfig.from_dict(doc["profile"])
         return cls(**kwargs)
 
     @classmethod
@@ -282,6 +296,8 @@ class ScenarioRun:
     result: RolloutResult
     monitor: Optional[RolloutMonitor]
     injector: Optional[FaultInjector]
+    profiler: Optional[PhaseProfiler] = None
+    """The engine phase profile, when ``spec.profile`` opted in."""
 
     def report(self, scenario: Optional[Dict] = None) -> Dict:
         """The monitor's deterministic report document."""
@@ -370,9 +386,12 @@ def run(spec: Optional[ScenarioSpec] = None,
                            n_shards=shards or DEFAULT_SHARDS)
     if shards is not None:
         raise ValueError("shards=N requires workers=N")
+    profiler = (PhaseProfiler(config=spec.profile)
+                if spec.profile is not None else None)
     world = _build_world(config=spec.world, policy=spec.policy,
                          control_plane=spec.control_plane,
-                         load_feedback=spec.load_feedback)
+                         load_feedback=spec.load_feedback,
+                         profiler=profiler)
     injector = (FaultInjector(world, spec.faults)
                 if spec.faults else None)
     monitor = _monitor_for_spec(spec) if spec.monitor else None
@@ -380,4 +399,5 @@ def run(spec: Optional[ScenarioSpec] = None,
                           injector=injector,
                           traffic=spec.traffic if spec.traffic else None)
     return ScenarioRun(spec=spec, world=world, result=result,
-                       monitor=monitor, injector=injector)
+                       monitor=monitor, injector=injector,
+                       profiler=profiler)

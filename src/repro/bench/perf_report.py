@@ -5,11 +5,15 @@ Run as::
     PYTHONPATH=src python -m repro.bench.perf_report [--scales tiny,small]
                                                      [--out BENCH_PR2.json]
 
-Output schema ``bench/v2``::
+Output schema ``bench/v3`` (v2 plus the host fingerprint and the
+per-phase breakdown from the engine self-profiler)::
 
-    {"schema": "bench/v2",
+    {"schema": "bench/v3",
      "benches":  {bench_name: {"wall_s": ..., "calls": ..., "scale": ...}},
      "speedups": {bench_base: scalar_wall / batch_wall},
+     "host":     {"cpus": ..., "platform": ..., "python": ...},
+     "phases":   {"<scale>;<bench>": {"calls", "work", "wall_s",
+                                      "self_wall_s"}},
      "metrics":  <registry snapshot: bench.runs counter, wall_s histogram>,
      "traces":   [per-bench span trees with wall_s/calls attributes]}
 
@@ -30,6 +34,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
@@ -51,11 +57,29 @@ from repro.net import batch
 from repro.net.geometry import great_circle_miles
 from repro.net.latency import LatencyModel
 from repro.obs import Observability
+from repro.obs.profile import PhaseProfiler, flatten_phases
 from repro.topology.internet import Internet, build_internet
 
 BenchResult = Dict[str, float]
 
-SCHEMA = "bench/v2"
+SCHEMA = "bench/v3"
+
+
+def host_fingerprint() -> Dict:
+    """Where these numbers were measured (wall-clock is host-relative).
+
+    The canonical fingerprint every ``BENCH_*.json`` and profile
+    document embeds; :mod:`repro.bench.regress` warns when adjacent
+    trajectory entries were recorded on different hosts.
+    """
+    affinity = (len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity") else None)
+    return {
+        "cpus": os.cpu_count(),
+        "cpus_available": affinity,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def _timed(fn: Callable[[], int]) -> Tuple[float, int]:
@@ -68,11 +92,18 @@ class PerfReport:
     def __init__(self, obs: Optional[Observability] = None) -> None:
         self.results: Dict[str, BenchResult] = {}
         self.obs = obs if obs is not None else Observability()
+        # Every bench also records as a phase (scale -> bench name), so
+        # the payload carries the same per-phase breakdown shape the
+        # engine profiler exports and the regress gate rates.
+        self.profiler = PhaseProfiler()
 
     def bench(self, name: str, scale: str, fn: Callable[[], int]) -> None:
         with self.obs.tracer.trace("bench", bench=name,
                                    scale=scale) as span:
-            wall, calls = _timed(fn)
+            with self.profiler.phase(scale), \
+                    self.profiler.phase(name):
+                wall, calls = _timed(fn)
+                self.profiler.count("calls", calls)
             span.set(wall_s=wall, calls=calls)
         self.obs.registry.counter("bench.runs").inc()
         self.obs.registry.histogram("bench.wall_s").observe(wall)
@@ -99,11 +130,13 @@ class PerfReport:
 
 
 def build_payload(report: PerfReport) -> Dict:
-    """The full ``bench/v2`` document for one harness run."""
+    """The full ``bench/v3`` document for one harness run."""
     return {
         "schema": SCHEMA,
         "benches": report.results,
         "speedups": report.speedups(),
+        "host": host_fingerprint(),
+        "phases": flatten_phases(report.profiler.root),
         "metrics": report.obs.registry.snapshot(),
         "traces": report.obs.tracer.export(),
     }

@@ -14,10 +14,25 @@ Usage::
 
 For every adjacent pair of files, each speedup present in both is
 compared: a bench regresses when ``new < old * (1 - tolerance)``.
-Exit status is non-zero iff any comparison regresses.  Both the
-``bench/v2`` schema (explicit ``speedups`` map) and the PR 1 flat
-schema (speedups derived from ``*_scalar``/``*_batch`` wall times)
-load transparently, so the whole checked-in trajectory is comparable.
+Exit status is non-zero iff any comparison regresses.  All three
+schema generations load transparently -- the PR 1 flat schema
+(speedups derived from ``*_scalar``/``*_batch`` wall times),
+``bench/v2`` (explicit ``speedups`` map), and ``bench/v3`` (v2 plus a
+host fingerprint and the engine self-profiler's per-phase breakdown)
+-- so the whole checked-in trajectory is comparable.
+
+``bench/v3`` files additionally gate **per-phase throughput**: every
+``phases`` row with enough self-time becomes a ``phase/<path>`` rate
+(calls per self-second) in the comparison map, so a future PR that
+quietly slows one engine phase trips the same gate as an
+un-vectorized kernel.  Phase keys only exist from v3 on; against
+older files the intersection is empty and the comparison is vacuous.
+
+Two reports measured on different hosts are still compared -- the
+trajectory spans CI runners by design -- but the gate *warns*
+(non-fatally, in the report body) when adjacent entries carry
+different host fingerprints or CPU counts, so a surprising ratio can
+be read with the right suspicion.
 
 Tolerance guidance: wall-clock speedups are noisy across machines --
 the checked-in trajectory spans CI runners -- so the CI gate runs with
@@ -36,6 +51,12 @@ from typing import Dict, List, Optional
 
 #: A speedup below ``old * (1 - DEFAULT_TOLERANCE)`` is a regression.
 DEFAULT_TOLERANCE = 0.2
+
+#: Phases with less self-time than this are too noisy to rate: a
+#: near-zero denominator turns scheduler jitter into phantom
+#: regressions.  Such phases simply emit no ``phase/`` key (absent
+#: keys never compare).
+MIN_PHASE_SELF_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -84,20 +105,78 @@ def derive_speedups(benches: Dict[str, Dict]) -> Dict[str, float]:
     return out
 
 
+def derive_phase_rates(phases: Dict[str, Dict]) -> Dict[str, float]:
+    """``phase/<path>`` throughput rates from a ``bench/v3`` breakdown.
+
+    Rate is ``calls`` per second of *self* wall time -- the per-phase
+    analogue of a speedup (higher is better, a collapse gates).
+    Phases below :data:`MIN_PHASE_SELF_S` of self-time or without
+    calls are skipped.
+    """
+    out: Dict[str, float] = {}
+    for path in sorted(phases):
+        row = phases[path]
+        calls = row.get("calls", 0)
+        self_s = row.get("self_wall_s", 0.0)
+        if calls > 0 and self_s >= MIN_PHASE_SELF_S:
+            out[f"phase/{path}"] = round(calls / self_s, 3)
+    return out
+
+
+def _load_doc(path: str):
+    with open(path) as handle:
+        return json.load(handle)
+
+
 def load_speedups(path: str) -> Dict[str, float]:
     """Speedups from one bench file, whatever its schema generation.
 
-    ``bench/v2`` documents carry an explicit ``speedups`` map; the
-    PR 1 flat schema (bench name -> row) gets them derived from its
-    wall times.
+    ``bench/v2``+ documents carry an explicit ``speedups`` map (v3
+    adds ``phase/`` throughput rates next to it); the PR 1 flat schema
+    (bench name -> row) gets them derived from its wall times.
     """
-    with open(path) as handle:
-        doc = json.load(handle)
+    doc = _load_doc(path)
     if isinstance(doc, dict) and "speedups" in doc:
-        return dict(doc["speedups"])
+        out = dict(doc["speedups"])
+        out.update(derive_phase_rates(doc.get("phases", {})))
+        return out
     if isinstance(doc, dict) and "benches" in doc:
         return derive_speedups(doc["benches"])
     return derive_speedups(doc)
+
+
+def host_warnings(paths: List[str]) -> List[str]:
+    """Non-fatal cross-host warnings for adjacent trajectory entries.
+
+    Flags adjacent pairs recorded on different platforms or CPU
+    budgets, and pairs where exactly one side carries a fingerprint at
+    all (pre-v3 files have none: comparable, but blindly so).
+    """
+    hosts = []
+    for path in paths:
+        doc = _load_doc(path)
+        hosts.append(doc.get("host") if isinstance(doc, dict) else None)
+    warnings: List[str] = []
+    for index in range(len(paths) - 1):
+        old_host, new_host = hosts[index], hosts[index + 1]
+        old_path, new_path = paths[index], paths[index + 1]
+        if old_host is None and new_host is None:
+            continue
+        if old_host is None or new_host is None:
+            missing = old_path if old_host is None else new_path
+            warnings.append(
+                f"{old_path} -> {new_path}: no host fingerprint in "
+                f"{missing}; ratios compare blind across hosts")
+            continue
+        for key in ("cpus", "cpus_available", "platform"):
+            if old_host.get(key) != new_host.get(key):
+                warnings.append(
+                    f"{old_path} -> {new_path}: recorded on different "
+                    f"hosts ({key}: {old_host.get(key)!r} -> "
+                    f"{new_host.get(key)!r}); wall-clock ratios are "
+                    f"host-relative")
+                break
+    return warnings
 
 
 def compare_pair(old_path: str, new_path: str,
@@ -145,12 +224,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     comparisons = compare_trajectory(args.files, args.tolerance)
     regressions = [c for c in comparisons if c.regressed]
+    warnings = host_warnings(args.files)
 
     if args.format == "json":
         print(json.dumps({
             "tolerance": args.tolerance,
             "comparisons": [c.to_dict() for c in comparisons],
             "regressions": len(regressions),
+            "warnings": warnings,
         }, indent=2, sort_keys=True))
     else:
         for c in comparisons:
@@ -159,8 +240,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{c.old_speedup:8.2f}x -> {c.new_speedup:8.2f}x  "
                   f"(floor {c.threshold:.2f}x)  "
                   f"[{c.old_path} -> {c.new_path}]")
+        for warning in warnings:
+            print(f"  warning: {warning}")
         print(f"{len(comparisons)} comparisons, "
-              f"{len(regressions)} regressions "
+              f"{len(regressions)} regressions, "
+              f"{len(warnings)} host warnings "
               f"(tolerance {args.tolerance:.0%})")
     if regressions:
         print("perf regression detected: speedups fell beyond "

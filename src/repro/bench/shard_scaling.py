@@ -2,8 +2,8 @@
 
 Times the sharded day loop at the ``large`` scale -- 2^20 (~1.05M)
 client-block sessions in one simulated day -- across a curve of worker
-counts, and writes a ``bench/v2`` snapshot (``BENCH_PR6.json``) with
-one bench per worker count plus explicit scaling ratios::
+counts, and writes a ``bench/v3`` snapshot with one bench per worker
+count plus explicit scaling ratios::
 
     PYTHONPATH=src python -m repro.bench.shard_scaling --out BENCH_PR6.json
     PYTHONPATH=src python -m repro.bench.shard_scaling --sessions 5000 \
@@ -21,24 +21,30 @@ The beacon list and pair-row tracking are disabled for the timed runs:
 at this volume they dominate memory and inter-process transfer without
 touching the day-loop wall-clock under test (the determinism tests
 cover them at small volume).
+
+The timed curve itself runs *unprofiled* (numbers stay comparable to
+older snapshots); a separate single-worker pass with the engine
+self-profiler on (:mod:`repro.obs.profile`) supplies the ``phases``
+breakdown and the ``hotspots`` attribution table.  ``--no-profile``
+skips that pass.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
 import time
 from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.api import ScenarioSpec
+from repro.bench.perf_report import host_fingerprint
 from repro.experiments.scales import get_scale
+from repro.obs.profile import ProfileConfig, flatten_phases, hotspot_rows
 from repro.parallel import DEFAULT_SHARDS, run_sharded
 
-SCHEMA = "bench/v2"
+SCHEMA = "bench/v3"
 
 DEFAULT_WORKERS = (1, 2, 4)
 
@@ -51,18 +57,6 @@ def scaling_spec(sessions: Optional[int] = None) -> ScenarioSpec:
         rollout = replace(rollout, sessions_per_day=sessions)
     return ScenarioSpec(world=scale.world, rollout=rollout,
                         monitor=False)
-
-
-def host_fingerprint() -> Dict:
-    """Where these numbers were measured (scaling is host-relative)."""
-    affinity = (len(os.sched_getaffinity(0))
-                if hasattr(os, "sched_getaffinity") else None)
-    return {
-        "cpus": os.cpu_count(),
-        "cpus_available": affinity,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-    }
 
 
 def run_curve(spec: ScenarioSpec, workers_list: List[int],
@@ -92,8 +86,30 @@ def run_curve(spec: ScenarioSpec, workers_list: List[int],
     return curve
 
 
-def build_payload(curve: Dict[int, Dict]) -> Dict:
-    """The ``bench/v2`` document for one scaling run."""
+def attribution_pass(spec: ScenarioSpec,
+                     n_shards: int = DEFAULT_SHARDS,
+                     hotspots: int = 10) -> Dict:
+    """One profiled single-worker run: the self-time attribution.
+
+    Returns the ``phases`` / ``hotspots`` payload sections; the
+    hotspot rows name the phases the next optimization PR should
+    target (the acceptance check reads the top entries).
+    """
+    print("  attribution pass (workers=1, profiled)...",
+          file=sys.stderr)
+    profiled = replace(spec, profile=ProfileConfig(hotspots=hotspots))
+    sharded = run_sharded(profiled, workers=1, n_shards=n_shards,
+                          keep_beacons=False, pair_tracking=False)
+    root = sharded.profiler.root
+    return {
+        "phases": flatten_phases(root),
+        "hotspots": hotspot_rows(root, limit=hotspots),
+    }
+
+
+def build_payload(curve: Dict[int, Dict],
+                  attribution: Optional[Dict] = None) -> Dict:
+    """The ``bench/v3`` document for one scaling run."""
     benches = {f"large/shard_day_loop_w{workers}": row
                for workers, row in sorted(curve.items())}
     speedups: Dict[str, float] = {}
@@ -104,12 +120,15 @@ def build_payload(curve: Dict[int, Dict]) -> Dict:
                 continue
             speedups[f"large/shard_scaling_w{workers}"] = round(
                 baseline["wall_s"] / max(row["wall_s"], 1e-9), 3)
-    return {
+    payload = {
         "schema": SCHEMA,
         "benches": benches,
         "speedups": speedups,
         "host": host_fingerprint(),
     }
+    if attribution is not None:
+        payload.update(attribution)
+    return payload
 
 
 def _workers_list(text: str) -> List[int]:
@@ -138,6 +157,9 @@ def main(argv=None) -> int:
                         help="override sessions/day (smoke runs; the "
                              "committed snapshot uses the large "
                              "scale's 2^20)")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip the profiled attribution pass "
+                             "(payload omits phases/hotspots)")
     args = parser.parse_args(argv)
 
     spec = scaling_spec(args.sessions)
@@ -145,13 +167,21 @@ def main(argv=None) -> int:
           f"{spec.rollout.sessions_per_day:,} sessions/day x "
           f"{spec.rollout.n_days} day(s)", file=sys.stderr)
     curve = run_curve(spec, args.workers, n_shards=args.shards)
-    payload = build_payload(curve)
+    attribution = (None if args.no_profile
+                   else attribution_pass(spec, n_shards=args.shards))
+    payload = build_payload(curve, attribution)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.out}", file=sys.stderr)
     for name, ratio in payload["speedups"].items():
         print(f"  {name:40s} {ratio:6.2f}x", file=sys.stderr)
+    if attribution is not None:
+        from repro.obs.profile import render_hotspot_table
+
+        print("hotspots (profiled workers=1 pass):", file=sys.stderr)
+        for line in render_hotspot_table(attribution["hotspots"]):
+            print(f"  {line}", file=sys.stderr)
     return 0
 
 

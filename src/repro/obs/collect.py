@@ -45,6 +45,8 @@ Canonical metric names exported for a wired world:
 
 from __future__ import annotations
 
+import math
+
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -134,9 +136,12 @@ def register_world_collectors(registry: MetricsRegistry, world) -> None:
         # load splits across shards, so the mean keeps the sum default.
         reg.gauge("clusters.total", merge="max").set(len(clusters))
         reg.gauge("clusters.alive", merge="max").set(len(alive))
+        # A non-finite utilization (a cluster mid-teardown under fault
+        # injection) must not poison the fleet mean into NaN.
+        finite = [c.utilization for c in alive
+                  if math.isfinite(c.utilization)]
         reg.gauge("clusters.mean_utilization").set(
-            sum(c.utilization for c in alive) / len(alive)
-            if alive else 0.0)
+            sum(finite) / len(finite) if finite else 0.0)
 
         edge_requests = edge_hits = 0
         for cluster in clusters:

@@ -47,7 +47,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.measurement.querylog import QueryLog
 from repro.measurement.rum import RumBeacon, RumCollector
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import DISABLED_PROFILER, PhaseProfiler
 from repro.parallel.merge import (
+    merge_profiles,
     merge_query_logs,
     merge_registries,
     merge_rum,
@@ -85,6 +87,9 @@ class ShardOutput:
         default_factory=dict)
     day_query_cums: Dict[int, Tuple[int, int]] = field(
         default_factory=dict)
+    profiler: Optional[PhaseProfiler] = None
+    """The shard's engine phase profile, when ``spec.profile`` opted
+    in (phase trees pickle across the process boundary)."""
 
 
 def _shard_worker(payload: Tuple) -> ShardOutput:
@@ -112,13 +117,17 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
     from repro.simulation.session import simulate_session
     from repro.topology.traffic import DayTraffic, day_weight
 
+    profiler = (PhaseProfiler(config=spec.profile)
+                if spec.profile is not None else None)
     # SHARD: each worker sees 1/n_shards of the demand, so observed
     # load scales back up by n_shards to keep the utilization signal
     # (and hence scoring penalties) aligned across worker counts.
     world = _build_world(config=spec.world, policy=spec.policy,
                          control_plane=spec.control_plane,
                          load_feedback=spec.load_feedback,
-                         load_scale=float(n_shards))
+                         load_scale=float(n_shards),
+                         profiler=profiler)
+    prof = world.obs.profiler
     config = spec.rollout
     injector = FaultInjector(world, spec.faults) if spec.faults else None
     plan = plan_shards(world.internet, n_shards)
@@ -133,7 +142,8 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
     # stream is stable across platforms and hash randomization.
     rng = random.Random(f"{config.seed}:shard:{shard}")
 
-    medians = classify_expectation_groups(world)
+    with prof.phase("rollout.classify"):
+        medians = classify_expectation_groups(world)
     high_expectation, _ = split_expectation_groups(
         medians, config.expectation_threshold_miles)
 
@@ -152,100 +162,107 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
         high_expectation=sorted(high_expectation), medians=medians)
 
     for day in range(config.n_days):
-        if injector is not None:
-            injector.step(day)
-        if world.load_tracker is not None:
-            world.load_tracker.observe_day(world.deployments, registry)
-        world.deployments.decay_load(DAILY_LOAD_RETENTION)
-        if world.control_plane is not None:
-            world.control_plane.tick(day)
+        with prof.phase("rollout.day"):
+            if injector is not None:
+                with prof.phase("faults.step"):
+                    injector.step(day)
+            if world.load_tracker is not None:
+                with prof.phase("loadfeedback.observe"):
+                    world.load_tracker.observe_day(world.deployments,
+                                                   registry)
+            world.deployments.decay_load(DAILY_LOAD_RETENTION)
+            if world.control_plane is not None:
+                with prof.phase("control_plane.tick"):
+                    world.control_plane.tick(day)
 
-        fraction = config.rollout_fraction(day)
-        n_enabled = int(round(fraction * len(public_ids)))
-        world.enable_ecs(public_ids[:n_enabled],
-                         source_prefix_len=config.ecs_source_len)
-        output.ecs_resolvers_per_day[day] = world.ecs_enabled_count()
-        registry.gauge("rollout.day", merge="max").set(day)
-        registry.gauge("rollout.ecs_resolvers", merge="max").set(
-            output.ecs_resolvers_per_day[day])
+            fraction = config.rollout_fraction(day)
+            n_enabled = int(round(fraction * len(public_ids)))
+            world.enable_ecs(public_ids[:n_enabled],
+                             source_prefix_len=config.ecs_source_len)
+            output.ecs_resolvers_per_day[day] = world.ecs_enabled_count()
+            registry.gauge("rollout.day", merge="max").set(day)
+            registry.gauge("rollout.ecs_resolvers", merge="max").set(
+                output.ecs_resolvers_per_day[day])
 
-        # SHARD: the global volume formula, apportioned by demand.
-        month = day // 30
-        sessions_global = int(round(
-            config.sessions_per_day
-            * (1.0 + config.monthly_growth * month)))
-        if traffic is not None:
-            # Volume scales by the *global* multiplier (identical in
-            # every worker), then apportions by surge-weighted shard
-            # demand so a shard holding the surging geo gets the extra
-            # sessions.
-            global_view = DayTraffic(traffic, day, world.internet.blocks)
-            sessions_global = max(1, int(round(
-                sessions_global * global_view.volume_multiplier)))
-            weights = [day_weight(traffic, day, shard_blocks[s])
-                       for s in range(n_shards)]
-            quota = apportion(sessions_global, weights)[shard]
-            day_traffic = DayTraffic(traffic, day, shard_blocks[shard])
-        else:
-            quota = plan.sessions_for_day(sessions_global)[shard]
-            day_traffic = None
-        spacing = DAY_SECONDS / quota if quota else DAY_SECONDS
-
-        requests_today = 0
-        failed_today = 0
-        degraded_today = 0
-        for index in range(quota):
-            now = day * DAY_SECONDS + index * spacing + rng.uniform(
-                0, spacing * 0.5)
-            # SHARD: demand-weighted pick within this shard's blocks.
-            if day_traffic is not None:
-                block = day_traffic.pick_block(rng)
-                provider = day_traffic.pick_provider(rng, world.catalog)
-                session = simulate_session(world, block, now, rng,
-                                           provider=provider)
+            # SHARD: the global volume formula, apportioned by demand.
+            month = day // 30
+            sessions_global = int(round(
+                config.sessions_per_day
+                * (1.0 + config.monthly_growth * month)))
+            if traffic is not None:
+                # Volume scales by the *global* multiplier (identical in
+                # every worker), then apportions by surge-weighted shard
+                # demand so a shard holding the surging geo gets the extra
+                # sessions.
+                global_view = DayTraffic(traffic, day, world.internet.blocks)
+                sessions_global = max(1, int(round(
+                    sessions_global * global_view.volume_multiplier)))
+                weights = [day_weight(traffic, day, shard_blocks[s])
+                           for s in range(n_shards)]
+                quota = apportion(sessions_global, weights)[shard]
+                day_traffic = DayTraffic(traffic, day, shard_blocks[shard])
             else:
-                block = plan.pick_block(shard, world.internet.blocks, rng)
-                session = simulate_session(world, block, now, rng)
-            requests_today += session.requests
-            if session.failed:
-                failed_today += 1
-                continue
-            if session.degraded:
-                degraded_today += 1
-            if keep_beacons:
-                rum.record(RumBeacon(
-                    day=day,
-                    block=block.prefix,
-                    country=block.country,
-                    domain=session.domain,
-                    high_expectation=block.country in high_expectation,
-                    via_public_resolver=session.via_public_resolver,
-                    dns_ms=session.dns_ms,
-                    rtt_ms=session.rtt_ms,
-                    ttfb_ms=session.ttfb_ms,
-                    download_ms=session.download_ms,
-                    mapping_distance_miles=(
-                        session.mapping_distance_miles),
-                    server_ip=session.server_ip,
-                    ecs_used=session.ecs_used,
-                ))
-        output.sessions_per_day[day] = quota
-        output.requests_per_day[day] = requests_today
-        output.failed_per_day[day] = failed_today
-        output.degraded_per_day[day] = degraded_today
-        registry.counter("rollout.sessions").inc(quota)
-        registry.counter("rollout.requests").inc(requests_today)
-        if failed_today:
-            registry.counter("rollout.failed_sessions").inc(failed_today)
+                quota = plan.sessions_for_day(sessions_global)[shard]
+                day_traffic = None
+            spacing = DAY_SECONDS / quota if quota else DAY_SECONDS
 
-        if capture_days:
-            # One instrument-only clone per day feeds the parent's
-            # monitor replay; clone() runs the collectors first, so
-            # collector-backed gauges hold end-of-day component state.
-            output.day_registries[day] = registry.clone()
-            output.day_query_cums[day] = (
-                world.query_log.total_queries,
-                world.query_log.ecs_queries)
+            requests_today = 0
+            failed_today = 0
+            degraded_today = 0
+            for index in range(quota):
+                now = day * DAY_SECONDS + index * spacing + rng.uniform(
+                    0, spacing * 0.5)
+                # SHARD: demand-weighted pick within this shard's blocks.
+                if day_traffic is not None:
+                    block = day_traffic.pick_block(rng)
+                    provider = day_traffic.pick_provider(rng, world.catalog)
+                    session = simulate_session(world, block, now, rng,
+                                               provider=provider)
+                else:
+                    block = plan.pick_block(shard, world.internet.blocks, rng)
+                    session = simulate_session(world, block, now, rng)
+                requests_today += session.requests
+                if session.failed:
+                    failed_today += 1
+                    continue
+                if session.degraded:
+                    degraded_today += 1
+                if keep_beacons:
+                    rum.record(RumBeacon(
+                        day=day,
+                        block=block.prefix,
+                        country=block.country,
+                        domain=session.domain,
+                        high_expectation=block.country in high_expectation,
+                        via_public_resolver=session.via_public_resolver,
+                        dns_ms=session.dns_ms,
+                        rtt_ms=session.rtt_ms,
+                        ttfb_ms=session.ttfb_ms,
+                        download_ms=session.download_ms,
+                        mapping_distance_miles=(
+                            session.mapping_distance_miles),
+                        server_ip=session.server_ip,
+                        ecs_used=session.ecs_used,
+                    ))
+            output.sessions_per_day[day] = quota
+            output.requests_per_day[day] = requests_today
+            output.failed_per_day[day] = failed_today
+            output.degraded_per_day[day] = degraded_today
+            prof.count("sessions", quota)
+            prof.count("requests", requests_today)
+            registry.counter("rollout.sessions").inc(quota)
+            registry.counter("rollout.requests").inc(requests_today)
+            if failed_today:
+                registry.counter("rollout.failed_sessions").inc(failed_today)
+
+            if capture_days:
+                # One instrument-only clone per day feeds the parent's
+                # monitor replay; clone() runs the collectors first, so
+                # collector-backed gauges hold end-of-day component state.
+                output.day_registries[day] = registry.clone()
+                output.day_query_cums[day] = (
+                    world.query_log.total_queries,
+                    world.query_log.ecs_queries)
 
     if injector is not None:
         injector.finish()
@@ -259,6 +276,8 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
     output.trace_counts = {"started": tracer.started,
                            "sampled": tracer.sampled,
                            "dropped": tracer.dropped}
+    prof.count("spans_emitted", tracer.sampled)
+    output.profiler = profiler
     return output
 
 
@@ -339,6 +358,10 @@ class ShardedRun:
     workers: int
     shard_sessions: List[int]
     """Total sessions simulated per shard (the load-split record)."""
+    profiler: Optional[PhaseProfiler] = None
+    """The merged engine phase profile (parent plan/execute/merge
+    phases with every worker tree grafted under ``shard.workers``),
+    when ``spec.profile`` opted in."""
 
     def report(self, scenario: Optional[Dict] = None) -> Dict:
         """The monitor's deterministic report document."""
@@ -381,55 +404,69 @@ def run_sharded(spec=None, *, workers: int = 1,
             "cannot ship a live policy object; pass policy=None (the "
             "default mapping) or run serially (workers=None)")
 
+    profiler = (PhaseProfiler(config=spec.profile)
+                if spec.profile is not None else None)
+    prof = profiler if profiler is not None else DISABLED_PROFILER
+
     capture_days = spec.monitor
-    payloads = [(spec, shard, n_shards, capture_days, keep_beacons,
-                 pair_tracking) for shard in range(n_shards)]
-    if workers == 1:
-        outputs = [_shard_worker(payload) for payload in payloads]
-    else:
-        with ProcessPoolExecutor(
-                max_workers=min(workers, n_shards)) as pool:
-            futures = [pool.submit(_shard_worker, payload)
-                       for payload in payloads]
-            outputs = [future.result() for future in futures]
+    with prof.phase("shard.plan"):
+        prof.count("shards", n_shards)
+        payloads = [(spec, shard, n_shards, capture_days, keep_beacons,
+                     pair_tracking) for shard in range(n_shards)]
+    with prof.phase("shard.execute"):
+        if workers == 1:
+            outputs = [_shard_worker(payload) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, n_shards)) as pool:
+                futures = [pool.submit(_shard_worker, payload)
+                           for payload in payloads]
+                outputs = [future.result() for future in futures]
+        # Worker trees graft in fixed shard order, so the merged
+        # profile -- structure *and* float accumulation -- is
+        # independent of pool scheduling.
+        merge_profiles(prof, [out.profiler for out in outputs])
 
     # -- merge, in fixed shard order --------------------------------------
     from repro.simulation.rollout import RolloutResult
 
     first = outputs[0]
-    result = RolloutResult(
-        config=spec.rollout,
-        rum=merge_rum([out.rum for out in outputs]),
-        query_log=merge_query_logs([out.query_log for out in outputs]),
-        sessions_per_day=sum_day_dicts(
-            out.sessions_per_day for out in outputs),
-        requests_per_day=sum_day_dicts(
-            out.requests_per_day for out in outputs),
-        failed_sessions_per_day=sum_day_dicts(
-            out.failed_per_day for out in outputs),
-        degraded_sessions_per_day=sum_day_dicts(
-            out.degraded_per_day for out in outputs),
-        ecs_resolvers_per_day=dict(first.ecs_resolvers_per_day),
-        high_expectation_countries=list(first.high_expectation),
-        median_public_distance=dict(first.medians),
-    )
-    registry = merge_registries([out.registry for out in outputs])
-    traces = merge_traces([out.traces for out in outputs])
-    trace_counts = {
-        key: sum(out.trace_counts.get(key, 0) for out in outputs)
-        for key in ("started", "sampled", "dropped")}
+    with prof.phase("shard.merge"):
+        result = RolloutResult(
+            config=spec.rollout,
+            rum=merge_rum([out.rum for out in outputs]),
+            query_log=merge_query_logs(
+                [out.query_log for out in outputs]),
+            sessions_per_day=sum_day_dicts(
+                out.sessions_per_day for out in outputs),
+            requests_per_day=sum_day_dicts(
+                out.requests_per_day for out in outputs),
+            failed_sessions_per_day=sum_day_dicts(
+                out.failed_per_day for out in outputs),
+            degraded_sessions_per_day=sum_day_dicts(
+                out.degraded_per_day for out in outputs),
+            ecs_resolvers_per_day=dict(first.ecs_resolvers_per_day),
+            high_expectation_countries=list(first.high_expectation),
+            median_public_distance=dict(first.medians),
+        )
+        registry = merge_registries([out.registry for out in outputs])
+        traces = merge_traces([out.traces for out in outputs])
+        trace_counts = {
+            key: sum(out.trace_counts.get(key, 0) for out in outputs)
+            for key in ("started", "sampled", "dropped")}
 
-    monitor = None
-    if spec.monitor:
-        monitor = _monitor_for_spec(spec)
-        _replay_monitor(monitor, spec, outputs, result)
+        monitor = None
+        if spec.monitor:
+            monitor = _monitor_for_spec(spec)
+            _replay_monitor(monitor, spec, outputs, result)
 
     return ShardedRun(
         spec=spec, result=result, monitor=monitor, registry=registry,
         traces=traces, trace_counts=trace_counts, n_shards=n_shards,
         workers=workers,
         shard_sessions=[sum(out.sessions_per_day.values())
-                        for out in outputs])
+                        for out in outputs],
+        profiler=profiler)
 
 
 def _replay_monitor(monitor, spec, outputs: List[ShardOutput],

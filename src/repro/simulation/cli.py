@@ -59,6 +59,19 @@ def traffic_schedule(text: str):
             f"bad traffic schedule: {exc}") from None
 
 
+def profile_config(text: str):
+    """argparse type for ``--profile``: an optional JSON config object
+    (bare ``--profile`` means defaults), validated up front so a
+    malformed payload is a usage error (exit code 2)."""
+    from repro.obs.profile import ProfileConfig
+
+    try:
+        return ProfileConfig.from_json(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad profile config: {exc}") from None
+
+
 def _build(scale: str):
     spec = get_scale(scale)
     print(f"building world (scale={scale})...", file=sys.stderr)
@@ -98,12 +111,13 @@ def _cmd_rollout(args) -> int:
 
         load_feedback = LoadFeedbackConfig()
     traffic = args.traffic
+    outcome = None
     if args.workers is not None or traffic is not None \
-            or load_feedback is not None:
-        # Scenario route: surge traffic and load feedback are spec
-        # features, so any of them (or --workers, which only sizes the
-        # pool -- --workers 1 and --workers 8 print identical reports)
-        # goes through ScenarioSpec + run().
+            or load_feedback is not None or args.profile is not None:
+        # Scenario route: surge traffic, load feedback, and profiling
+        # are spec features, so any of them (or --workers, which only
+        # sizes the pool -- --workers 1 and --workers 8 print
+        # identical reports) goes through ScenarioSpec + run().
         from repro.api import ScenarioSpec, run
         from repro.experiments.scales import get_scale
         from repro.topology.traffic import TrafficSchedule
@@ -111,14 +125,16 @@ def _cmd_rollout(args) -> int:
         spec = ScenarioSpec(world=get_scale(args.scale).world,
                             rollout=config, monitor=False,
                             traffic=traffic or TrafficSchedule(),
-                            load_feedback=load_feedback)
+                            load_feedback=load_feedback,
+                            profile=args.profile)
         if args.workers is not None:
             print(f"running {args.shards} shards on {args.workers} "
                   f"worker(s)...", file=sys.stderr)
-            result = run(spec, workers=args.workers,
-                         shards=args.shards).result
+            outcome = run(spec, workers=args.workers,
+                          shards=args.shards)
         else:
-            result = run(spec).result
+            outcome = run(spec)
+        result = outcome.result
     else:
         world = _build(args.scale)
         result = run_rollout(world, config)
@@ -133,6 +149,15 @@ def _cmd_rollout(args) -> int:
         mean_a = sum(after) / len(after) if after else float("nan")
         print(f"  {metric:<26} {mean_b:10.1f} -> {mean_a:10.1f} "
               f"({mean_b / mean_a if mean_a else 0:5.2f}x)")
+    if outcome is not None and outcome.profiler is not None:
+        from repro.obs.profile import hotspot_rows, render_hotspot_table
+
+        print()
+        print("engine hotspots (self wall-clock):")
+        rows = hotspot_rows(outcome.profiler.root,
+                            limit=args.profile.hotspots)
+        for line in render_hotspot_table(rows):
+            print(f"  {line}")
     return 0
 
 
@@ -208,6 +233,11 @@ def main(argv: List[str] | None = None) -> int:
                          help="turn on the load-feedback mapping loop "
                               "(cluster utilization penalizes and "
                               "demotes hot clusters)")
+    rollout.add_argument("--profile", type=profile_config, nargs="?",
+                         const="{}", default=None, metavar="JSON",
+                         help="profile the engine itself and print the "
+                              "hotspot table (optional JSON config, "
+                              "e.g. '{\"hotspots\": 5}')")
 
     dnsload = sub.add_parser("dnsload", help="drive DNS-only load")
     add_common(dnsload)

@@ -101,11 +101,12 @@ def simulate_session(
     client_ip = block.prefix.network | rng.randint(1, 254)
 
     tracer = world.obs.tracer
-    with tracer.trace("session", block=str(block.prefix),
-                      provider=provider.name) as root:
-        result = _run_session(world, block, now, rng, provider, page,
-                              client_ip, account_load, root)
-    _record_session_metrics(world.obs.registry, block, result)
+    with world.obs.profiler.phase("session"):
+        with tracer.trace("session", block=str(block.prefix),
+                          provider=provider.name) as root:
+            result = _run_session(world, block, now, rng, provider,
+                                  page, client_ip, account_load, root)
+        _record_session_metrics(world.obs.registry, block, result)
     return result
 
 
@@ -124,8 +125,9 @@ def _run_session(world, block, now, rng, provider, page, client_ip,
     stub = StubResolver(client_ip, world.network)
     tracer = world.obs.tracer
     with tracer.span("dns", resolver=resolver_id) as dns_span:
-        resolution = stub.resolve(provider.domain, ldns, now,
-                                  fallback=fallback)
+        with world.obs.profiler.phase("dns.resolve"):
+            resolution = stub.resolve(provider.domain, ldns, now,
+                                      fallback=fallback)
         dns_span.set(dns_ms=resolution.dns_time_ms,
                      cache_hit=resolution.ldns_cache_hit,
                      upstream_queries=resolution.upstream_queries)

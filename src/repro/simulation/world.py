@@ -220,7 +220,8 @@ def _build_world(config: Optional[WorldConfig] = None,
                  policy: Optional[MappingPolicy] = None,
                  control_plane: Optional[MapMakerConfig] = None,
                  load_feedback: Optional[LoadFeedbackConfig] = None,
-                 load_scale: float = 1.0) -> World:
+                 load_scale: float = 1.0,
+                 profiler=None) -> World:
     """Build and wire a complete world from a config.
 
     ``control_plane`` opts the world into the split control plane: a
@@ -235,10 +236,26 @@ def _build_world(config: Optional[WorldConfig] = None,
     plane is on) penalize and demote hot clusters.  ``load_scale``
     multiplies observed load -- shard workers pass their shard count,
     since each sees only its own slice of the global demand.
+
+    ``profiler`` opts into engine self-profiling: the whole build
+    records under a ``world.build`` phase (control-plane bootstrap
+    compile/publish nests inside) and every component shares the
+    profiler through ``world.obs``.  None wires the shared disabled
+    profiler -- a pure no-op on every hot path.
     """
     config = config or WorldConfig.small()
     rng = random.Random(config.seed ^ 0xC0FFEE)
     obs = Observability()
+    if profiler is not None:
+        obs.profiler = profiler
+    with obs.profiler.phase("world.build"):
+        return _wire_world(config, policy, control_plane,
+                           load_feedback, load_scale, rng, obs)
+
+
+def _wire_world(config: WorldConfig, policy, control_plane,
+                load_feedback, load_scale: float,
+                rng: random.Random, obs: Observability) -> World:
 
     internet = build_internet(config.internet, seed=config.seed)
     network = Network(internet.geodb, LatencyModel(), obs=obs)
@@ -257,6 +274,7 @@ def _build_world(config: Optional[WorldConfig] = None,
 
     measurement = MeasurementService(internet.geodb)
     scorer = Scorer(measurement, TrafficClass.WEB)
+    scorer.obs = obs
     load_tracker: Optional[ClusterLoadTracker] = None
     if load_feedback is not None:
         load_tracker = ClusterLoadTracker(load_feedback,

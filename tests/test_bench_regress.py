@@ -5,9 +5,12 @@ import json
 import pytest
 
 from repro.bench.regress import (
+    MIN_PHASE_SELF_S,
     compare_pair,
     compare_trajectory,
+    derive_phase_rates,
     derive_speedups,
+    host_warnings,
     load_speedups,
     main,
 )
@@ -20,6 +23,19 @@ def _write(path, doc):
 
 def _v2(speedups):
     return {"schema": "bench/v2", "benches": {}, "speedups": speedups}
+
+
+def _v3(speedups, phases=None, host=None):
+    doc = {"schema": "bench/v3", "benches": {}, "speedups": speedups,
+           "phases": phases or {}}
+    if host is not None:
+        doc["host"] = host
+    return doc
+
+
+def _host(cpus=4, platform="Linux-x86_64"):
+    return {"cpus": cpus, "cpus_available": cpus, "platform": platform,
+            "python": "3.11.0"}
 
 
 class TestLoading:
@@ -50,6 +66,42 @@ class TestLoading:
                         "tiny/x_batch": {"wall_s": 1.0}},
         })
         assert load_speedups(path) == {"tiny/x": 4.0}
+
+    def test_load_v3_merges_phase_rates(self, tmp_path):
+        path = _write(tmp_path / "b.json", _v3(
+            {"tiny/x": 12.5},
+            phases={"rollout.day": {"calls": 100,
+                                    "self_wall_s": 2.0}}))
+        assert load_speedups(path) == {
+            "tiny/x": 12.5, "phase/rollout.day": 50.0}
+
+    def test_phase_rates_skip_noisy_and_idle_phases(self):
+        rates = derive_phase_rates({
+            "hot": {"calls": 1000, "self_wall_s": 1.0},
+            "too_fast": {"calls": 1000,
+                         "self_wall_s": MIN_PHASE_SELF_S / 2},
+            "never_called": {"calls": 0, "self_wall_s": 1.0},
+        })
+        assert rates == {"phase/hot": 1000.0}
+
+    def test_phase_collapse_gates_like_a_speedup(self, tmp_path):
+        phases_old = {"session": {"calls": 1000, "self_wall_s": 1.0}}
+        phases_new = {"session": {"calls": 1000, "self_wall_s": 10.0}}
+        old = _write(tmp_path / "old.json", _v3({}, phases=phases_old))
+        new = _write(tmp_path / "new.json", _v3({}, phases=phases_new))
+        rows = compare_pair(old, new, tolerance=0.2)
+        assert [row.bench for row in rows] == ["phase/session"]
+        assert rows[0].regressed is True
+        assert main([old, new]) == 1
+
+    def test_phase_keys_vacuous_against_pre_v3_files(self, tmp_path):
+        old = _write(tmp_path / "old.json", _v2({"tiny/x": 10.0}))
+        new = _write(tmp_path / "new.json", _v3(
+            {"tiny/x": 10.0},
+            phases={"session": {"calls": 10, "self_wall_s": 1.0}}))
+        rows = compare_pair(old, new, tolerance=0.2)
+        assert [row.bench for row in rows] == ["tiny/x"]
+        assert main([old, new]) == 0
 
 
 class TestComparison:
@@ -122,8 +174,75 @@ class TestMain:
         """The gate CI actually runs: the committed BENCH_* files must
         stay comparable under the loose cross-machine tolerance."""
         files = ["BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json",
-                 "BENCH_PR6.json"]
+                 "BENCH_PR6.json", "BENCH_PR8.json"]
         assert main(files + ["--tolerance", "0.6"]) == 0
+
+
+class TestHostWarnings:
+    """Cross-host trajectory entries warn (satellite: the ratios are
+    host-relative) but never fail the gate."""
+
+    def test_same_host_no_warnings(self, tmp_path):
+        paths = [
+            _write(tmp_path / "1.json", _v3({"a": 1.0}, host=_host())),
+            _write(tmp_path / "2.json", _v3({"a": 1.0}, host=_host())),
+        ]
+        assert host_warnings(paths) == []
+
+    def test_cpu_count_change_warns(self, tmp_path):
+        paths = [
+            _write(tmp_path / "1.json",
+                   _v3({"a": 1.0}, host=_host(cpus=1))),
+            _write(tmp_path / "2.json",
+                   _v3({"a": 1.0}, host=_host(cpus=16))),
+        ]
+        warnings = host_warnings(paths)
+        assert len(warnings) == 1
+        assert "different hosts" in warnings[0]
+        assert "cpus" in warnings[0]
+
+    def test_platform_change_warns_once_per_pair(self, tmp_path):
+        paths = [
+            _write(tmp_path / "1.json", _v3(
+                {"a": 1.0}, host=_host(cpus=1, platform="Linux-arm"))),
+            _write(tmp_path / "2.json", _v3(
+                {"a": 1.0}, host=_host(cpus=8, platform="Darwin"))),
+        ]
+        assert len(host_warnings(paths)) == 1
+
+    def test_missing_fingerprint_on_one_side_warns(self, tmp_path):
+        paths = [
+            _write(tmp_path / "1.json", _v2({"a": 1.0})),
+            _write(tmp_path / "2.json", _v3({"a": 1.0}, host=_host())),
+        ]
+        warnings = host_warnings(paths)
+        assert len(warnings) == 1
+        assert "no host fingerprint" in warnings[0]
+        assert "1.json" in warnings[0]
+
+    def test_pre_v3_trajectory_stays_silent(self, tmp_path):
+        paths = [
+            _write(tmp_path / "1.json", _v2({"a": 1.0})),
+            _write(tmp_path / "2.json", _v2({"a": 1.0})),
+        ]
+        assert host_warnings(paths) == []
+
+    def test_warnings_are_non_fatal_and_reported(self, tmp_path, capsys):
+        old = _write(tmp_path / "old.json",
+                     _v3({"a": 1.0}, host=_host(cpus=1)))
+        new = _write(tmp_path / "new.json",
+                     _v3({"a": 1.0}, host=_host(cpus=64)))
+        assert main([old, new]) == 0
+        assert "warning:" in capsys.readouterr().out
+
+    def test_json_format_carries_warnings(self, tmp_path, capsys):
+        old = _write(tmp_path / "old.json",
+                     _v3({"a": 1.0}, host=_host(cpus=1)))
+        new = _write(tmp_path / "new.json",
+                     _v3({"a": 1.0}, host=_host(cpus=64)))
+        assert main([old, new, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["warnings"]) == 1
 
 
 class TestNewBenches:

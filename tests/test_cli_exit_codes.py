@@ -142,3 +142,69 @@ class TestTrafficValidation:
         code, out, _ = _run(["soak", "--help"])
         assert code == 0
         assert "--surge" in out
+
+
+class TestProfileValidation:
+    """``python -m repro profile`` and every ``--profile`` flag join
+    the usage-error contract: unknown scenarios, malformed profiler
+    configs, and bad formats all exit 2 before any world is built."""
+
+    def test_profile_is_registered(self):
+        assert _SUBCOMMANDS["profile"][0] == "repro.obs.profile"
+
+    def test_unknown_scenario_exits_two(self):
+        code, _, err = _run(["profile", "galactic"])
+        assert code == 2
+        assert "unknown scenario" in err
+
+    @pytest.mark.parametrize("value", [
+        "not json",
+        "[1, 2]",                       # array, not an object
+        '{"hotspotz": 3}',              # unknown field
+        '{"hotspots": "many"}',         # non-integer value
+        '{"max_depth": 0}',             # out of range
+        '{"hotspots": 0}',
+    ], ids=["not-json", "not-an-object", "unknown-field",
+            "non-integer", "bad-max-depth", "bad-hotspots"])
+    def test_profile_cli_rejects_malformed_config(self, value):
+        code, _, err = _run(["profile", "tiny", "--profile", value])
+        assert code == 2
+        assert "bad profile config" in err
+
+    @pytest.mark.parametrize("value", ["not json", '{"hotspotz": 1}',
+                                       '{"max_depth": -2}'])
+    def test_sim_rollout_rejects_malformed_profile(self, value):
+        code, _, err = _run(["sim", "rollout", "--profile", value])
+        assert code == 2
+        assert "bad profile config" in err
+
+    @pytest.mark.parametrize("value", ["not json", '{"hotspots": 0}'])
+    def test_dump_rejects_malformed_profile(self, value):
+        code, _, err = _run(["dump", "--profile", value])
+        assert code == 2
+        assert "bad profile config" in err
+
+    def test_bad_format_exits_two(self):
+        code, _, err = _run(["profile", "tiny", "--format", "svg"])
+        assert code == 2
+        assert "invalid choice" in err
+
+    @pytest.mark.parametrize("value", ["0", "-2", "abc"])
+    def test_bad_workers_exit_two(self, value):
+        code, _, err = _run(["profile", "tiny", "--workers", value])
+        assert code == 2
+        assert "positive integer" in err
+
+    def test_profile_flags_are_advertised(self):
+        code, out, _ = _run(["profile", "--help"])
+        assert code == 0
+        for flag in ("--workers", "--shards", "--sessions",
+                     "--profile", "--format", "--out"):
+            assert flag in out, flag
+        assert "collapsed" in out
+        code, out, _ = _run(["sim", "rollout", "--help"])
+        assert code == 0
+        assert "--profile" in out
+        code, out, _ = _run(["dump", "--help"])
+        assert code == 0
+        assert "--profile" in out

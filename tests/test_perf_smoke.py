@@ -1,9 +1,9 @@
 """Perf-harness smoke tests: BENCH_*.json schema and observability.
 
 Runs the kernel microbenchmarks at a tiny size and asserts the
-``bench/v2`` document shape: schema tag, bench rows with positive
-timings, paired speedup fields, and a registry/trace section populated
-by the run.
+``bench/v3`` document shape: schema tag, bench rows with positive
+timings, paired speedup fields, the host fingerprint, the per-phase
+breakdown, and a registry/trace section populated by the run.
 """
 
 import json
@@ -28,9 +28,27 @@ def payload():
 
 class TestBenchSchema:
     def test_schema_tag_and_sections(self, payload):
-        assert payload["schema"] == SCHEMA == "bench/v2"
+        assert payload["schema"] == SCHEMA == "bench/v3"
         assert set(payload) == {"schema", "benches", "speedups",
-                                "metrics", "traces"}
+                                "host", "phases", "metrics", "traces"}
+
+    def test_host_fingerprint_recorded(self, payload):
+        host = payload["host"]
+        assert {"cpus", "cpus_available", "platform",
+                "python"} <= set(host)
+        assert host["cpus"] >= 1
+
+    def test_phase_breakdown_covers_every_bench(self, payload):
+        # One leaf phase per bench, keyed "<scale>;<bench name>", with
+        # the bench's elementary-call count as its work counter.
+        leaves = {key: row for key, row in payload["phases"].items()
+                  if ";" in key}
+        assert set(leaves) == {
+            name.replace("/", ";") for name in payload["benches"]}
+        for key, row in leaves.items():
+            assert row["calls"] == 1, key
+            bench = payload["benches"][key.replace(";", "/", 1)]
+            assert row["work"]["calls"] == bench["calls"], key
 
     def test_bench_rows_have_required_keys(self, payload):
         assert payload["benches"], "no benches recorded"

@@ -3,6 +3,7 @@
 import json
 
 from repro.bench.shard_scaling import (
+    attribution_pass,
     build_payload,
     host_fingerprint,
     run_curve,
@@ -20,7 +21,7 @@ class TestPayload:
     def test_schema_and_scaling_ratios(self):
         payload = build_payload({1: _row(1, 10.0), 2: _row(2, 5.0),
                                  4: _row(4, 4.0)})
-        assert payload["schema"] == "bench/v2"
+        assert payload["schema"] == "bench/v3"
         assert sorted(payload["benches"]) == [
             "large/shard_day_loop_w1", "large/shard_day_loop_w2",
             "large/shard_day_loop_w4"]
@@ -31,6 +32,18 @@ class TestPayload:
     def test_no_serial_baseline_means_no_ratios(self):
         payload = build_payload({2: _row(2, 5.0)})
         assert payload["speedups"] == {}
+
+    def test_attribution_section_merges_into_payload(self):
+        attribution = {"phases": {"shard.plan": {"calls": 1}},
+                       "hotspots": [{"phase": "x"}]}
+        payload = build_payload({1: _row(1, 10.0)}, attribution)
+        assert payload["phases"] == attribution["phases"]
+        assert payload["hotspots"] == attribution["hotspots"]
+
+    def test_no_profile_omits_attribution_keys(self):
+        payload = build_payload({1: _row(1, 10.0)}, None)
+        assert "phases" not in payload
+        assert "hotspots" not in payload
 
     def test_scaling_spec_defaults_to_the_large_scale(self):
         spec = scaling_spec()
@@ -49,6 +62,17 @@ class TestSmoke:
         assert curve[1]["wall_s"] > 0
         assert curve[1]["n_shards"] == 4
 
+    def test_attribution_pass_names_engine_phases(self):
+        attribution = attribution_pass(scaling_spec(64), n_shards=4,
+                                       hotspots=5)
+        assert "shard.execute" in attribution["phases"]
+        assert any(key.endswith("rollout.day")
+                   for key in attribution["phases"])
+        assert len(attribution["hotspots"]) == 5
+        names = {row["phase"] for row in attribution["hotspots"]}
+        assert names & {"world.build", "session", "dns.recursive",
+                        "mapping.decide", "rollout.day"}
+
 
 class TestCheckedInSnapshot:
     def test_bench_pr6_records_the_large_curve(self):
@@ -61,3 +85,24 @@ class TestCheckedInSnapshot:
         for workers in (2, 4):
             assert f"large/shard_day_loop_w{workers}" in doc["benches"]
             assert f"large/shard_scaling_w{workers}" in doc["speedups"]
+
+    def test_bench_pr8_carries_phase_attribution(self):
+        """The PR8 snapshot is the first bench/v3 entry: the scaling
+        curve plus a profiled attribution pass.  The acceptance bar is
+        that its hotspot table *names* the top self-time phases of the
+        large scale, so drift here means the attribution broke."""
+        with open("BENCH_PR8.json") as handle:
+            doc = json.load(handle)
+        assert doc["schema"] == "bench/v3"
+        assert {"cpus", "cpus_available", "platform",
+                "python"} <= set(doc["host"])
+        assert "shard.execute" in doc["phases"]
+        assert any(key.endswith("rollout.day") for key in doc["phases"])
+        top = [row["phase"] for row in doc["hotspots"][:3]]
+        assert len(top) == 3
+        assert set(top) <= {row["phase"] for row in doc["hotspots"]}
+        # The big self-time sinks must be engine phases, not the
+        # coordination scaffolding.
+        assert set(top) & {"world.build", "session", "dns.recursive",
+                           "dns.stub", "mapping.decide", "rollout.day",
+                           "scorer.score_targets", "shard.merge"}
