@@ -11,12 +11,7 @@ Walks the paper's mapping-unit math against a synthetic Internet:
 Run:  python examples/mapping_unit_planner.py
 """
 
-from repro.core.mapunits import (
-    build_block_units,
-    build_ldns_units,
-    merge_units_by_cidr,
-    units_needed_for_share,
-)
+from repro.core.units import build_units, units_needed_for_share
 from repro.analysis.stats import weighted_quantile
 from repro.topology import InternetConfig, build_internet
 
@@ -27,8 +22,8 @@ def main():
     print(f"  {len(internet.blocks)} /24 client blocks, "
           f"{len(internet.resolvers)} LDNS deployments\n")
 
-    ldns_units = build_ldns_units(internet)
-    block_units = build_block_units(internet, 24)
+    ldns_units = build_units("ldns", internet)
+    block_units = build_units("block", internet, prefix_len=24)
 
     print("== Figure 21: units needed to cover demand ==")
     print(f"{'coverage':>10} {'LDNS units':>12} {'/24 units':>12} "
@@ -45,7 +40,7 @@ def main():
     print(f"{'prefix':>7} {'units':>8} {'median radius (mi)':>20} "
           f"{'share <= 100 mi':>16}")
     for x in (8, 12, 16, 20, 24):
-        units = build_block_units(internet, x)
+        units = build_units("block", internet, prefix_len=x)
         radii = [u.radius_miles() for u in units]
         weights = [u.demand for u in units]
         p50 = weighted_quantile(radii, weights, 0.5)
@@ -53,7 +48,7 @@ def main():
         print(f"{'/' + str(x):>7} {len(units):>8} {p50:>20.1f} "
               f"{tight / sum(weights):>15.1%}")
 
-    merged = merge_units_by_cidr(internet, 24)
+    merged = build_units("bgp_merged", internet, prefix_len=24)
     print(f"\n== BGP-CIDR merge ==")
     print(f"  {len(block_units)} /24 units -> {len(merged)} merged "
           f"units ({len(block_units) / len(merged):.1f}x reduction; "

@@ -44,6 +44,9 @@ _SUBCOMMANDS = {
     "load_tradeoff": ("repro.experiments.load_tradeoff",
                       "flash crowd: distance-only vs load-aware "
                       "mapping"),
+    "unit_scaling": ("repro.experiments.unit_scaling",
+                     "unit count vs accuracy vs query rate across "
+                     "unit-construction schemes"),
     "profile": ("repro.obs.profile",
                 "engine self-profile: phase tree, flamegraph stacks, "
                 "hotspots"),

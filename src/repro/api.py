@@ -81,6 +81,13 @@ class ScenarioSpec:
     """Opt into the split control plane: maps are compiled/published
     periodically and the name-server path reads them through the
     age-bounded degradation ladder.  None keeps per-query scoring."""
+    unit_scheme: Optional[str] = None
+    """Unit-construction scheme for the published map (requires
+    ``control_plane``): a registered :mod:`repro.core.units` scheme
+    name, optionally ``routing_aware:<k>``.  The map compiles one
+    ``ru:<unit key>`` entry per unit instead of the per-/24 ``eu:``
+    table.  None keeps the classic compile, pinning every existing
+    golden fixture."""
     monitor: bool = True
     """Attach a :class:`~repro.obs.monitor.RolloutMonitor` observer."""
     monitor_rules: Optional[List] = None
@@ -102,6 +109,15 @@ class ScenarioSpec:
     disabled profiler -- a pure no-op, so every unprofiled output
     stays byte-identical."""
 
+    def __post_init__(self) -> None:
+        if self.unit_scheme is not None:
+            if self.control_plane is None:
+                raise ValueError(
+                    "unit_scheme requires a control plane: units only "
+                    "exist in the published map (set control_plane)")
+            from repro.core.units import parse_unit_scheme
+            parse_unit_scheme(self.unit_scheme)
+
     def describe(self) -> Dict:
         """Deterministic scenario metadata for monitor reports."""
         doc = {
@@ -113,6 +129,8 @@ class ScenarioSpec:
             doc["faults"] = len(self.faults)
         if self.control_plane is not None:
             doc["control_plane"] = True
+        if self.unit_scheme is not None:
+            doc["unit_scheme"] = self.unit_scheme
         if self.traffic:
             doc["traffic"] = len(self.traffic)
         if self.load_feedback is not None:
@@ -140,6 +158,7 @@ class ScenarioSpec:
                 "serialize; use the default rules for portable specs")
         doc: Dict = {
             "schema": _SCHEMA,
+            "schema_version": _SCHEMA_VERSION,
             "world": _world_to_dict(self.world),
             "rollout": _rollout_to_dict(self.rollout),
             "monitor": self.monitor,
@@ -148,6 +167,8 @@ class ScenarioSpec:
             doc["faults"] = self.faults.to_dict()
         if self.control_plane is not None:
             doc["control_plane"] = dataclasses.asdict(self.control_plane)
+        if self.unit_scheme is not None:
+            doc["unit_scheme"] = self.unit_scheme
         if self.traffic:
             doc["traffic"] = self.traffic.to_dict()
         if self.load_feedback is not None:
@@ -171,8 +192,17 @@ class ScenarioSpec:
         schema = doc.get("schema", _SCHEMA)
         if schema != _SCHEMA:
             raise ValueError(f"unsupported scenario schema: {schema!r}")
-        known = {"schema", "world", "rollout", "monitor", "faults",
-                 "control_plane", "traffic", "load_feedback", "profile"}
+        # Missing version means a pre-versioning v1 document; anything
+        # other than the one supported version is a hard parse error so
+        # future-format specs cannot silently round-trip corrupted.
+        version = doc.get("schema_version", _SCHEMA_VERSION)
+        if version != _SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported scenario schema_version: {version!r} "
+                f"(this build reads version {_SCHEMA_VERSION})")
+        known = {"schema", "schema_version", "world", "rollout",
+                 "monitor", "faults", "control_plane", "unit_scheme",
+                 "traffic", "load_feedback", "profile"}
         unknown = set(doc) - known
         if unknown:
             raise ValueError(
@@ -189,6 +219,8 @@ class ScenarioSpec:
         if "control_plane" in doc:
             kwargs["control_plane"] = MapMakerConfig(
                 **doc["control_plane"])
+        if "unit_scheme" in doc:
+            kwargs["unit_scheme"] = doc["unit_scheme"]
         if "traffic" in doc:
             kwargs["traffic"] = TrafficSchedule.from_dict(doc["traffic"])
         if "load_feedback" in doc:
@@ -204,6 +236,7 @@ class ScenarioSpec:
 
 
 _SCHEMA = "scenario/v1"
+_SCHEMA_VERSION = 1
 
 #: Scalar config fields serialized verbatim (dates handled separately).
 _INTERNET_FIELDS = (
@@ -310,10 +343,12 @@ class ScenarioRun:
 
 def build_world(config: Optional[WorldConfig] = None,
                 policy: Optional[MappingPolicy] = None,
-                control_plane: Optional[MapMakerConfig] = None) -> World:
+                control_plane: Optional[MapMakerConfig] = None,
+                unit_scheme: Optional[str] = None) -> World:
     """Build and wire a complete world (canonical spelling)."""
     return _build_world(config=config, policy=policy,
-                        control_plane=control_plane)
+                        control_plane=control_plane,
+                        unit_scheme=unit_scheme)
 
 
 def _monitor_for_spec(spec: ScenarioSpec) -> RolloutMonitor:
@@ -362,6 +397,8 @@ def run_rollout(world: World,
         rollout=config or RolloutConfig(),
         control_plane=(world.control_plane.config
                        if world.control_plane is not None else None),
+        unit_scheme=(getattr(world.control_plane, "unit_scheme", None)
+                     if world.control_plane is not None else None),
         monitor=False,
     )
     sharded = run_sharded(spec, workers=workers,
@@ -390,6 +427,7 @@ def run(spec: Optional[ScenarioSpec] = None,
                 if spec.profile is not None else None)
     world = _build_world(config=spec.world, policy=spec.policy,
                          control_plane=spec.control_plane,
+                         unit_scheme=spec.unit_scheme,
                          load_feedback=spec.load_feedback,
                          profiler=profiler)
     injector = (FaultInjector(world, spec.faults)

@@ -16,8 +16,10 @@ Mirrors the three-component architecture of Figure 3:
 The three request-routing policies of Section 6 are in
 :mod:`repro.core.policies`: NS-based (Equation 1), end-user mapping
 (Equation 2), and client-aware NS-based (CANS).  Mapping units --
-per-LDNS, /x client blocks, BGP-CIDR-merged -- are in
-:mod:`repro.core.mapunits` (Section 5.1).
+per-LDNS, /x client blocks, BGP-CIDR-merged, per-/24 geo+AS, and
+routing-aware clusters -- are built by the pluggable ``UnitBuilder``
+registry in :mod:`repro.core.units` (Section 5.1;
+:mod:`repro.core.mapunits` remains as a deprecated shim).
 """
 
 from repro.core.discovery import CandidateIndex, nearest_cluster
@@ -27,11 +29,20 @@ from repro.core.loadbalancer import (
     LocalLoadBalancer,
 )
 from repro.core.mapunits import (
-    MapUnit,
-    MapUnitScheme,
     build_block_units,
     build_ldns_units,
     merge_units_by_cidr,
+)
+from repro.core.units import (
+    MapUnit,
+    MapUnitScheme,
+    UnitBuilder,
+    available_schemes,
+    build_unit_index,
+    build_units,
+    get_builder,
+    parse_unit_scheme,
+    register_builder,
 )
 from repro.core.measurement import (
     MeasurementService,
@@ -85,8 +96,15 @@ __all__ = [
     "Scorer",
     "ScoringWeights",
     "TrafficClass",
+    "UnitBuilder",
+    "available_schemes",
     "build_block_units",
     "build_ldns_units",
     "build_ping_targets",
+    "build_unit_index",
+    "build_units",
+    "get_builder",
     "merge_units_by_cidr",
+    "parse_unit_scheme",
+    "register_builder",
 ]

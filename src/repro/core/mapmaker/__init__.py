@@ -22,6 +22,7 @@ from repro.core.mapmaker.service import (
     MapMakerConfig,
     MapPublicationService,
     TIERS,
+    UNIT_TIERS,
 )
 
 __all__ = [
@@ -31,5 +32,6 @@ __all__ = [
     "PublishedMap",
     "StaticGeoMap",
     "TIERS",
+    "UNIT_TIERS",
     "compile_entries",
 ]

@@ -36,7 +36,8 @@ ROLE_STANDBY = "standby"
 
 def compile_entries(deployments, scorer, internet,
                     top_clusters: int = 8,
-                    max_eu_units: int = 8192) -> MapEntries:
+                    max_eu_units: int = 8192,
+                    units=None) -> MapEntries:
     """Compile the full published-map table in one matrix pass.
 
     Units are every geolocatable client /24 (``eu:`` keys, heaviest
@@ -44,22 +45,38 @@ def compile_entries(deployments, scorer, internet,
     Rankings reproduce the scalar path's ``(score, cluster_id)`` order
     exactly: live clusters are pre-sorted by id and the per-column
     argsort is stable.
+
+    When a pre-built mapping-unit list is supplied (``units``, from a
+    :mod:`repro.core.units` builder), the per-/24 ``eu:`` table is
+    replaced by one ``ru:<unit key>`` entry per unit -- scored at the
+    unit's demand-weighted centroid and dominant AS -- capped at the
+    heaviest ``max_eu_units`` units by demand.  The ``ns:`` table is
+    compiled either way.
     """
     geodb = internet.geodb
     keys: List[str] = []
     targets: List[MapTarget] = []
 
-    blocks = list(internet.blocks)
-    if len(blocks) > max_eu_units:
-        blocks.sort(key=lambda b: (-getattr(b, "demand", 0.0),
-                                   str(b.prefix)))
-        blocks = blocks[:max_eu_units]
-    for block in blocks:
-        record = geodb.lookup_prefix(block.prefix)
-        if record is None:
-            continue
-        keys.append(f"eu:{block.prefix}")
-        targets.append(MapTarget(geo=record.geo, asn=record.asn))
+    if units is not None:
+        ranked = sorted(units, key=lambda u: (-u.demand, u.key))
+        for unit in ranked[:max_eu_units]:
+            if not unit.members:
+                continue
+            keys.append(f"ru:{unit.key}")
+            asn = unit.asn if unit.asn is not None else -1
+            targets.append(MapTarget(geo=unit.centroid(), asn=asn))
+    else:
+        blocks = list(internet.blocks)
+        if len(blocks) > max_eu_units:
+            blocks.sort(key=lambda b: (-getattr(b, "demand", 0.0),
+                                       str(b.prefix)))
+            blocks = blocks[:max_eu_units]
+        for block in blocks:
+            record = geodb.lookup_prefix(block.prefix)
+            if record is None:
+                continue
+            keys.append(f"eu:{block.prefix}")
+            targets.append(MapTarget(geo=record.geo, asn=record.asn))
 
     for resolver_id in sorted(internet.resolvers):
         meta = internet.resolvers[resolver_id]

@@ -40,6 +40,11 @@ from repro.obs import NOOP, Observability
 TIERS: Tuple[str, ...] = (
     "fresh_eu", "stale_eu", "ns", "ns_fallback", "static_geo")
 
+#: Extra ladder tiers when a routing-aware/custom unit scheme is
+#: active: ``ru:`` answers occupy the same rungs as ``eu:`` ones but
+#: are counted apart so experiments can see unit-path engagement.
+UNIT_TIERS: Tuple[str, ...] = ("fresh_ru", "stale_ru")
+
 
 @dataclass(frozen=True)
 class MapMakerConfig:
@@ -80,12 +85,28 @@ class MapPublicationService:
     """The live control plane wired into one world."""
 
     def __init__(self, config: MapMakerConfig, deployments, scorer,
-                 internet, obs: Optional[Observability] = None) -> None:
+                 internet, obs: Optional[Observability] = None,
+                 unit_scheme: Optional[str] = None) -> None:
         self.config = config
         self.deployments = deployments
         self.scorer = scorer
         self.internet = internet
         self.obs = obs if obs is not None else NOOP
+        self.unit_scheme = unit_scheme
+        self.units = None
+        self._unit_index: dict = {}
+        self._unit_stats: dict = {}
+        if unit_scheme is not None:
+            # The generated Internet is static for a run, so the unit
+            # partition is built once and every publication compiles
+            # over it; determinism rides on the builder seeding off
+            # ``internet.seed`` alone.
+            from repro.core import units as unit_api
+            name, params = unit_api.parse_unit_scheme(unit_scheme)
+            builder = unit_api.get_builder(name)
+            self.units = builder.build(internet, **params)
+            self._unit_index = builder.index(internet, self.units)
+            self._unit_stats = unit_api.cohesion_stats(self.units)
         self.makers: List[MapMaker] = [
             MapMaker("mapmaker-0", ROLE_PRIMARY),
             MapMaker("mapmaker-1", ROLE_STANDBY),
@@ -125,7 +146,8 @@ class MapPublicationService:
             entries = compile_entries(
                 self.deployments, self.scorer, self.internet,
                 top_clusters=self.config.top_clusters,
-                max_eu_units=self.config.max_eu_units)
+                max_eu_units=self.config.max_eu_units,
+                units=self.units)
             profiler.count("entries", len(entries))
         with profiler.phase("mapmaker.publish"):
             return self._publish(maker, day, entries)
@@ -188,6 +210,16 @@ class MapPublicationService:
                        merge="max").set(self.maps_rejected)
         registry.gauge("mapmaker.makers_healthy", merge="max").set(
             sum(1 for m in self.makers if m.healthy))
+        if self.units is not None:
+            # Unit-scheme gauges only exist when a scheme is active so
+            # legacy control-plane snapshots stay byte-identical.
+            registry.gauge("units.total",
+                           merge="max").set(len(self.units))
+            registry.gauge("units.cohesion_miles_mean", merge="max").set(
+                self._unit_stats.get("radius_miles", 0.0))
+            if "rtt_ms" in self._unit_stats:
+                registry.gauge("units.cohesion_rtt_ms_mean",
+                               merge="max").set(self._unit_stats["rtt_ms"])
 
     def map_age(self, day: int) -> int:
         return self.current.age(day)
@@ -208,8 +240,11 @@ class MapPublicationService:
         if eu_key is not None and age <= config.stale_age_days:
             ids = current.lookup(eu_key)
             if ids:
-                tier = ("fresh_eu" if age <= config.fresh_age_days
-                        else "stale_eu")
+                fresh = age <= config.fresh_age_days
+                if eu_key.startswith("ru:"):
+                    tier = "fresh_ru" if fresh else "stale_ru"
+                else:
+                    tier = "fresh_eu" if fresh else "stale_eu"
                 return ids, tier
         if age <= config.ns_age_days:
             ids = current.lookup(ns_key)
@@ -217,12 +252,23 @@ class MapPublicationService:
                 return ids, ("ns" if eu_key is None else "ns_fallback")
         return (), "static_geo"
 
+    def unit_key_for(self, prefix) -> Optional[str]:
+        """Unit key owning one client /24, when a scheme is active.
+
+        ``None`` sends the read path down the classic ``eu:<prefix>``
+        route; :meth:`MappingSystem._pick_published` duck-types this
+        method, so plain fakes without it keep working.
+        """
+        if self.units is None:
+            return None
+        return self._unit_index.get(str(prefix))
+
     def static_ranking(self, geo) -> List:
         """Bottom rung: live clusters by great-circle distance."""
         return self.static_map.rank(geo)
 
     def describe(self) -> dict:
-        return {
+        out = {
             "map_version": self.current.version,
             "published_day": self.current.published_day,
             "entries": len(self.current),
@@ -231,3 +277,7 @@ class MapPublicationService:
             "maps_rejected": self.maps_rejected,
             "makers": [m.describe() for m in self.makers],
         }
+        if self.units is not None:
+            out["unit_scheme"] = self.unit_scheme
+            out["units"] = dict(self._unit_stats)
+        return out

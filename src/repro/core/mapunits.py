@@ -1,139 +1,60 @@
-"""Mapping units: the granularity of server-assignment decisions.
+"""Deprecated shim over :mod:`repro.core.units`.
 
-Paper Section 5.1: "a mapping unit is the finest-grain set of client
-IPs for which server assignment decisions are made".  NS-based mapping
-uses one unit per LDNS; end-user mapping uses /x client blocks, with
-x <= 24; BGP CIDR merging collapses /24 blocks that share a routed
-CIDR into one unit (3.76M -> 444K in the paper's data).
-
-These constructions feed Figures 21 and 22 directly: unit counts,
-demand concentration, and cluster radii per choice of /x.
+The mapping-unit data model and construction strategies moved to the
+pluggable :mod:`repro.core.units` package (``UnitBuilder`` registry).
+This module re-exports the data model and keeps the old construction
+functions as thin delegating wrappers that warn at call time -- same
+pattern as the ``repro.simulation`` shims.  New code should import
+from ``repro.core.units``.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+import warnings
+from typing import List
 
-import numpy as np
-
-from repro.net import batch
-from repro.net.geometry import GeoPoint
-from repro.net.ipv4 import Prefix
+from repro.core.units import (  # noqa: F401  (re-exported data model)
+    MapUnit,
+    MapUnitScheme,
+    demand_coverage_curve,
+    units_needed_for_share,
+    build_units,
+)
 from repro.topology.internet import Internet
 
+__all__ = [
+    "MapUnit",
+    "MapUnitScheme",
+    "build_ldns_units",
+    "build_block_units",
+    "merge_units_by_cidr",
+    "demand_coverage_curve",
+    "units_needed_for_share",
+]
 
-class MapUnitScheme(enum.Enum):
-    LDNS = "ldns"
-    BLOCK = "block"
-    BGP_MERGED = "bgp_merged"
 
-
-@dataclass
-class MapUnit:
-    """One mapping unit: key, demand, and member client locations."""
-
-    key: str
-    scheme: MapUnitScheme
-    demand: float = 0.0
-    members: List[Tuple[GeoPoint, float]] = field(default_factory=list)
-
-    def add(self, geo: GeoPoint, demand: float) -> None:
-        self.members.append((geo, demand))
-        self.demand += demand
-
-    def radius_miles(self) -> float:
-        """Demand-weighted cluster radius (paper Section 3.3 metric)."""
-        if not self.members:
-            raise ValueError(f"unit {self.key} has no members")
-        lats, lons = batch.geo_columns([geo for geo, _ in self.members])
-        weights = np.fromiter((w for _, w in self.members), dtype=float,
-                              count=len(self.members))
-        return batch.cluster_radius_miles_arrays(lats, lons, weights)
+def _warn(old: str, scheme: str) -> None:
+    warnings.warn(
+        f"repro.core.mapunits.{old} is deprecated; use the "
+        f"repro.core.units registry (build_units({scheme!r}, ...))",
+        DeprecationWarning, stacklevel=3)
 
 
 def build_ldns_units(internet: Internet) -> List[MapUnit]:
-    """One unit per LDNS: the NS-based mapping granularity."""
-    units: Dict[str, MapUnit] = {}
-    for block in internet.blocks:
-        for resolver_id, weight in block.ldns:
-            unit = units.get(resolver_id)
-            if unit is None:
-                unit = MapUnit(key=resolver_id, scheme=MapUnitScheme.LDNS)
-                units[resolver_id] = unit
-            unit.add(block.geo, block.demand * weight)
-    return list(units.values())
+    """Deprecated: use ``repro.core.units.build_units("ldns", ...)``."""
+    _warn("build_ldns_units", "ldns")
+    return build_units("ldns", internet)
 
 
 def build_block_units(internet: Internet,
                       prefix_len: int = 24) -> List[MapUnit]:
-    """/x client-block units: the end-user mapping granularity.
-
-    ``prefix_len`` sweeps the Figure 22 trade-off: smaller x -> fewer,
-    geographically larger units.
-    """
-    if not 1 <= prefix_len <= 24:
-        raise ValueError(f"prefix length out of range: {prefix_len}")
-    units: Dict[Prefix, MapUnit] = {}
-    for block in internet.blocks:
-        super_prefix = block.prefix.supernet(prefix_len)
-        unit = units.get(super_prefix)
-        if unit is None:
-            unit = MapUnit(key=str(super_prefix),
-                           scheme=MapUnitScheme.BLOCK)
-            units[super_prefix] = unit
-        unit.add(block.geo, block.demand)
-    return list(units.values())
+    """Deprecated: use ``repro.core.units.build_units("block", ...)``."""
+    _warn("build_block_units", "block")
+    return build_units("block", internet, prefix_len=prefix_len)
 
 
 def merge_units_by_cidr(internet: Internet,
                         prefix_len: int = 24) -> List[MapUnit]:
-    """Merge /x units that fall inside one routed BGP CIDR.
-
-    Blocks inside the same announced CIDR "are likely proximal in the
-    network sense" and can share one mapping decision.  Blocks whose
-    covering CIDR is unknown stay as standalone units.
-    """
-    units: Dict[str, MapUnit] = {}
-    for block in internet.blocks:
-        sub = block.prefix.supernet(min(prefix_len, block.prefix.length))
-        cidr = internet.bgp.covering_cidr(block.prefix)
-        if cidr is not None and cidr.length <= prefix_len:
-            key = f"cidr:{cidr}"
-        else:
-            key = f"block:{sub}"
-        unit = units.get(key)
-        if unit is None:
-            unit = MapUnit(key=key, scheme=MapUnitScheme.BGP_MERGED)
-            units[key] = unit
-        unit.add(block.geo, block.demand)
-    return list(units.values())
-
-
-def demand_coverage_curve(units: List[MapUnit]) -> List[Tuple[int, float]]:
-    """(units used, cumulative demand share) sorted by demand descending.
-
-    Figure 21 plots exactly this: how many units must be measured and
-    analyzed to cover a given fraction of global demand.
-    """
-    total = sum(unit.demand for unit in units)
-    if total <= 0:
-        raise ValueError("units carry no demand")
-    ranked = sorted(units, key=lambda u: u.demand, reverse=True)
-    curve = []
-    acc = 0.0
-    for index, unit in enumerate(ranked, start=1):
-        acc += unit.demand
-        curve.append((index, acc / total))
-    return curve
-
-
-def units_needed_for_share(units: List[MapUnit], share: float) -> int:
-    """Smallest number of top-demand units covering ``share`` demand."""
-    if not 0 < share <= 1:
-        raise ValueError(f"share must be in (0, 1]: {share}")
-    for count, covered in demand_coverage_curve(units):
-        if covered >= share:
-            return count
-    return len(units)
+    """Deprecated: use ``build_units("bgp_merged", ...)``."""
+    _warn("merge_units_by_cidr", "bgp_merged")
+    return build_units("bgp_merged", internet, prefix_len=prefix_len)

@@ -226,8 +226,17 @@ class MappingSystem:
         clusters dead -- the static geo map answers.
         """
         day = int(now // 86400.0)
-        eu_key = (f"eu:{context.ecs.prefix}" if context.ecs is not None
-                  else None)
+        eu_key = None
+        if context.ecs is not None:
+            # A control plane running a unit scheme resolves the client
+            # prefix to its ``ru:`` unit entry; duck-typed (fakes
+            # without ``unit_key_for`` take the classic ``eu:`` route).
+            keyer = getattr(self.control_plane, "unit_key_for", None)
+            unit_key = keyer(context.ecs.prefix) if keyer else None
+            if unit_key is not None:
+                eu_key = f"ru:{unit_key}"
+            else:
+                eu_key = f"eu:{context.ecs.prefix}"
         ns_key = f"ns:{context.ldns_ip}"
         ids, tier = self.control_plane.lookup(eu_key, ns_key, day)
         ranked = []

@@ -1,0 +1,139 @@
+"""Mapping units: the granularity of server-assignment decisions.
+
+Paper Section 5.1: "a mapping unit is the finest-grain set of client
+IPs for which server assignment decisions are made".  NS-based mapping
+uses one unit per LDNS; end-user mapping uses /x client blocks, with
+x <= 24; BGP CIDR merging collapses /24 blocks that share a routed
+CIDR into one unit (3.76M -> 444K in the paper's data).
+
+This module holds the unit *data model* and the demand-coverage
+analysis (Figures 21/22); the pluggable construction strategies live
+in :mod:`repro.core.units.builders` and
+:mod:`repro.core.units.routing`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.net import batch
+from repro.net.geometry import GeoPoint
+
+
+class MapUnitScheme(enum.Enum):
+    LDNS = "ldns"
+    BLOCK = "block"
+    BGP_MERGED = "bgp_merged"
+    GEO_AS = "geo_as"
+    ROUTING_AWARE = "routing_aware"
+
+
+@dataclass
+class MapUnit:
+    """One mapping unit: key, demand, and member client locations."""
+
+    key: str
+    scheme: MapUnitScheme
+    demand: float = 0.0
+    members: List[Tuple[GeoPoint, float]] = field(default_factory=list)
+    asn: Optional[int] = None
+    """Demand-dominant member AS: the AS half of the unit's scoring
+    target (builders that compile into published maps set this)."""
+    prefixes: List[str] = field(default_factory=list)
+    """Member /24 prefixes (as strings), recorded by builders whose
+    units index client blocks for the published-map read path."""
+    cohesion_rtt_ms: Optional[float] = None
+    """Routing-aware cohesion: demand-weighted mean RTT-feature
+    distance of members to the unit's medoid (ms).  None for purely
+    geographic constructions."""
+
+    def add(self, geo: GeoPoint, demand: float,
+            prefix: Optional[str] = None) -> None:
+        self.members.append((geo, demand))
+        self.demand += demand
+        if prefix is not None:
+            self.prefixes.append(prefix)
+        self._centroid = None
+
+    def radius_miles(self) -> float:
+        """Demand-weighted cluster radius (paper Section 3.3 metric)."""
+        if not self.members:
+            raise ValueError(f"unit {self.key} has no members")
+        lats, lons = batch.geo_columns([geo for geo, _ in self.members])
+        weights = np.fromiter((w for _, w in self.members), dtype=float,
+                              count=len(self.members))
+        return batch.cluster_radius_miles_arrays(lats, lons, weights)
+
+    _centroid: Optional[GeoPoint] = field(default=None, repr=False,
+                                          compare=False)
+
+    def centroid(self) -> GeoPoint:
+        """Demand-weighted member centroid: the geo half of the unit's
+        scoring target.  Memoized; ``add`` invalidates."""
+        if self._centroid is None:
+            if not self.members:
+                raise ValueError(f"unit {self.key} has no members")
+            lats, lons = batch.geo_columns(
+                [geo for geo, _ in self.members])
+            weights = np.fromiter(
+                (w for _, w in self.members), dtype=float,
+                count=len(self.members))
+            lat, lon = batch.weighted_centroid_arrays(lats, lons, weights)
+            self._centroid = GeoPoint(lat, lon)
+        return self._centroid
+
+
+def demand_coverage_curve(units: List[MapUnit]) -> List[Tuple[int, float]]:
+    """(units used, cumulative demand share) sorted by demand descending.
+
+    Figure 21 plots exactly this: how many units must be measured and
+    analyzed to cover a given fraction of global demand.
+    """
+    total = sum(unit.demand for unit in units)
+    if total <= 0:
+        raise ValueError("units carry no demand")
+    ranked = sorted(units, key=lambda u: u.demand, reverse=True)
+    curve = []
+    acc = 0.0
+    for index, unit in enumerate(ranked, start=1):
+        acc += unit.demand
+        curve.append((index, acc / total))
+    return curve
+
+
+def units_needed_for_share(units: List[MapUnit], share: float) -> int:
+    """Smallest number of top-demand units covering ``share`` demand."""
+    if not 0 < share <= 1:
+        raise ValueError(f"share must be in (0, 1]: {share}")
+    for count, covered in demand_coverage_curve(units):
+        if covered >= share:
+            return count
+    return len(units)
+
+
+def cohesion_stats(units: List[MapUnit]) -> dict:
+    """Aggregate per-unit cohesion over one unit set.
+
+    Returns demand-weighted means so one hot incoherent unit cannot
+    hide behind a long tail of tight singletons: ``radius_miles`` (the
+    Section 3.3 geographic radius) always, ``rtt_ms`` only when the
+    builder recorded RTT-feature cohesion (routing-aware units).
+    """
+    stats = {"units": len(units), "radius_miles": 0.0}
+    total = sum(unit.demand for unit in units)
+    if total <= 0:
+        return stats
+    stats["radius_miles"] = sum(
+        unit.demand * unit.radius_miles() for unit in units) / total
+    rtt_units = [u for u in units if u.cohesion_rtt_ms is not None]
+    if rtt_units:
+        rtt_total = sum(u.demand for u in rtt_units)
+        if rtt_total > 0:
+            stats["rtt_ms"] = sum(
+                u.demand * u.cohesion_rtt_ms for u in rtt_units
+            ) / rtt_total
+    return stats

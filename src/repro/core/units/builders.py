@@ -1,0 +1,253 @@
+"""The pluggable unit-construction layer: builders and their registry.
+
+Every way of carving the client population into mapping units is a
+:class:`UnitBuilder` strategy registered under a scheme name:
+
+========================  ==================================================
+``ldns``                  one unit per LDNS (NS-style granularity)
+``block``                 /x client blocks (``prefix_len`` sweeps Figure 22)
+``bgp_merged``            /x blocks merged by covering BGP CIDR
+``geo_as``                today's per-/24 geo+AS units -- the default
+                          strategy the map maker compiles (extracted)
+``routing_aware``         k-medoids-style clustering of blocks over
+                          batched RTT columns (ROADMAP item 3; accepts
+                          ``routing_aware:<k>`` for an explicit unit
+                          count)
+========================  ==================================================
+
+A builder produces :class:`~repro.core.units.base.MapUnit` lists and a
+*unit index* (client /24 -> unit key) so the published-map read path
+can resolve an ECS prefix to its ``ru:<unit key>`` entry.  Scheme
+strings parse through :func:`parse_unit_scheme`; only
+``routing_aware`` takes a ``:<k>`` parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.core.units.base import MapUnit, MapUnitScheme
+
+
+class UnitBuilder(Protocol):
+    """Strategy interface for one unit-construction scheme."""
+
+    scheme: str
+
+    def build(self, internet, **params) -> List[MapUnit]:
+        """Construct the unit set for one generated Internet."""
+        ...
+
+    def index(self, internet, units: List[MapUnit]) -> Dict[str, str]:
+        """Client /24 prefix (string) -> unit key, for map lookups."""
+        ...
+
+
+class _PrefixIndexMixin:
+    """Default index: read the member prefixes the builder recorded."""
+
+    def index(self, internet, units: List[MapUnit]) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for unit in units:
+            for prefix in unit.prefixes:
+                out[prefix] = unit.key
+        return out
+
+
+class LdnsUnitBuilder:
+    """One unit per LDNS: the NS-based mapping granularity."""
+
+    scheme = "ldns"
+
+    def build(self, internet) -> List[MapUnit]:
+        units: Dict[str, MapUnit] = {}
+        demand_by_asn: Dict[str, Dict[int, float]] = {}
+        for block in internet.blocks:
+            for resolver_id, weight in block.ldns:
+                unit = units.get(resolver_id)
+                if unit is None:
+                    unit = MapUnit(key=resolver_id,
+                                   scheme=MapUnitScheme.LDNS)
+                    units[resolver_id] = unit
+                    demand_by_asn[resolver_id] = {}
+                unit.add(block.geo, block.demand * weight,
+                         prefix=str(block.prefix))
+                by_asn = demand_by_asn[resolver_id]
+                by_asn[block.asn] = by_asn.get(block.asn, 0.0) + (
+                    block.demand * weight)
+        for resolver_id, unit in units.items():
+            unit.asn = _dominant_asn(demand_by_asn[resolver_id])
+        return list(units.values())
+
+    def index(self, internet, units: List[MapUnit]) -> Dict[str, str]:
+        # A block splitting its queries across two LDNSes belongs to
+        # both units; the index resolves it to the one it uses most.
+        keys = {unit.key for unit in units}
+        return {str(block.prefix): block.primary_ldns
+                for block in internet.blocks
+                if block.primary_ldns in keys}
+
+
+class BlockUnitBuilder(_PrefixIndexMixin):
+    """/x client-block units: the end-user mapping granularity.
+
+    ``prefix_len`` sweeps the Figure 22 trade-off: smaller x -> fewer,
+    geographically larger units.
+    """
+
+    scheme = "block"
+
+    def build(self, internet, prefix_len: int = 24) -> List[MapUnit]:
+        if not 1 <= prefix_len <= 24:
+            raise ValueError(f"prefix length out of range: {prefix_len}")
+        units: Dict[object, MapUnit] = {}
+        for block in internet.blocks:
+            super_prefix = block.prefix.supernet(prefix_len)
+            unit = units.get(super_prefix)
+            if unit is None:
+                unit = MapUnit(key=str(super_prefix),
+                               scheme=MapUnitScheme.BLOCK)
+                units[super_prefix] = unit
+            unit.add(block.geo, block.demand, prefix=str(block.prefix))
+        return list(units.values())
+
+
+class BgpMergedUnitBuilder(_PrefixIndexMixin):
+    """Merge /x units that fall inside one routed BGP CIDR.
+
+    Blocks inside the same announced CIDR "are likely proximal in the
+    network sense" and can share one mapping decision.  Blocks whose
+    covering CIDR is unknown stay as standalone units.
+    """
+
+    scheme = "bgp_merged"
+
+    def build(self, internet, prefix_len: int = 24) -> List[MapUnit]:
+        units: Dict[str, MapUnit] = {}
+        for block in internet.blocks:
+            sub = block.prefix.supernet(
+                min(prefix_len, block.prefix.length))
+            cidr = internet.bgp.covering_cidr(block.prefix)
+            if cidr is not None and cidr.length <= prefix_len:
+                key = f"cidr:{cidr}"
+            else:
+                key = f"block:{sub}"
+            unit = units.get(key)
+            if unit is None:
+                unit = MapUnit(key=key, scheme=MapUnitScheme.BGP_MERGED)
+                units[key] = unit
+            unit.add(block.geo, block.demand, prefix=str(block.prefix))
+        return list(units.values())
+
+
+class GeoAsUnitBuilder(_PrefixIndexMixin):
+    """Per-/24 geo+AS units: the default map-maker strategy, extracted.
+
+    One unit per client /24, carrying the block's geolocation and AS --
+    exactly the (geo, asn) scoring target ``compile_entries`` derives
+    per ``eu:`` key, expressed through the unit API so the published
+    map can address it as ``ru:<prefix>``.
+    """
+
+    scheme = "geo_as"
+
+    def build(self, internet) -> List[MapUnit]:
+        units: List[MapUnit] = []
+        for block in internet.blocks:
+            unit = MapUnit(key=str(block.prefix),
+                           scheme=MapUnitScheme.GEO_AS, asn=block.asn)
+            unit.add(block.geo, block.demand, prefix=str(block.prefix))
+            units.append(unit)
+        return units
+
+
+def _dominant_asn(demand_by_asn: Dict[int, float]) -> Optional[int]:
+    """The AS carrying the most demand; ties break on the lower ASN."""
+    if not demand_by_asn:
+        return None
+    return min(demand_by_asn,
+               key=lambda asn: (-demand_by_asn[asn], asn))
+
+
+# -- the registry ------------------------------------------------------------
+
+_BUILDERS: Dict[str, UnitBuilder] = {}
+
+
+def register_builder(builder: UnitBuilder) -> None:
+    """Register a unit-construction strategy under its scheme name."""
+    if not getattr(builder, "scheme", None):
+        raise ValueError("a unit builder must declare a scheme name")
+    _BUILDERS[builder.scheme] = builder
+
+
+def get_builder(scheme: str) -> UnitBuilder:
+    try:
+        return _BUILDERS[scheme]
+    except KeyError:
+        raise KeyError(
+            f"unknown unit scheme {scheme!r}; known: "
+            f"{sorted(_BUILDERS)}") from None
+
+
+def available_schemes() -> List[str]:
+    return sorted(_BUILDERS)
+
+
+def parse_unit_scheme(spec: str) -> Tuple[str, Dict]:
+    """Parse a scheme spec string into (scheme name, builder params).
+
+    The grammar is ``<scheme>`` or ``routing_aware:<k>`` (an explicit
+    unit count); anything else raises ``ValueError`` so CLI surfaces
+    can map it to the exit-code-2 usage contract before a world is
+    built.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise ValueError(f"bad unit scheme: {spec!r}")
+    name, _, param = spec.partition(":")
+    if name not in _BUILDERS:
+        raise ValueError(
+            f"unknown unit scheme {name!r}; known: "
+            f"{available_schemes()}")
+    if not param:
+        return name, {}
+    if name != "routing_aware":
+        raise ValueError(
+            f"unit scheme {name!r} takes no parameter "
+            f"(got {spec!r}); only routing_aware:<k> does")
+    try:
+        n_units = int(param)
+    except ValueError:
+        raise ValueError(
+            f"bad unit count in {spec!r}: expected an integer"
+        ) from None
+    if n_units < 1:
+        raise ValueError(f"unit count must be >= 1, got {n_units}")
+    return name, {"n_units": n_units}
+
+
+def build_units(scheme: str, internet, **params) -> List[MapUnit]:
+    """Construct one unit set by scheme name (registry convenience)."""
+    merged = dict(params)
+    if ":" in scheme:
+        scheme, parsed = parse_unit_scheme(scheme)
+        merged.update(parsed)
+    return get_builder(scheme).build(internet, **merged)
+
+
+def build_unit_index(scheme: str, internet,
+                     units: List[MapUnit]) -> Dict[str, str]:
+    """Client /24 -> unit key for an already-built unit set."""
+    if ":" in scheme:
+        scheme, _ = parse_unit_scheme(scheme)
+    return get_builder(scheme).index(internet, units)
+
+
+def _register_defaults() -> None:
+    from repro.core.units.routing import RoutingAwareUnitBuilder
+
+    register_builder(LdnsUnitBuilder())
+    register_builder(BlockUnitBuilder())
+    register_builder(BgpMergedUnitBuilder())
+    register_builder(GeoAsUnitBuilder())
+    register_builder(RoutingAwareUnitBuilder())

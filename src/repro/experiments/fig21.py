@@ -7,9 +7,8 @@ magnitude more); for 50%, 1800 LDNSes vs 430K blocks.
 
 from __future__ import annotations
 
-from repro.core.mapunits import (
-    build_block_units,
-    build_ldns_units,
+from repro.core.units import (
+    build_units,
     demand_coverage_curve,
     units_needed_for_share,
 )
@@ -24,8 +23,8 @@ PAPER_CLAIM = ("covering 95% of demand: ~25K LDNSes vs ~2.2M /24 "
 
 def run(scale: str) -> ExperimentResult:
     internet = get_internet(scale)
-    ldns_units = build_ldns_units(internet)
-    block_units = build_block_units(internet, 24)
+    ldns_units = build_units("ldns", internet)
+    block_units = build_units("block", internet, prefix_len=24)
 
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID, title=TITLE, scale=scale,

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.stats import weighted_quantile
-from repro.core.mapunits import build_block_units, merge_units_by_cidr
+from repro.core.units import build_units
 from repro.experiments.base import ExperimentResult, ratio
 from repro.experiments.shared import get_internet
 
@@ -37,7 +37,7 @@ def run(scale: str) -> ExperimentResult:
     radius_p50: Dict[int, float] = {}
     share_under_100: Dict[int, float] = {}
     for x in PREFIXES:
-        units = build_block_units(internet, x)
+        units = build_units("block", internet, prefix_len=x)
         counts[x] = len(units)
         radii: List[float] = []
         weights: List[float] = []
@@ -54,7 +54,7 @@ def run(scale: str) -> ExperimentResult:
             "share_radius_under_100mi": share_under_100[x],
         })
 
-    merged = merge_units_by_cidr(internet, 24)
+    merged = build_units("bgp_merged", internet, prefix_len=24)
     merge_factor = ratio(counts[24], len(merged))
     result.summary = {
         "units_slash24": counts[24],

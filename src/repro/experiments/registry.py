@@ -9,6 +9,7 @@ from repro.experiments import (
     degradation,
     ext_adoption,
     load_tradeoff,
+    unit_scaling,
     fig02,
     fig05,
     fig06,
@@ -41,6 +42,7 @@ _MODULES: List[ModuleType] = [
     ext_adoption,
     degradation,
     load_tradeoff,
+    unit_scaling,
 ]
 
 _BY_ID: Dict[str, ModuleType] = {

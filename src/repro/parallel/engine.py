@@ -124,6 +124,7 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
     # (and hence scoring penalties) aligned across worker counts.
     world = _build_world(config=spec.world, policy=spec.policy,
                          control_plane=spec.control_plane,
+                         unit_scheme=spec.unit_scheme,
                          load_feedback=spec.load_feedback,
                          load_scale=float(n_shards),
                          profiler=profiler)

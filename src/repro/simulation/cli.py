@@ -72,6 +72,21 @@ def profile_config(text: str):
             f"bad profile config: {exc}") from None
 
 
+def unit_scheme_spec(text: str) -> str:
+    """argparse type for ``--unit-scheme``: a registered
+    :mod:`repro.core.units` scheme name (optionally
+    ``routing_aware:<k>``), validated before any world is built so an
+    unknown scheme is a usage error (exit code 2)."""
+    from repro.core.units import parse_unit_scheme
+
+    try:
+        parse_unit_scheme(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad unit scheme: {exc}") from None
+    return text
+
+
 def _build(scale: str):
     spec = get_scale(scale)
     print(f"building world (scale={scale})...", file=sys.stderr)
@@ -110,14 +125,21 @@ def _cmd_rollout(args) -> int:
         from repro.core.loadfeedback import LoadFeedbackConfig
 
         load_feedback = LoadFeedbackConfig()
+    control_plane = None
+    if args.control_plane:
+        from repro.core.mapmaker import MapMakerConfig
+
+        control_plane = MapMakerConfig()
     traffic = args.traffic
     outcome = None
     if args.workers is not None or traffic is not None \
-            or load_feedback is not None or args.profile is not None:
-        # Scenario route: surge traffic, load feedback, and profiling
-        # are spec features, so any of them (or --workers, which only
-        # sizes the pool -- --workers 1 and --workers 8 print
-        # identical reports) goes through ScenarioSpec + run().
+            or load_feedback is not None or args.profile is not None \
+            or control_plane is not None:
+        # Scenario route: surge traffic, load feedback, the control
+        # plane, and profiling are spec features, so any of them (or
+        # --workers, which only sizes the pool -- --workers 1 and
+        # --workers 8 print identical reports) goes through
+        # ScenarioSpec + run().
         from repro.api import ScenarioSpec, run
         from repro.experiments.scales import get_scale
         from repro.topology.traffic import TrafficSchedule
@@ -126,6 +148,8 @@ def _cmd_rollout(args) -> int:
                             rollout=config, monitor=False,
                             traffic=traffic or TrafficSchedule(),
                             load_feedback=load_feedback,
+                            control_plane=control_plane,
+                            unit_scheme=args.unit_scheme,
                             profile=args.profile)
         if args.workers is not None:
             print(f"running {args.shards} shards on {args.workers} "
@@ -233,6 +257,16 @@ def main(argv: List[str] | None = None) -> int:
                          help="turn on the load-feedback mapping loop "
                               "(cluster utilization penalizes and "
                               "demotes hot clusters)")
+    rollout.add_argument("--control-plane", action="store_true",
+                         help="run the split control plane (published "
+                              "maps read through the degradation "
+                              "ladder) with default knobs")
+    rollout.add_argument("--unit-scheme", type=unit_scheme_spec,
+                         default=None, metavar="SCHEME[:K]",
+                         help="compile the published map over this "
+                              "unit-construction scheme (ldns, geo_as, "
+                              "routing_aware[:k], ...); requires "
+                              "--control-plane")
     rollout.add_argument("--profile", type=profile_config, nargs="?",
                          const="{}", default=None, metavar="JSON",
                          help="profile the engine itself and print the "
@@ -253,6 +287,11 @@ def main(argv: List[str] | None = None) -> int:
     status.add_argument("--sessions", type=int, default=300)
 
     args = parser.parse_args(argv)
+    if args.command == "rollout" and args.unit_scheme is not None \
+            and not args.control_plane:
+        # Units only exist in the published map: asking for a scheme
+        # without the control plane is a usage error (exit code 2).
+        rollout.error("--unit-scheme requires --control-plane")
     handlers = {
         "world-info": _cmd_world_info,
         "rollout": _cmd_rollout,

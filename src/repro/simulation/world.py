@@ -221,7 +221,8 @@ def _build_world(config: Optional[WorldConfig] = None,
                  control_plane: Optional[MapMakerConfig] = None,
                  load_feedback: Optional[LoadFeedbackConfig] = None,
                  load_scale: float = 1.0,
-                 profiler=None) -> World:
+                 profiler=None,
+                 unit_scheme: Optional[str] = None) -> World:
     """Build and wire a complete world from a config.
 
     ``control_plane`` opts the world into the split control plane: a
@@ -229,6 +230,10 @@ def _build_world(config: Optional[WorldConfig] = None,
     built (publishing its first map immediately) and attached to the
     mapping system, whose answer path then reads published maps
     through the degradation ladder instead of scoring per query.
+    ``unit_scheme`` (requires ``control_plane``) selects the
+    :mod:`repro.core.units` construction scheme the service compiles
+    its map over, replacing per-/24 ``eu:`` entries with ``ru:`` unit
+    entries.
 
     ``load_feedback`` opts into the load-feedback loop: a
     :class:`~repro.core.loadfeedback.ClusterLoadTracker` is attached
@@ -248,14 +253,19 @@ def _build_world(config: Optional[WorldConfig] = None,
     obs = Observability()
     if profiler is not None:
         obs.profiler = profiler
+    if unit_scheme is not None and control_plane is None:
+        raise ValueError(
+            "unit_scheme requires a control plane (control_plane=...)")
     with obs.profiler.phase("world.build"):
         return _wire_world(config, policy, control_plane,
-                           load_feedback, load_scale, rng, obs)
+                           load_feedback, load_scale, rng, obs,
+                           unit_scheme)
 
 
 def _wire_world(config: WorldConfig, policy, control_plane,
                 load_feedback, load_scale: float,
-                rng: random.Random, obs: Observability) -> World:
+                rng: random.Random, obs: Observability,
+                unit_scheme: Optional[str] = None) -> World:
 
     internet = build_internet(config.internet, seed=config.seed)
     network = Network(internet.geodb, LatencyModel(), obs=obs)
@@ -289,7 +299,7 @@ def _wire_world(config: WorldConfig, policy, control_plane,
     if control_plane is not None:
         publication_service = MapPublicationService(
             control_plane, deployments=deployments, scorer=scorer,
-            internet=internet, obs=obs)
+            internet=internet, obs=obs, unit_scheme=unit_scheme)
         mapping.attach_control_plane(publication_service)
 
     # --- authoritative name servers inside CDN clusters -------------------

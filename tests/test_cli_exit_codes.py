@@ -144,6 +144,40 @@ class TestTrafficValidation:
         assert "--surge" in out
 
 
+class TestUnitSchemeValidation:
+    """``--unit-scheme`` joins the usage-error contract: an unknown
+    scheme, a malformed ``:k`` suffix, or a scheme without the split
+    control plane all exit 2 before any world is built."""
+
+    @pytest.mark.parametrize("value", ["nope", "ldns:4", ""])
+    def test_unknown_scheme_exits_two(self, value):
+        code, _, err = _run(["sim", "rollout", "--control-plane",
+                             "--unit-scheme", value])
+        assert code == 2
+        assert "bad unit scheme" in err
+
+    @pytest.mark.parametrize("value", ["routing_aware:x",
+                                       "routing_aware:0",
+                                       "routing_aware:-5"])
+    def test_bad_unit_count_exits_two(self, value):
+        code, _, err = _run(["sim", "rollout", "--control-plane",
+                             "--unit-scheme", value])
+        assert code == 2
+        assert "bad unit scheme" in err
+
+    def test_scheme_without_control_plane_exits_two(self):
+        code, _, err = _run(["sim", "rollout",
+                             "--unit-scheme", "geo_as"])
+        assert code == 2
+        assert "requires --control-plane" in err
+
+    def test_unit_scheme_flag_is_advertised(self):
+        code, out, _ = _run(["sim", "rollout", "--help"])
+        assert code == 0
+        assert "--unit-scheme" in out
+        assert "--control-plane" in out
+
+
 class TestProfileValidation:
     """``python -m repro profile`` and every ``--profile`` flag join
     the usage-error contract: unknown scenarios, malformed profiler

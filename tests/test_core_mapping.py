@@ -18,12 +18,10 @@ from repro.core import (
     Scorer,
     ScoringWeights,
     TrafficClass,
-    build_block_units,
-    build_ldns_units,
     build_ping_targets,
-    merge_units_by_cidr,
+    build_units,
 )
-from repro.core.mapunits import demand_coverage_curve, units_needed_for_share
+from repro.core.units import demand_coverage_curve, units_needed_for_share
 from repro.core.policies import MapTarget, ResolutionContext
 from repro.core.loadbalancer import spread_load
 from repro.dnsproto.edns import ClientSubnetOption
@@ -336,18 +334,18 @@ class TestPolicies:
 
 class TestMapUnits:
     def test_ldns_units_match_resolver_population(self, net):
-        units = build_ldns_units(net)
+        units = build_units("ldns", net)
         used = {rid for b in net.blocks for rid, _ in b.ldns}
         assert {u.key for u in units} == used
 
     def test_block_units_partition_demand(self, net):
-        units = build_block_units(net, 24)
+        units = build_units("block", net, prefix_len=24)
         assert sum(u.demand for u in units) == pytest.approx(
             net.total_demand)
         assert len(units) == len(net.blocks)
 
     def test_fewer_units_at_coarser_prefix(self, net):
-        counts = [len(build_block_units(net, x)) for x in (24, 20, 16, 12)]
+        counts = [len(build_units("block", net, prefix_len=x)) for x in (24, 20, 16, 12)]
         assert counts == sorted(counts, reverse=True)
         assert counts[-1] < counts[0]
 
@@ -356,19 +354,19 @@ class TestMapUnits:
             big = [u for u in units if len(u.members) >= 1]
             return sum(u.radius_miles() * u.demand for u in big) / sum(
                 u.demand for u in big)
-        fine = mean_radius(build_block_units(net, 24))
-        coarse = mean_radius(build_block_units(net, 10))
+        fine = mean_radius(build_units("block", net, prefix_len=24))
+        coarse = mean_radius(build_units("block", net, prefix_len=10))
         assert coarse > fine
 
     def test_bgp_merge_reduces_units(self, net):
-        fine = build_block_units(net, 24)
-        merged = merge_units_by_cidr(net, 24)
+        fine = build_units("block", net, prefix_len=24)
+        merged = build_units("bgp_merged", net, prefix_len=24)
         assert len(merged) < len(fine)
         assert sum(u.demand for u in merged) == pytest.approx(
             net.total_demand)
 
     def test_coverage_curve_monotone(self, net):
-        units = build_ldns_units(net)
+        units = build_units("ldns", net)
         curve = demand_coverage_curve(units)
         shares = [share for _, share in curve]
         assert shares == sorted(shares)
@@ -376,7 +374,7 @@ class TestMapUnits:
 
     def test_units_needed_concentration(self, net):
         """Top units cover demand disproportionately (Figure 21)."""
-        units = build_ldns_units(net)
+        units = build_units("ldns", net)
         n50 = units_needed_for_share(units, 0.5)
         n95 = units_needed_for_share(units, 0.95)
         assert n50 < n95 <= len(units)
@@ -384,9 +382,9 @@ class TestMapUnits:
 
     def test_rejects_bad_params(self, net):
         with pytest.raises(ValueError):
-            build_block_units(net, 0)
+            build_units("block", net, prefix_len=0)
         with pytest.raises(ValueError):
-            units_needed_for_share(build_ldns_units(net), 0)
+            units_needed_for_share(build_units("ldns", net), 0)
 
 
 class TestMappingSystem:

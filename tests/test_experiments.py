@@ -26,6 +26,7 @@ ALL_FIGURES = [
     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
     "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
     "fig25", "ext-adoption", "degradation", "load_tradeoff",
+    "unit_scaling",
 ]
 
 CHEAP_FIGURES = ["fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
@@ -156,6 +157,23 @@ def test_load_tradeoff_experiment_passes_at_tiny():
             < by_arm["distance_only"]["overloaded_picks"])
     assert by_arm["load_aware"]["demoted_share"] > 0.0
     assert 1.0 <= result.summary["distance_ratio"] <= 2.25
+
+
+def test_unit_scaling_experiment_passes_at_tiny():
+    """The Section 5 axes over the pluggable unit API: routing-aware
+    clustering must reach near-geo_as ECS-cohort accuracy from an
+    ldns-scale unit budget, beat ldns at the matched count, and shard
+    deterministically (workers=1 == 4)."""
+    result = get_experiment("unit_scaling").run("tiny")
+    failed = [str(c) for c in result.checks if not c.passed]
+    assert result.passed, "\n".join(failed)
+    by_scheme = {row["scheme"]: row for row in result.rows}
+    matched = result.summary["matched_units"]
+    routing = by_scheme[f"routing_aware:{matched}"]
+    assert routing["units"] < by_scheme["geo_as"]["units"]
+    assert routing["dist_ecs_mean"] < by_scheme["ldns"]["dist_ecs_mean"]
+    assert result.summary["unit_reduction"] > 2.0
+    assert result.summary["accuracy_ratio"] <= 1.25
 
 
 class TestMarkdownRendering:

@@ -1,0 +1,347 @@
+"""Tests for the pluggable unit-construction layer (repro.core.units).
+
+Covers the builder registry and scheme grammar, byte-parity of the
+deprecated ``repro.core.mapunits`` shims, determinism of the
+routing-aware clustering, coverage/cohesion edge cases, and the
+``ru:`` key path through the map maker's compile and the degradation
+ladder.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cdn import build_deployments
+from repro.core import MeasurementService, Scorer, TrafficClass
+from repro.core.mapmaker import (
+    MapMakerConfig,
+    MapPublicationService,
+    compile_entries,
+)
+from repro.core.units import (
+    MapUnit,
+    MapUnitScheme,
+    available_schemes,
+    build_unit_index,
+    build_units,
+    cohesion_stats,
+    demand_coverage_curve,
+    get_builder,
+    parse_unit_scheme,
+    register_builder,
+    units_needed_for_share,
+)
+from repro.core.units.builders import _BUILDERS
+from repro.core.units.routing import RoutingAwareUnitBuilder
+from repro.topology import InternetConfig, build_internet
+from repro.topology.internet import BlockColumns
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_internet(InternetConfig.tiny(), seed=5)
+
+
+class _SlicedInternet:
+    """A duck-typed Internet over a block subset, for edge cases."""
+
+    def __init__(self, internet, n_blocks):
+        self.blocks = internet.blocks[:n_blocks]
+        self.resolvers = internet.resolvers
+        self.bgp = internet.bgp
+        self.seed = internet.seed
+
+    def block_columns(self):
+        n = len(self.blocks)
+        return BlockColumns(
+            lat=np.fromiter((b.geo.lat for b in self.blocks),
+                            dtype=float, count=n),
+            lon=np.fromiter((b.geo.lon for b in self.blocks),
+                            dtype=float, count=n),
+            asn=np.fromiter((b.asn for b in self.blocks),
+                            dtype=np.int64, count=n),
+            demand=np.fromiter((b.demand for b in self.blocks),
+                               dtype=float, count=n),
+            last_mile_ms=np.fromiter(
+                (b.last_mile_ms for b in self.blocks),
+                dtype=float, count=n),
+        )
+
+
+def _unit_fingerprint(units):
+    return sorted((u.key, u.scheme.value, round(u.demand, 9),
+                   len(u.members)) for u in units)
+
+
+class TestRegistry:
+    def test_all_schemes_registered(self):
+        assert available_schemes() == [
+            "bgp_merged", "block", "geo_as", "ldns", "routing_aware"]
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError, match="unknown unit scheme"):
+            get_builder("nope")
+
+    def test_builder_must_declare_scheme(self):
+        class Anonymous:
+            scheme = ""
+
+        with pytest.raises(ValueError, match="scheme name"):
+            register_builder(Anonymous())
+
+    def test_custom_builder_round_trips(self, net):
+        class OneBigUnit:
+            scheme = "one_big_unit"
+
+            def build(self, internet, **params):
+                unit = MapUnit(key="all", scheme=MapUnitScheme.BLOCK)
+                for block in internet.blocks:
+                    unit.add(block.geo, block.demand,
+                             prefix=str(block.prefix))
+                return [unit]
+
+            def index(self, internet, units):
+                return {p: "all" for p in units[0].prefixes}
+
+        register_builder(OneBigUnit())
+        try:
+            units = build_units("one_big_unit", net)
+            assert len(units) == 1
+            index = build_unit_index("one_big_unit", net, units)
+            assert set(index.values()) == {"all"}
+        finally:
+            del _BUILDERS["one_big_unit"]
+
+
+class TestSchemeGrammar:
+    @pytest.mark.parametrize("spec,name,params", [
+        ("ldns", "ldns", {}),
+        ("geo_as", "geo_as", {}),
+        ("routing_aware", "routing_aware", {}),
+        ("routing_aware:32", "routing_aware", {"n_units": 32}),
+    ])
+    def test_valid_specs(self, spec, name, params):
+        assert parse_unit_scheme(spec) == (name, params)
+
+    @pytest.mark.parametrize("spec", [
+        "", "nope", "ldns:4", "geo_as:2", "routing_aware:x",
+        "routing_aware:0", "routing_aware:-3", None, 42,
+    ])
+    def test_invalid_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_unit_scheme(spec)
+
+
+class TestDeprecatedShims:
+    def test_ldns_shim_warns_and_matches(self, net):
+        from repro.core import mapunits
+
+        with pytest.warns(DeprecationWarning, match="repro.core.units"):
+            old = mapunits.build_ldns_units(net)
+        new = build_units("ldns", net)
+        assert _unit_fingerprint(old) == _unit_fingerprint(new)
+
+    def test_block_shim_warns_and_matches(self, net):
+        from repro.core import mapunits
+
+        with pytest.warns(DeprecationWarning, match="repro.core.units"):
+            old = mapunits.build_block_units(net, 20)
+        new = build_units("block", net, prefix_len=20)
+        assert _unit_fingerprint(old) == _unit_fingerprint(new)
+
+    def test_merge_shim_warns_and_matches(self, net):
+        from repro.core import mapunits
+
+        with pytest.warns(DeprecationWarning, match="repro.core.units"):
+            old = mapunits.merge_units_by_cidr(net, 24)
+        new = build_units("bgp_merged", net, prefix_len=24)
+        assert _unit_fingerprint(old) == _unit_fingerprint(new)
+
+    def test_canonical_path_does_not_warn(self, net):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_units("ldns", net)
+            build_units("block", net, prefix_len=24)
+            build_units("bgp_merged", net, prefix_len=24)
+
+
+class TestBuilders:
+    def test_geo_as_is_one_unit_per_block(self, net):
+        units = build_units("geo_as", net)
+        assert len(units) == len(net.blocks)
+        by_key = {u.key: u for u in units}
+        block = net.blocks[0]
+        unit = by_key[str(block.prefix)]
+        assert unit.asn == block.asn
+        assert unit.demand == block.demand
+
+    def test_ldns_units_carry_dominant_asn(self, net):
+        units = build_units("ldns", net)
+        assert all(u.asn is not None for u in units)
+
+    def test_index_covers_every_block(self, net):
+        for scheme in available_schemes():
+            units = build_units(scheme, net)
+            index = build_unit_index(scheme, net, units)
+            assert len(index) == len(net.blocks), scheme
+            keys = {u.key for u in units}
+            assert set(index.values()) <= keys, scheme
+
+    def test_total_demand_is_conserved(self, net):
+        expected = sum(b.demand for b in net.blocks)
+        for scheme in available_schemes():
+            total = sum(u.demand for u in build_units(scheme, net))
+            assert total == pytest.approx(expected), scheme
+
+
+class TestRoutingAware:
+    def test_deterministic_across_rebuilds(self):
+        nets = [build_internet(InternetConfig.tiny(), seed=5)
+                for _ in range(2)]
+        first, second = (
+            build_units("routing_aware:32", n) for n in nets)
+        assert _unit_fingerprint(first) == _unit_fingerprint(second)
+        assert [u.cohesion_rtt_ms for u in first] == (
+            [u.cohesion_rtt_ms for u in second])
+
+    def test_explicit_unit_count_is_respected(self, net):
+        units = build_units("routing_aware:24", net)
+        assert 1 <= len(units) <= 24
+
+    def test_count_clamped_to_block_count(self, net):
+        small = _SlicedInternet(net, 3)
+        units = build_units("routing_aware:50", small)
+        assert 1 <= len(units) <= 3
+
+    def test_cohesion_recorded(self, net):
+        units = build_units("routing_aware:16", net)
+        assert all(u.cohesion_rtt_ms is not None for u in units)
+        assert all(u.cohesion_rtt_ms >= 0 for u in units)
+        # Fewer, larger clusters are less cohesive in feature space.
+        coarse = cohesion_stats(build_units("routing_aware:4", net))
+        fine = cohesion_stats(units)
+        assert coarse["rtt_ms"] >= fine["rtt_ms"]
+
+    def test_empty_internet_builds_no_units(self, net):
+        empty = _SlicedInternet(net, 0)
+        assert build_units("routing_aware", empty) == []
+
+    def test_single_block_is_one_unit(self, net):
+        single = _SlicedInternet(net, 1)
+        units = build_units("routing_aware:8", single)
+        assert len(units) == 1
+        assert units[0].key == str(net.blocks[0].prefix)
+        assert units[0].cohesion_rtt_ms == pytest.approx(0.0)
+
+    def test_landmarks_clamped_to_population(self, net):
+        tiny = _SlicedInternet(net, 5)
+        builder = RoutingAwareUnitBuilder(n_landmarks=64)
+        units = builder.build(tiny, n_units=2)
+        assert sum(len(u.members) for u in units) == 5
+
+
+class TestCoverageEdgeCases:
+    def test_empty_internet_edge(self, net):
+        empty = _SlicedInternet(net, 0)
+        for scheme in available_schemes():
+            assert build_units(scheme, empty) == [], scheme
+        with pytest.raises(ValueError, match="no demand"):
+            demand_coverage_curve([])
+
+    def test_single_block_curve(self, net):
+        single = _SlicedInternet(net, 1)
+        units = build_units("bgp_merged", single)
+        assert len(units) == 1
+        assert demand_coverage_curve(units) == [(1, pytest.approx(1.0))]
+        assert units_needed_for_share(units, 0.95) == 1
+
+    def test_all_demand_in_one_unit(self):
+        from repro.net.geometry import GeoPoint
+
+        hot = MapUnit(key="hot", scheme=MapUnitScheme.BLOCK)
+        hot.add(GeoPoint(10.0, 10.0), 100.0)
+        cold = MapUnit(key="cold", scheme=MapUnitScheme.BLOCK)
+        cold.add(GeoPoint(20.0, 20.0), 0.0)
+        curve = demand_coverage_curve([cold, hot])
+        assert curve == [(1, pytest.approx(1.0)),
+                         (2, pytest.approx(1.0))]
+        assert units_needed_for_share([cold, hot], 0.99) == 1
+
+    def test_zero_demand_units_raise(self):
+        from repro.net.geometry import GeoPoint
+
+        unit = MapUnit(key="z", scheme=MapUnitScheme.BLOCK)
+        unit.add(GeoPoint(0.0, 0.0), 0.0)
+        with pytest.raises(ValueError, match="no demand"):
+            demand_coverage_curve([unit])
+
+    def test_cohesion_stats_zero_demand(self):
+        assert cohesion_stats([]) == {"units": 0, "radius_miles": 0.0}
+
+    def test_cohesion_stats_mixed_schemes(self, net):
+        geo = build_units("geo_as", _SlicedInternet(net, 10))
+        stats = cohesion_stats(geo)
+        assert stats["units"] == 10
+        assert "rtt_ms" not in stats
+
+
+class TestRuCompilePath:
+    @pytest.fixture(scope="class")
+    def wired(self, net):
+        plan = build_deployments(40, net.geodb, seed=2,
+                                 host_ases=list(net.ases.values()))
+        scorer = Scorer(MeasurementService(net.geodb), TrafficClass.WEB)
+        return plan, scorer
+
+    def test_compile_emits_ru_namespace(self, net, wired):
+        plan, scorer = wired
+        units = build_units("routing_aware:24", net)
+        entries = compile_entries(plan, scorer, net, units=units)
+        ru_keys = [k for k in entries if k.startswith("ru:")]
+        assert len(ru_keys) == len(units)
+        assert not any(k.startswith("eu:") for k in entries)
+        assert any(k.startswith("ns:") for k in entries)
+
+    def test_compile_without_units_is_untouched(self, net, wired):
+        plan, scorer = wired
+        entries = compile_entries(plan, scorer, net)
+        assert any(k.startswith("eu:") for k in entries)
+        assert not any(k.startswith("ru:") for k in entries)
+
+    def test_service_lookup_walks_ru_tiers(self, net, wired):
+        plan, scorer = wired
+        service = MapPublicationService(
+            MapMakerConfig(), deployments=plan, scorer=scorer,
+            internet=net, unit_scheme="routing_aware:24")
+        prefix = net.blocks[0].prefix
+        unit_key = service.unit_key_for(prefix)
+        assert unit_key is not None
+        ids, tier = service.lookup(f"ru:{unit_key}", "ns:0", day=0)
+        assert ids and tier == "fresh_ru"
+        stale_day = MapMakerConfig().stale_age_days
+        ids, tier = service.lookup(f"ru:{unit_key}", "ns:0",
+                                   day=stale_day)
+        assert ids and tier == "stale_ru"
+
+    def test_service_without_scheme_has_no_unit_table(self, net, wired):
+        plan, scorer = wired
+        service = MapPublicationService(
+            MapMakerConfig(), deployments=plan, scorer=scorer,
+            internet=net)
+        assert service.units is None
+        assert service.unit_key_for(net.blocks[0].prefix) is None
+        assert "unit_scheme" not in service.describe()
+
+    def test_unit_gauges_only_with_scheme(self, net, wired):
+        from repro.obs import Observability
+
+        plan, scorer = wired
+        for scheme, expected in ((None, False), ("geo_as", True)):
+            obs = Observability()
+            service = MapPublicationService(
+                MapMakerConfig(), deployments=plan, scorer=scorer,
+                internet=net, obs=obs, unit_scheme=scheme)
+            service.tick(0)
+            gauges = obs.registry.snapshot()["gauges"]
+            assert ("units.total" in gauges) is expected
