@@ -47,6 +47,9 @@ _SUBCOMMANDS = {
     "unit_scaling": ("repro.experiments.unit_scaling",
                      "unit count vs accuracy vs query rate across "
                      "unit-construction schemes"),
+    "resolver_matrix": ("repro.experiments.resolver_matrix",
+                        "ECS policy matrix + PoP-outage catchment "
+                        "shifts on the anycast resolver plane"),
     "profile": ("repro.obs.profile",
                 "engine self-profile: phase tree, flamegraph stacks, "
                 "hotspots"),

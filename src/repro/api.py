@@ -41,12 +41,13 @@ from typing import Dict, List, Optional
 from repro.core.loadfeedback import LoadFeedbackConfig
 from repro.core.mapmaker import MapMakerConfig
 from repro.core.policies import MappingPolicy
-from repro.faults import FaultInjector, FaultSchedule
+from repro.faults import FaultInjector, FaultKind, FaultSchedule
 from repro.obs.monitor import RolloutMonitor
 from repro.obs.profile import PhaseProfiler, ProfileConfig
 from repro.obs.monitor.driver import (
     control_plane_rules,
     default_rollout_rules,
+    resolver_plane_rules,
     rollout_windows,
 )
 from repro.simulation.rollout import (
@@ -56,7 +57,7 @@ from repro.simulation.rollout import (
 )
 from repro.simulation.world import World, WorldConfig, _build_world
 from repro.topology.internet import InternetConfig
-from repro.topology.resolvers import PublicProvider
+from repro.topology.resolvers import PublicProvider, ResolverPolicySet
 from repro.topology.traffic import TrafficSchedule
 
 __all__ = [
@@ -108,6 +109,15 @@ class ScenarioSpec:
     ``ShardedRun.profiler``.  None (the default) wires the shared
     disabled profiler -- a pure no-op, so every unprofiled output
     stays byte-identical."""
+    resolver_policies: Optional[ResolverPolicySet] = None
+    """Opt into the resolver plane: public providers become live
+    anycast PoP fleets with per-provider ECS policy (whitelist on/off,
+    scope-narrowing ceiling), and sessions route through the surviving
+    catchment when PoPs withdraw.  None keeps the static build-time
+    catchments, pinning every existing golden fixture -- unless the
+    fault schedule carries resolver-plane kinds, in which case
+    :func:`run` activates fleets with the all-defaults policy set (the
+    faults have nothing to act on otherwise)."""
 
     def __post_init__(self) -> None:
         if self.unit_scheme is not None:
@@ -137,6 +147,8 @@ class ScenarioSpec:
             doc["load_feedback"] = True
         if self.profile is not None:
             doc["profile"] = True
+        if self.resolver_policies is not None:
+            doc["resolver_policies"] = True
         return doc
 
     # -- the scenario/v1 wire format ------------------------------------
@@ -175,6 +187,8 @@ class ScenarioSpec:
             doc["load_feedback"] = self.load_feedback.to_dict()
         if self.profile is not None:
             doc["profile"] = self.profile.to_dict()
+        if self.resolver_policies is not None:
+            doc["resolver_policies"] = self.resolver_policies.to_dict()
         return doc
 
     def to_json(self) -> str:
@@ -202,7 +216,8 @@ class ScenarioSpec:
                 f"(this build reads version {_SCHEMA_VERSION})")
         known = {"schema", "schema_version", "world", "rollout",
                  "monitor", "faults", "control_plane", "unit_scheme",
-                 "traffic", "load_feedback", "profile"}
+                 "traffic", "load_feedback", "profile",
+                 "resolver_policies"}
         unknown = set(doc) - known
         if unknown:
             raise ValueError(
@@ -228,6 +243,9 @@ class ScenarioSpec:
                 doc["load_feedback"])
         if "profile" in doc:
             kwargs["profile"] = ProfileConfig.from_dict(doc["profile"])
+        if "resolver_policies" in doc:
+            kwargs["resolver_policies"] = ResolverPolicySet.from_dict(
+                doc["resolver_policies"])
         return cls(**kwargs)
 
     @classmethod
@@ -344,22 +362,49 @@ class ScenarioRun:
 def build_world(config: Optional[WorldConfig] = None,
                 policy: Optional[MappingPolicy] = None,
                 control_plane: Optional[MapMakerConfig] = None,
-                unit_scheme: Optional[str] = None) -> World:
+                unit_scheme: Optional[str] = None,
+                resolver_policies: Optional[ResolverPolicySet] = None,
+                ) -> World:
     """Build and wire a complete world (canonical spelling)."""
     return _build_world(config=config, policy=policy,
                         control_plane=control_plane,
-                        unit_scheme=unit_scheme)
+                        unit_scheme=unit_scheme,
+                        resolver_policies=resolver_policies)
+
+
+def _resolver_policies_for(spec: ScenarioSpec
+                           ) -> Optional[ResolverPolicySet]:
+    """The policy set a spec's world should be built with.
+
+    An explicit ``spec.resolver_policies`` wins.  Otherwise a fault
+    schedule carrying resolver-plane kinds activates the fleets with
+    the all-defaults policy set -- a ``pop_outage`` against a world
+    with no PoP model would be an injection-time error, and forcing
+    callers to also set an empty policy object is pure ceremony.
+    """
+    if spec.resolver_policies is not None:
+        return spec.resolver_policies
+    if spec.faults and any(event.kind in FaultKind.RESOLVER_PLANE
+                           for event in spec.faults.events):
+        return ResolverPolicySet()
+    return None
 
 
 def _monitor_for_spec(spec: ScenarioSpec) -> RolloutMonitor:
     """The monitor a spec asks for (shared with the sharded engine,
     so a replayed monitor evaluates the same rule set)."""
     rules = spec.monitor_rules
-    if rules is None and spec.control_plane is not None:
-        # Control-plane scenarios watch the map-staleness rules on
-        # top of the defaults; explicit rule overrides win as-is.
-        rules = (default_rollout_rules(rollout_windows(spec.rollout))
-                 + control_plane_rules(spec.control_plane))
+    if rules is None:
+        # Feature-gated scenarios watch their plane's rules on top of
+        # the defaults; explicit rule overrides win as-is.
+        extra: List = []
+        if spec.control_plane is not None:
+            extra += control_plane_rules(spec.control_plane)
+        if _resolver_policies_for(spec) is not None:
+            extra += resolver_plane_rules()
+        if extra:
+            rules = (default_rollout_rules(
+                rollout_windows(spec.rollout)) + extra)
     return RolloutMonitor.for_config(spec.rollout, rules=rules)
 
 
@@ -400,6 +445,9 @@ def run_rollout(world: World,
         unit_scheme=(getattr(world.control_plane, "unit_scheme", None)
                      if world.control_plane is not None else None),
         monitor=False,
+        resolver_policies=(world.resolver_fleets.policies
+                           if world.resolver_fleets is not None
+                           else None),
     )
     sharded = run_sharded(spec, workers=workers,
                           n_shards=shards or DEFAULT_SHARDS)
@@ -429,7 +477,8 @@ def run(spec: Optional[ScenarioSpec] = None,
                          control_plane=spec.control_plane,
                          unit_scheme=spec.unit_scheme,
                          load_feedback=spec.load_feedback,
-                         profiler=profiler)
+                         profiler=profiler,
+                         resolver_policies=_resolver_policies_for(spec))
     injector = (FaultInjector(world, spec.faults)
                 if spec.faults else None)
     monitor = _monitor_for_spec(spec) if spec.monitor else None

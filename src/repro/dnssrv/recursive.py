@@ -111,6 +111,18 @@ class RecursiveResolver:
         """Fault-injection flag: the resolver silently drops the ECS
         option it would otherwise send (the stripping behaviour public
         resolvers exhibit in the wild)."""
+        self.ecs_whitelisted = True
+        """Provider ECS policy: whether the CDN's authorities are on
+        this operator's ECS whitelist.  Revoked (set False) either by
+        an :class:`~repro.topology.resolvers.EcsPolicy` with
+        ``whitelist_enabled=False`` or by an ``ecs_whitelist_revoke``
+        fault.  Distinct from ``ecs_stripped`` so overlapping strip
+        and revoke faults revert independently."""
+        self.ecs_scope_ceiling = 32
+        """Provider ECS policy: the finest client prefix this operator
+        reveals.  The effective source length is
+        ``min(ecs_source_len, ecs_scope_ceiling)``; the default of 32
+        never narrows, reproducing pre-policy behaviour exactly."""
         self.alive = True
         """False during an injected LDNS blackout: the resolver stops
         answering on the wire and stubs must fail over."""
@@ -149,8 +161,14 @@ class RecursiveResolver:
 
     @property
     def _ecs_active(self) -> bool:
-        """ECS is actually sent: enabled and not fault-stripped."""
-        return self.ecs_enabled and not self.ecs_stripped
+        """ECS is actually sent: enabled, whitelisted, not stripped."""
+        return (self.ecs_enabled and self.ecs_whitelisted
+                and not self.ecs_stripped)
+
+    @property
+    def _effective_source_len(self) -> int:
+        """The source prefix actually sent, after the policy ceiling."""
+        return min(self.ecs_source_len, self.ecs_scope_ceiling)
 
     def fail(self) -> None:
         """Blackout: stop answering client queries on the wire."""
@@ -264,7 +282,7 @@ class RecursiveResolver:
         ecs: Optional[ClientSubnetOption] = None
         if self._ecs_active:
             ecs = ClientSubnetOption(
-                prefix_of(client_ip, self.ecs_source_len))
+                prefix_of(client_ip, self._effective_source_len))
             span.set(ecs_source=str(ecs.prefix))
 
         total_rtt = 0.0
@@ -359,7 +377,8 @@ class RecursiveResolver:
         if resp_ecs is None:
             # Authority ignored ECS: answer is client-independent.
             return None
-        scope_len = min(resp_ecs.scope_prefix_len, self.ecs_source_len)
+        scope_len = min(resp_ecs.scope_prefix_len,
+                        self._effective_source_len)
         if scope_len == 0:
             return None
         return prefix_of(client_ip, scope_len)

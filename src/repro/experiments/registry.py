@@ -9,6 +9,7 @@ from repro.experiments import (
     degradation,
     ext_adoption,
     load_tradeoff,
+    resolver_matrix,
     unit_scaling,
     fig02,
     fig05,
@@ -43,6 +44,7 @@ _MODULES: List[ModuleType] = [
     degradation,
     load_tradeoff,
     unit_scaling,
+    resolver_matrix,
 ]
 
 _BY_ID: Dict[str, ModuleType] = {

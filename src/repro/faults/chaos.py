@@ -107,13 +107,33 @@ _MENU: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     (FaultKind.MAP_CORRUPTION, ("mapmaker:primary", "mapmaker:*")),
 )
 
+#: Resolver-plane additions, layered onto the base menu only in
+#: ``--resolver`` mode: any change to the menu changes which faults
+#: SplitMix64 draws for every ``(seed, index)``, and the base menu's
+#: draws are pinned by checked-in fixtures (golden_shard_fault.json
+#: replays soak scenario 0 byte-for-byte).  Resolver-plane kinds name
+#: providers (never indices), so the parse-time pop_outage/
+#: ldns_blackout conflict check can never trip against the base
+#: menu's index-based blackout targets.  City targets withdraw one
+#: PoP (silent re-home); bare-provider targets take the whole fleet
+#: dark (LDNS-failover ladder).
+_RESOLVER_MENU: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    (FaultKind.POP_OUTAGE, ("public:GloboDNS:dallas",
+                            "public:OpenFast:chicago",
+                            "public:UltraLevel")),
+    (FaultKind.ANYCAST_FLAP, ("public:GloboDNS", "public:OpenFast")),
+    (FaultKind.ECS_WHITELIST_REVOKE, ("public:*", "public:GloboDNS")),
+)
+
 _LINK_FACTORS = (2.0, 3.0)
 _LINK_LOSS = (0.05, 0.10, 0.15)
 _SLOW_FACTORS = (2.0, 3.0, 4.0)
 
 
 def generate_schedule(rng: SplitMix64, n_days: int,
-                      max_events: int = 4) -> FaultSchedule:
+                      max_events: int = 4,
+                      menu: Tuple[Tuple[str, Tuple[str, ...]], ...]
+                      = _MENU) -> FaultSchedule:
     """One random, grammar-valid, non-overlapping fault schedule.
 
     Events start on day 1 at the earliest (day 0 boots clean) and end
@@ -126,7 +146,7 @@ def generate_schedule(rng: SplitMix64, n_days: int,
     used: set = set()
     for _ in range(n_events):
         for _attempt in range(8):
-            kind, targets = _MENU[rng.randrange(len(_MENU))]
+            kind, targets = menu[rng.randrange(len(menu))]
             target = targets[rng.randrange(len(targets))]
             start = 1 + rng.randrange(max(1, n_days - 4))
             duration = 2 + rng.randrange(4)
@@ -173,6 +193,12 @@ class SoakConfig:
     regional events, diurnal waves, content surges) over every
     scenario and run it with the load-feedback loop on, soaking the
     scenario library against the same invariants."""
+    resolver: bool = False
+    """Widen the fault menu with the resolver-plane kinds
+    (pop_outage / anycast_flap / ecs_whitelist_revoke), activating
+    the anycast PoP fleet model in every scenario.  Opt-in because
+    any menu change re-deals every scenario's draws, and the base
+    menu's are pinned by checked-in fixtures."""
 
     def identity(self) -> Dict:
         """The fields a resumed run must match exactly."""
@@ -182,6 +208,7 @@ class SoakConfig:
             "availability_floor": self.availability_floor,
             "max_events": self.max_events,
             "surge": self.surge,
+            "resolver": self.resolver,
         }
 
 
@@ -206,8 +233,10 @@ def _scenario_spec(config: SoakConfig, index: int):
         seed=sub_seed & 0x7FFFFFFF,
     )
     rng = SplitMix64(sub_seed)
+    menu = _MENU + _RESOLVER_MENU if config.resolver else _MENU
     schedule = generate_schedule(rng, rollout.n_days,
-                                 max_events=config.max_events)
+                                 max_events=config.max_events,
+                                 menu=menu)
     world = replace(WorldConfig.tiny(), serve_stale_window=900.0)
     if not config.surge:
         return ScenarioSpec(world=world, rollout=rollout,
@@ -240,6 +269,15 @@ def world_restored(world) -> List[str]:
             problems.append(f"resolver {rid} still dead")
         if ldns.ecs_stripped:
             problems.append(f"resolver {rid} still ECS-stripped")
+        if not getattr(ldns, "ecs_whitelisted", True):
+            problems.append(f"resolver {rid} still whitelist-revoked")
+    fleets = getattr(world, "resolver_fleets", None)
+    if fleets is not None:
+        for rid in sorted(fleets.pops):
+            if not fleets.pops[rid].healthy:
+                problems.append(f"PoP {rid} still withdrawn")
+        for provider in sorted(fleets.flapping):
+            problems.append(f"provider {provider} still flapping")
     for cluster_id in sorted(world.deployments.clusters):
         cluster = world.deployments.clusters[cluster_id]
         dead = [s for s in cluster.servers if not s.alive]
@@ -542,6 +580,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--surge", action="store_true",
                         help="layer generated surge-traffic schedules "
                              "over every scenario (load feedback on)")
+    parser.add_argument("--resolver", action="store_true",
+                        help="widen the fault menu with resolver-plane "
+                             "kinds (anycast PoP fleets on)")
     parser.add_argument("--checkpoint", default=None,
                         help="write progress here after every scenario")
     parser.add_argument("--resume", action="store_true",
@@ -563,7 +604,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed, count=args.count,
         sessions_per_day=args.sessions,
         availability_floor=args.availability_floor,
-        max_events=args.max_events, surge=args.surge)
+        max_events=args.max_events, surge=args.surge,
+        resolver=args.resolver)
 
     def progress(index: int, count: int) -> None:
         print(f"soak scenario {index + 1}/{count}...", file=sys.stderr)

@@ -72,6 +72,10 @@ class FaultInjector:
             FaultKind.MAPMAKER_SLOW_PUBLISH: (
                 self._apply_mapmaker_slow_publish),
             FaultKind.MAP_CORRUPTION: self._apply_map_corruption,
+            FaultKind.POP_OUTAGE: self._apply_pop_outage,
+            FaultKind.ANYCAST_FLAP: self._apply_anycast_flap,
+            FaultKind.ECS_WHITELIST_REVOKE: (
+                self._apply_ecs_whitelist_revoke),
         }[event.kind]
         return handler(event)
 
@@ -182,6 +186,52 @@ class FaultInjector:
                 maker.corrupting = False
         return revert
 
+    def _apply_pop_outage(self, event: FaultEvent):
+        fleets = self._fleets(event.target)
+        # Only withdraw PoPs this event found healthy, so overlapping
+        # outages (e.g. city-level inside provider-level) revert
+        # independently and recovery is exact.
+        withdrawn = [rid for rid in self._resolver_ids_for(event.target)
+                     if rid in fleets.pops and fleets.pops[rid].healthy]
+        for rid in withdrawn:
+            fleets.withdraw(rid)
+
+        def revert() -> None:
+            for rid in withdrawn:
+                fleets.restore(rid)
+        return revert
+
+    def _apply_anycast_flap(self, event: FaultEvent):
+        fleets = self._fleets(event.target)
+        flapped = []
+        for rid in self._resolver_ids_for(event.target):
+            pop = fleets.pops.get(rid)
+            if pop is None:
+                continue
+            name = pop.resolver.provider
+            if name not in fleets.flapping and name not in flapped:
+                flapped.append(name)
+        for name in flapped:
+            fleets.flapping.add(name)
+
+        def revert() -> None:
+            for name in flapped:
+                fleets.flapping.discard(name)
+        return revert
+
+    def _apply_ecs_whitelist_revoke(self, event: FaultEvent):
+        self._fleets(event.target)  # resolver plane must be active
+        revoked = []
+        for ldns in self._resolvers_for(event.target):
+            if getattr(ldns, "ecs_whitelisted", True):
+                ldns.ecs_whitelisted = False
+                revoked.append(ldns)
+
+        def revert() -> None:
+            for ldns in revoked:
+                ldns.ecs_whitelisted = True
+        return revert
+
     # -- target grammars ---------------------------------------------------
 
     def _nameservers_for(self, target: str):
@@ -211,28 +261,64 @@ class FaultInjector:
 
     def _resolvers_for(self, target: str):
         registry = self.world.ldns_registry
+        return [registry[rid] for rid in self._resolver_ids_for(target)]
+
+    def _resolver_ids_for(self, target: str) -> List[str]:
+        registry = self.world.ldns_registry
         public = sorted(self.world.public_ldns_ids())
         isp = [rid for rid in sorted(registry) if rid not in set(public)]
         if target == "public:*":
-            ids = public
-        elif target == "isp:*":
-            ids = isp
-        elif target == "*":
-            ids = sorted(registry)
-        else:
-            group, _, rest = target.partition(":")
-            if group in ("public", "isp") and rest.isdigit():
-                pool = public if group == "public" else isp
-                index = int(rest)
-                if not 0 <= index < len(pool):
-                    raise KeyError(f"no resolver {target!r}")
-                ids = [pool[index]]
-            else:
-                rid = rest if group == "resolver" and rest else target
-                if rid not in registry:
-                    raise KeyError(f"unknown resolver {target!r}")
-                ids = [rid]
-        return [registry[rid] for rid in ids]
+            return public
+        if target == "isp:*":
+            return isp
+        if target == "*":
+            return sorted(registry)
+        group, _, rest = target.partition(":")
+        if group == "public" and rest and not rest.isdigit():
+            return self._provider_pop_ids(target, rest)
+        if group in ("public", "isp") and rest.isdigit():
+            pool = public if group == "public" else isp
+            index = int(rest)
+            if not 0 <= index < len(pool):
+                raise KeyError(f"no resolver {target!r}")
+            return [pool[index]]
+        rid = rest if group == "resolver" and rest else target
+        if rid not in registry:
+            raise KeyError(f"unknown resolver {target!r}")
+        return [rid]
+
+    def _provider_pop_ids(self, target: str, rest: str) -> List[str]:
+        """Resolve ``public:<provider>[:<city>]`` to PoP resolver ids."""
+        from repro.topology.resolvers import providers_by_name
+
+        name, _, city = rest.partition(":")
+        provider = providers_by_name(
+            self.world.internet.providers).get(name)
+        if provider is None:
+            raise KeyError(f"unknown public provider in {target!r}")
+        deployments = sorted(provider.deployments,
+                             key=lambda dep: dep.resolver_id)
+        if city:
+            slug = city.lower().replace(" ", "-").replace(".", "")
+            deployments = [dep for dep in deployments
+                           if dep.city.lower().replace(" ", "-")
+                           .replace(".", "") == slug]
+            if not deployments:
+                raise KeyError(
+                    f"provider {name!r} has no PoP in city of "
+                    f"{target!r}")
+        return [dep.resolver_id for dep in deployments]
+
+    def _fleets(self, target: str):
+        fleets = getattr(self.world, "resolver_fleets", None)
+        if fleets is None:
+            raise KeyError(
+                f"resolver-plane fault target {target!r} needs a world "
+                f"built with the PoP fleet model (set "
+                f"ScenarioSpec.resolver_policies, or run the schedule "
+                f"through the scenario API, which activates fleets "
+                f"when resolver-plane faults are present)")
+        return fleets
 
     def _makers_for(self, target: str):
         service = getattr(self.world, "control_plane", None)

@@ -24,6 +24,18 @@ the wild):
 * ``link_degradation`` -- a network path inflates latency and drops
   packets for the duration.
 
+Resolver-plane kinds (the anycast PoP fleet model; what Al-Dalky &
+Rabinovich's public-resolver measurements fail at):
+
+* ``pop_outage`` -- a provider PoP withdraws its anycast route; the
+  fleet silently re-homes its catchment to surviving PoPs (cold
+  caches, longer detours; no client-visible timeout).
+* ``anycast_flap`` -- a provider's routes flap: half of each PoP's
+  catchment oscillates to the next-nearest PoP for the duration.
+* ``ecs_whitelist_revoke`` -- the provider drops the CDN from its ECS
+  whitelist; mapping degrades from EU to NS quality while caches stay
+  warm.
+
 Control-plane kinds (paper Section 5's split makes these injectable):
 
 * ``mapmaker_crash`` -- a MapMaker process dies: no heartbeats, no
@@ -55,12 +67,16 @@ class FaultKind:
     MAPMAKER_HANG = "mapmaker_hang"
     MAPMAKER_SLOW_PUBLISH = "mapmaker_slow_publish"
     MAP_CORRUPTION = "map_corruption"
+    POP_OUTAGE = "pop_outage"
+    ANYCAST_FLAP = "anycast_flap"
+    ECS_WHITELIST_REVOKE = "ecs_whitelist_revoke"
 
     DATA_PLANE = (AUTH_OUTAGE, CLUSTER_OUTAGE, ECS_STRIP, LDNS_BLACKOUT,
                   LINK_DEGRADATION)
     CONTROL_PLANE = (MAPMAKER_CRASH, MAPMAKER_HANG,
                      MAPMAKER_SLOW_PUBLISH, MAP_CORRUPTION)
-    ALL = DATA_PLANE + CONTROL_PLANE
+    RESOLVER_PLANE = (POP_OUTAGE, ANYCAST_FLAP, ECS_WHITELIST_REVOKE)
+    ALL = DATA_PLANE + CONTROL_PLANE + RESOLVER_PLANE
 
 
 #: Target-grammar prefixes legal for each fault kind (the parse-time
@@ -78,6 +94,9 @@ _TARGET_GRAMMAR = {
     FaultKind.MAPMAKER_HANG: frozenset({"mapmaker", "*"}),
     FaultKind.MAPMAKER_SLOW_PUBLISH: frozenset({"mapmaker", "*"}),
     FaultKind.MAP_CORRUPTION: frozenset({"mapmaker", "*"}),
+    FaultKind.POP_OUTAGE: frozenset({"public", "*"}),
+    FaultKind.ANYCAST_FLAP: frozenset({"public", "*"}),
+    FaultKind.ECS_WHITELIST_REVOKE: frozenset({"public", "*"}),
 }
 
 #: Indexed groups whose ``<group>:<suffix>`` suffix must be a number
@@ -107,7 +126,16 @@ def _validate_target(kind: str, target: str) -> None:
             f"(expected {_grammar_hint(kind)})")
     if not rest:
         raise ValueError(f"bad {kind} target {target!r}: empty suffix")
-    if head in _INDEXED_GROUPS and not (rest == "*" or rest.isdigit()):
+    if head == "public" and not (rest == "*" or rest.isdigit()):
+        # Two-level provider grammar: public:<provider>[:<city>].
+        # Legal for every resolver-targeted kind so a whole provider
+        # fleet (or one named PoP) can be addressed by name.
+        parts = rest.split(":")
+        if not 1 <= len(parts) <= 2 or not all(parts):
+            raise ValueError(
+                f"bad {kind} target {target!r}: public: takes an "
+                f"index, '*', or <provider>[:<city>]")
+    elif head in _INDEXED_GROUPS and not (rest == "*" or rest.isdigit()):
         raise ValueError(
             f"bad {kind} target {target!r}: {head}: takes an index "
             f"or '*'")
@@ -116,6 +144,20 @@ def _validate_target(kind: str, target: str) -> None:
         raise ValueError(
             f"bad {kind} target {target!r}: mapmaker: takes "
             f"'primary', 'standby', an index, or '*'")
+
+
+def _target_provider(target: str) -> Optional[str]:
+    """The provider a ``public:<provider>[:<city>]`` target names.
+
+    ``None`` for everything else -- wildcards, indices, and bare
+    resolver ids stay exact-string spellings that the cross-kind
+    conflict check below cannot (and does not try to) resolve.
+    """
+    head, sep, rest = target.partition(":")
+    if head != "public" or not sep or rest in ("", "*"):
+        return None
+    provider = rest.split(":", 1)[0]
+    return None if provider.isdigit() else provider
 
 
 def _grammar_hint(kind: str) -> str:
@@ -139,7 +181,12 @@ class FaultEvent:
       ``link_degradation``): a resolver id, ``resolver:<id>``,
       ``public:*`` / ``isp:*`` for whole groups, or
       ``public:<index>`` / ``isp:<index>`` into the sorted group --
-      index grammar lets schedules address worlds not yet built.
+      index grammar lets schedules address worlds not yet built --
+      or ``public:<provider>[:<city>]`` naming a provider fleet or
+      one of its PoPs;
+    * resolver-plane kinds (``pop_outage`` / ``anycast_flap`` /
+      ``ecs_whitelist_revoke``) take the ``public:...`` spellings
+      above or ``*`` for every provider fleet.
 
     ``params`` carries kind-specific numbers as a sorted tuple of
     ``(name, value)`` pairs so events stay hashable and their JSON
@@ -257,6 +304,31 @@ class FaultSchedule:
                     f"[{event.start_day}, {event.end_day})")
             if earlier is None or event.end_day > earlier.end_day:
                 previous[key] = event
+        # Cross-kind conflict: an overlapping pop_outage (anycast route
+        # withdrawn -- clients silently re-home) and ldns_blackout
+        # (still routed to, but dead -- clients burn the stub timeout)
+        # on the same *named* provider assert contradictory failure
+        # modes for one fleet; reject at parse time.  Index, wildcard,
+        # and bare-id spellings cannot be resolved to a provider here
+        # and keep the exact-string doctrine above.
+        outages = [(e, _target_provider(e.target)) for e in self.events
+                   if e.kind == FaultKind.POP_OUTAGE]
+        blackouts = [(e, _target_provider(e.target)) for e in self.events
+                     if e.kind == FaultKind.LDNS_BLACKOUT]
+        for outage, out_provider in outages:
+            if out_provider is None:
+                continue
+            for blackout, dark_provider in blackouts:
+                if dark_provider != out_provider:
+                    continue
+                if (outage.start_day < blackout.end_day
+                        and blackout.start_day < outage.end_day):
+                    raise ValueError(
+                        f"conflicting pop_outage and ldns_blackout "
+                        f"events overlap on provider "
+                        f"{out_provider!r}: days "
+                        f"[{outage.start_day}, {outage.end_day}) and "
+                        f"[{blackout.start_day}, {blackout.end_day})")
         return self
 
     def to_dict(self) -> List[Dict]:

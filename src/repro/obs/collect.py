@@ -40,6 +40,10 @@ Canonical metric names exported for a wired world:
 ``clusters.mean_utilization``         deployment health
 ``measurement.rtt_lookups`` /
 ``measurement.memo_hits``             ping-mesh measurement service
+``resolver.pops_total`` / ``
+pops_healthy`` / ``pops_down`` /
+``resolver.providers_flapping``       anycast PoP fleet health (only
+                                      when the resolver plane is on)
 ====================================  =====================================
 """
 
@@ -156,5 +160,21 @@ def register_world_collectors(registry: MetricsRegistry, world) -> None:
             measurement.rtt_lookups)
         reg.gauge("measurement.memo_hits").set(
             measurement.rtt_memo_hits)
+
+        # Resolver-plane fleet health: only exported when the world
+        # carries live PoP fleets, so legacy snapshots stay
+        # byte-identical (gauge absence is the feature gate the
+        # monitor keys off).  Fleet membership and health replay
+        # identically in every shard -- merge by max.
+        fleets = getattr(world, "resolver_fleets", None)
+        if fleets is not None:
+            reg.gauge("resolver.pops_total", merge="max").set(
+                fleets.pops_total)
+            reg.gauge("resolver.pops_down", merge="max").set(
+                fleets.pops_down)
+            reg.gauge("resolver.pops_healthy", merge="max").set(
+                fleets.pops_total - fleets.pops_down)
+            reg.gauge("resolver.providers_flapping", merge="max").set(
+                len(fleets.flapping))
 
     registry.register_collector(_collect)

@@ -163,6 +163,29 @@ def control_plane_rules(config) -> List[AlertRule]:
     ]
 
 
+def resolver_plane_rules() -> List[AlertRule]:
+    """Alert rules for a world running the anycast PoP resolver plane.
+
+    ``resolver_pop_outage`` fires while any provider PoP's anycast
+    route is withdrawn and resolves on restoration;
+    ``resolver_anycast_flap`` mirrors route instability; and
+    ``resolver_catchment_shift`` fires while any completed session was
+    delivered to a PoP other than its build-time catchment -- the
+    graceful-degradation ladder's observable signature.
+    """
+    return [
+        ThresholdRule(
+            "resolver_pop_outage", "resolver.pops_down",
+            op="gt", threshold=0.0, severity="warning", for_steps=1),
+        ThresholdRule(
+            "resolver_anycast_flap", "resolver.providers_flapping",
+            op="gt", threshold=0.0, severity="warning", for_steps=1),
+        ThresholdRule(
+            "resolver_catchment_shift", "mapping.catchment_shift_share",
+            op="gt", threshold=0.0, severity="info", for_steps=1),
+    ]
+
+
 class RolloutMonitor:
     """Day-by-day monitoring plane over one roll-out run."""
 
@@ -262,6 +285,7 @@ class RolloutMonitor:
                               help=blurb)
             self._prev_gauges[gauge] = value
         self._control_plane_series(day, snapshot, gauges)
+        self._resolver_plane_series(day, snapshot, gauges, result)
         sessions = result.sessions_per_day.get(day, 0)
         failed = getattr(result, "failed_sessions_per_day",
                          {}).get(day, 0)
@@ -313,6 +337,45 @@ class RolloutMonitor:
                 _ratio(deltas[tier], total),
                 help=f"share of today's decisions answered at "
                      f"the {tier} tier")
+
+    def _resolver_plane_series(self, day: int, snapshot: Dict,
+                               gauges: Dict, result) -> None:
+        """Derived resolver-plane series, for PoP-fleet worlds.
+
+        Presence of the ``resolver.pops_total`` gauge is the opt-in
+        signal (mirroring the control plane's gate on
+        ``mapmaker.map_version``); legacy worlds export none of these,
+        so their reports stay byte-identical.  The raw fleet-health
+        gauges are already captured by the snapshot; derived here are
+        the catchment-shift share of today's completed sessions and
+        the per-day deltas of the graceful-degradation counters.
+        """
+        if "resolver.pops_total" not in gauges:
+            return
+        sessions = result.sessions_per_day.get(day, 0)
+        failed = getattr(result, "failed_sessions_per_day",
+                         {}).get(day, 0)
+        shifted = getattr(result, "catchment_shifted_per_day",
+                          {}).get(day, 0)
+        self.store.record(
+            day, "mapping.catchment_shift_share",
+            _ratio(shifted, sessions - failed),
+            help="share of today's completed sessions anycast "
+                 "delivered off their build-time catchment")
+        counters = snapshot.get("counters", {})
+        for series, counter, blurb in (
+                ("resolver.pop_failovers_today",
+                 "resolver.pop_failovers",
+                 "sessions re-homed to a surviving PoP today"),
+                ("resolver.cold_cache_misses_today",
+                 "resolver.cold_cache_misses",
+                 "re-homed sessions that also missed the LDNS cache "
+                 "today")):
+            value = counters.get(counter, 0.0)
+            self.store.record(day, series,
+                              value - self._prev_gauges.get(counter, 0.0),
+                              help=blurb)
+            self._prev_gauges[counter] = value
 
     def _cohort_series(self, day: int) -> None:
         """Mirror today's cohort means into the store, raw plus an

@@ -80,6 +80,7 @@ class ShardOutput:
     requests_per_day: Dict[int, int]
     failed_per_day: Dict[int, int]
     degraded_per_day: Dict[int, int]
+    catchment_shifted_per_day: Dict[int, int]
     ecs_resolvers_per_day: Dict[int, int]
     high_expectation: List[str]
     medians: Dict[str, float]
@@ -117,6 +118,8 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
     from repro.simulation.session import simulate_session
     from repro.topology.traffic import DayTraffic, day_weight
 
+    from repro.api import _resolver_policies_for
+
     profiler = (PhaseProfiler(config=spec.profile)
                 if spec.profile is not None else None)
     # SHARD: each worker sees 1/n_shards of the demand, so observed
@@ -127,7 +130,8 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
                          unit_scheme=spec.unit_scheme,
                          load_feedback=spec.load_feedback,
                          load_scale=float(n_shards),
-                         profiler=profiler)
+                         profiler=profiler,
+                         resolver_policies=_resolver_policies_for(spec))
     prof = world.obs.profiler
     config = spec.rollout
     injector = FaultInjector(world, spec.faults) if spec.faults else None
@@ -159,7 +163,8 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
         shard=shard, registry=registry, rum=rum,
         query_log=world.query_log, traces=[], trace_counts={},
         sessions_per_day={}, requests_per_day={}, failed_per_day={},
-        degraded_per_day={}, ecs_resolvers_per_day={},
+        degraded_per_day={}, catchment_shifted_per_day={},
+        ecs_resolvers_per_day={},
         high_expectation=sorted(high_expectation), medians=medians)
 
     for day in range(config.n_days):
@@ -210,6 +215,7 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
             requests_today = 0
             failed_today = 0
             degraded_today = 0
+            shifted_today = 0
             for index in range(quota):
                 now = day * DAY_SECONDS + index * spacing + rng.uniform(
                     0, spacing * 0.5)
@@ -228,6 +234,8 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
                     continue
                 if session.degraded:
                     degraded_today += 1
+                if session.catchment_shifted:
+                    shifted_today += 1
                 if keep_beacons:
                     rum.record(RumBeacon(
                         day=day,
@@ -249,6 +257,7 @@ def _shard_worker(payload: Tuple) -> ShardOutput:
             output.requests_per_day[day] = requests_today
             output.failed_per_day[day] = failed_today
             output.degraded_per_day[day] = degraded_today
+            output.catchment_shifted_per_day[day] = shifted_today
             prof.count("sessions", quota)
             prof.count("requests", requests_today)
             registry.counter("rollout.sessions").inc(quota)
@@ -324,6 +333,7 @@ class _ReplayResult:
         self.sessions_per_day = merged.sessions_per_day
         self.failed_sessions_per_day = merged.failed_sessions_per_day
         self.degraded_sessions_per_day = merged.degraded_sessions_per_day
+        self.catchment_shifted_per_day = merged.catchment_shifted_per_day
 
 
 class _WorldView:
@@ -446,6 +456,8 @@ def run_sharded(spec=None, *, workers: int = 1,
                 out.failed_per_day for out in outputs),
             degraded_sessions_per_day=sum_day_dicts(
                 out.degraded_per_day for out in outputs),
+            catchment_shifted_per_day=sum_day_dicts(
+                out.catchment_shifted_per_day for out in outputs),
             ecs_resolvers_per_day=dict(first.ecs_resolvers_per_day),
             high_expectation_countries=list(first.high_expectation),
             median_public_distance=dict(first.medians),

@@ -59,6 +59,37 @@ def traffic_schedule(text: str):
             f"bad traffic schedule: {exc}") from None
 
 
+def resolver_faults(text: str):
+    """argparse type for ``--resolver-faults``: a fault-schedule JSON
+    document (inline or ``@file``) restricted to resolver-plane kinds
+    (``pop_outage``, ``anycast_flap``, ``ecs_whitelist_revoke``).
+    Parsed and grammar-validated up front so a malformed schedule --
+    or a data/control-plane kind smuggled through the resolver flag --
+    is a usage error (exit code 2), never a mid-run crash."""
+    import json
+
+    from repro.faults import FaultKind, FaultSchedule
+
+    try:
+        if text.startswith("@"):
+            with open(text[1:]) as handle:
+                text = handle.read()
+        schedule = FaultSchedule.from_dict(json.loads(text)).validate()
+    except OSError as exc:
+        raise argparse.ArgumentTypeError(
+            f"cannot read resolver faults: {exc}") from None
+    except (ValueError, KeyError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad resolver faults: {exc}") from None
+    stray = sorted({event.kind for event in schedule.events
+                    if event.kind not in FaultKind.RESOLVER_PLANE})
+    if stray:
+        raise argparse.ArgumentTypeError(
+            f"bad resolver faults: non-resolver-plane kinds {stray} "
+            f"(use the scenario API for mixed schedules)")
+    return schedule
+
+
 def profile_config(text: str):
     """argparse type for ``--profile``: an optional JSON config object
     (bare ``--profile`` means defaults), validated up front so a
@@ -134,14 +165,16 @@ def _cmd_rollout(args) -> int:
     outcome = None
     if args.workers is not None or traffic is not None \
             or load_feedback is not None or args.profile is not None \
-            or control_plane is not None:
+            or control_plane is not None \
+            or args.resolver_faults is not None:
         # Scenario route: surge traffic, load feedback, the control
-        # plane, and profiling are spec features, so any of them (or
-        # --workers, which only sizes the pool -- --workers 1 and
-        # --workers 8 print identical reports) goes through
-        # ScenarioSpec + run().
+        # plane, resolver faults, and profiling are spec features, so
+        # any of them (or --workers, which only sizes the pool --
+        # --workers 1 and --workers 8 print identical reports) goes
+        # through ScenarioSpec + run().
         from repro.api import ScenarioSpec, run
         from repro.experiments.scales import get_scale
+        from repro.faults import FaultSchedule
         from repro.topology.traffic import TrafficSchedule
 
         spec = ScenarioSpec(world=get_scale(args.scale).world,
@@ -150,7 +183,9 @@ def _cmd_rollout(args) -> int:
                             load_feedback=load_feedback,
                             control_plane=control_plane,
                             unit_scheme=args.unit_scheme,
-                            profile=args.profile)
+                            profile=args.profile,
+                            faults=(args.resolver_faults
+                                    or FaultSchedule()))
         if args.workers is not None:
             print(f"running {args.shards} shards on {args.workers} "
                   f"worker(s)...", file=sys.stderr)
@@ -163,6 +198,10 @@ def _cmd_rollout(args) -> int:
         world = _build(args.scale)
         result = run_rollout(world, config)
     print(f"{len(result.rum)} RUM beacons over {config.n_days} days")
+    if args.resolver_faults is not None:
+        shifted = sum(result.catchment_shifted_per_day.values())
+        print(f"{shifted} sessions re-homed off their build-time "
+              f"catchment")
     for metric in ("mapping_distance_miles", "rtt_ms", "ttfb_ms",
                    "download_ms"):
         before = result.rum.metric_values(
@@ -267,6 +306,12 @@ def main(argv: List[str] | None = None) -> int:
                               "unit-construction scheme (ldns, geo_as, "
                               "routing_aware[:k], ...); requires "
                               "--control-plane")
+    rollout.add_argument("--resolver-faults", type=resolver_faults,
+                         default=None, metavar="JSON|@FILE",
+                         help="resolver-plane fault schedule "
+                              "(pop_outage / anycast_flap / "
+                              "ecs_whitelist_revoke events; activates "
+                              "the anycast PoP fleet model)")
     rollout.add_argument("--profile", type=profile_config, nargs="?",
                          const="{}", default=None, metavar="JSON",
                          help="profile the engine itself and print the "

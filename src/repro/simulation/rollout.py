@@ -89,6 +89,10 @@ class RolloutResult:
     degraded_sessions_per_day: Dict[int, int] = field(default_factory=dict)
     """Sessions completed through a degradation path (failover, stale
     answer, ECS strip, dead-server retry); empty in a fault-free run."""
+    catchment_shifted_per_day: Dict[int, int] = field(default_factory=dict)
+    """Sessions anycast delivered to a PoP other than their build-time
+    catchment; all zero unless the resolver plane is active and a PoP
+    is withdrawn or flapping."""
 
     @property
     def before_window(self) -> tuple:
@@ -275,6 +279,7 @@ def _run_rollout(world: World,
             requests_today = 0
             failed_today = 0
             degraded_today = 0
+            shifted_today = 0
             for index in range(sessions_today):
                 now = day * DAY_SECONDS + index * spacing + rng.uniform(
                     0, spacing * 0.5)
@@ -294,6 +299,8 @@ def _run_rollout(world: World,
                     continue
                 if session.degraded:
                     degraded_today += 1
+                if session.catchment_shifted:
+                    shifted_today += 1
                 result.rum.record(RumBeacon(
                     day=day,
                     block=block.prefix,
@@ -313,6 +320,7 @@ def _run_rollout(world: World,
             result.requests_per_day[day] = requests_today
             result.failed_sessions_per_day[day] = failed_today
             result.degraded_sessions_per_day[day] = degraded_today
+            result.catchment_shifted_per_day[day] = shifted_today
             profiler.count("sessions", sessions_today)
             profiler.count("requests", requests_today)
             registry.counter("rollout.sessions").inc(sessions_today)

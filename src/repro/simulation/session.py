@@ -78,6 +78,14 @@ class SessionResult:
     connect retry."""
     stale_served: bool = False
     """The DNS answer came from an expired cache entry (RFC 8767)."""
+    catchment_shifted: bool = False
+    """Anycast delivered this session to a PoP other than its
+    build-time catchment (a withdrawn or flapping PoP re-homed it).
+    Only ever True when the world's resolver fleets are active."""
+    cold_cache_miss: bool = False
+    """A catchment-shifted session whose resolution also missed the
+    LDNS cache: the cost of landing on a PoP that never saw this
+    client population (the outage-boundary cold-cache effect)."""
 
     @property
     def page_load_ms(self) -> float:
@@ -114,14 +122,32 @@ def _run_session(world, block, now, rng, provider, page, client_ip,
                  account_load, root) -> SessionResult:
     # --- DNS ----------------------------------------------------------------
     resolver_id = block.pick_ldns(rng)
+    # The resolver plane, when active, may re-home the session: anycast
+    # routes around withdrawn/flapping PoPs deterministically (no RNG,
+    # so fault and healthy runs stay stream-aligned).
+    catchment_shifted = False
+    fleet_dark = False
+    if world.resolver_fleets is not None:
+        routed_id = world.resolver_fleets.route(resolver_id, block)
+        if routed_id is None:
+            # Every PoP of the provider is withdrawn: the intended
+            # address is a black hole and the stub must burn its
+            # timeout, exactly like an LDNS blackout.
+            fleet_dark = True
+        elif routed_id != resolver_id:
+            catchment_shifted = True
+            resolver_id = routed_id
     ldns = world.ldns_registry[resolver_id]
     fallback_id = None
     fallback = None
-    if not ldns.alive:
-        # An injected LDNS blackout: the stub will fail over to the
-        # nearest live public resolver after its timeout.
+    if not ldns.alive or fleet_dark:
+        # An injected LDNS blackout (or a fleet gone entirely dark):
+        # the stub will fail over to the nearest live resolver after
+        # its timeout.
         fallback_id, fallback = _fallback_ldns(world, client_ip,
                                                resolver_id)
+    if fleet_dark:
+        ldns = _DarkFleet(ldns)
     stub = StubResolver(client_ip, world.network)
     tracer = world.obs.tracer
     with tracer.span("dns", resolver=resolver_id) as dns_span:
@@ -218,16 +244,20 @@ def _run_session(world, block, now, rng, provider, page, client_ip,
                     and world.deployments.server_index[ip].alive]
         spread_load(answered, rps=0.01 * requests)
 
-    ecs_used = ldns.ecs_enabled and not ldns.ecs_stripped
+    ecs_used = (ldns.ecs_enabled and not ldns.ecs_stripped
+                and ldns.ecs_whitelisted)
     degraded = (resolution.failed_over or resolution.stale
-                or dead_tried > 0
-                or (ldns.ecs_enabled and ldns.ecs_stripped))
+                or dead_tried > 0 or catchment_shifted
+                or (ldns.ecs_enabled and ldns.ecs_stripped)
+                or (ldns.ecs_enabled and not ldns.ecs_whitelisted))
     root.set(cluster=cluster.cluster_id, resolver=resolver_id,
              rtt_ms=rtt, connect_ms=connect_ms, ttfb_ms=ttfb_ms,
              download_ms=download_ms, requests=requests,
              edge_cache_hits=cache_hits)
     if degraded:
         root.set(degraded=True)
+    if catchment_shifted:
+        root.set(catchment_shifted=True)
     meta = world.internet.resolvers[resolver_id]
     return SessionResult(
         block=block,
@@ -249,25 +279,65 @@ def _run_session(world, block, now, rng, provider, page, client_ip,
         edge_cache_hits=cache_hits,
         degraded=degraded,
         stale_served=resolution.stale,
+        catchment_shifted=catchment_shifted,
+        cold_cache_miss=catchment_shifted and not resolution.ldns_cache_hit,
     )
 
 
-def _fallback_ldns(world, client_ip: int, exclude_id: str):
-    """Nearest live public resolver to fail over to, or (None, None).
+class _DarkFleet:
+    """Stand-in for an LDNS whose provider fleet is entirely withdrawn.
 
-    Deterministic: ties on RTT break by resolver id.
+    Quacks just enough like a dead :class:`RecursiveResolver` (``ip``,
+    ``name``, ``alive=False``) for the stub's blackout path to burn its
+    timeout and fail over, without mutating the real resolver -- the
+    PoP itself is healthy software behind a withdrawn route.
     """
+
+    alive = False
+
+    def __init__(self, ldns) -> None:
+        self.ip = ldns.ip
+        self.name = ldns.name
+
+
+def _fallback_ldns(world, client_ip: int, exclude_id: str):
+    """Nearest live resolver to fail over to, or (None, None).
+
+    Prefers public resolvers (the secondary users actually configure);
+    when *every* public resolver is dark -- a whole-plane outage --
+    falls back to the nearest live ISP/enterprise resolver so clients
+    with any working resolver path still complete.  Deterministic:
+    ties on RTT break by resolver id.
+    """
+    public = world.public_ldns_ids()
+    best_id, best, best_key = _nearest_live(world, client_ip,
+                                            exclude_id, public)
+    if best_id is None:
+        rest = [rid for rid in sorted(world.ldns_registry)
+                if rid not in set(public)]
+        best_id, best, best_key = _nearest_live(world, client_ip,
+                                                exclude_id, rest)
+    return best_id, best
+
+
+def _nearest_live(world, client_ip: int, exclude_id: str, pool):
+    fleets = world.resolver_fleets
     best_id, best, best_key = None, None, None
-    for rid in world.public_ldns_ids():
+    for rid in pool:
         if rid == exclude_id:
             continue
         candidate = world.ldns_registry[rid]
         if not candidate.alive:
             continue
+        # A withdrawn PoP is healthy software behind a dead route:
+        # failing over to it would just be a second black hole.
+        if (fleets is not None and rid in fleets.pops
+                and not fleets.pops[rid].healthy):
+            continue
         key = (world.network.rtt_ms(client_ip, candidate.ip), rid)
         if best_key is None or key < best_key:
             best_id, best, best_key = rid, candidate, key
-    return best_id, best
+    return best_id, best, best_key
 
 
 def _failed_session(world, block, provider, resolver_id, ldns,
@@ -323,6 +393,10 @@ def _record_session_metrics(registry, block: ClientBlock,
         registry.counter("sessions.degraded").inc()
     if result.stale_served:
         registry.counter("sessions.stale").inc()
+    if result.catchment_shifted:
+        registry.counter("resolver.pop_failovers").inc()
+    if result.cold_cache_miss:
+        registry.counter("resolver.cold_cache_misses").inc()
     weight = block.demand
     registry.histogram("session.dns_ms").observe(result.dns_ms, weight)
     registry.histogram("session.rtt_ms").observe(result.rtt_ms, weight)

@@ -48,6 +48,7 @@ from repro.measurement.querylog import QueryLog
 from repro.net.latency import LatencyModel
 from repro.obs import Observability, register_world_collectors
 from repro.topology.internet import Internet, InternetConfig, build_internet
+from repro.topology.resolvers import ResolverFleets, ResolverPolicySet
 
 CDN_ZONE = "cdn.example"
 WHOAMI_NAME = f"whoami.{CDN_ZONE}"
@@ -133,6 +134,12 @@ class World:
     ``load_feedback=LoadFeedbackConfig(...)``: the engines observe it
     once per day and the scorer reads its penalties.  None keeps
     scoring load-blind (the legacy behaviour)."""
+    resolver_fleets: Optional["ResolverFleets"] = None
+    """Live anycast PoP fleets, when the world was built with the
+    resolver plane active (``resolver_policies`` set, or resolver-plane
+    faults scheduled).  None keeps public resolvers as static
+    deployments (the legacy behaviour -- sessions route exactly where
+    the build-time catchment put them)."""
 
     def set_policy(self, policy: MappingPolicy) -> None:
         """Swap the mapping policy (NS / EU / CANS) world-wide."""
@@ -222,7 +229,9 @@ def _build_world(config: Optional[WorldConfig] = None,
                  load_feedback: Optional[LoadFeedbackConfig] = None,
                  load_scale: float = 1.0,
                  profiler=None,
-                 unit_scheme: Optional[str] = None) -> World:
+                 unit_scheme: Optional[str] = None,
+                 resolver_policies: Optional[ResolverPolicySet] = None,
+                 ) -> World:
     """Build and wire a complete world from a config.
 
     ``control_plane`` opts the world into the split control plane: a
@@ -247,6 +256,13 @@ def _build_world(config: Optional[WorldConfig] = None,
     compile/publish nests inside) and every component shares the
     profiler through ``world.obs``.  None wires the shared disabled
     profiler -- a pure no-op on every hot path.
+
+    ``resolver_policies`` opts into the resolver plane: public
+    deployments become live anycast PoPs (``world.resolver_fleets``)
+    whose health gates session routing, and each provider's
+    :class:`~repro.topology.resolvers.EcsPolicy` is applied to its
+    PoPs' recursives.  None keeps the static-deployment behaviour
+    byte-identical.
     """
     config = config or WorldConfig.small()
     rng = random.Random(config.seed ^ 0xC0FFEE)
@@ -259,13 +275,15 @@ def _build_world(config: Optional[WorldConfig] = None,
     with obs.profiler.phase("world.build"):
         return _wire_world(config, policy, control_plane,
                            load_feedback, load_scale, rng, obs,
-                           unit_scheme)
+                           unit_scheme, resolver_policies)
 
 
 def _wire_world(config: WorldConfig, policy, control_plane,
                 load_feedback, load_scale: float,
                 rng: random.Random, obs: Observability,
-                unit_scheme: Optional[str] = None) -> World:
+                unit_scheme: Optional[str] = None,
+                resolver_policies: Optional[ResolverPolicySet] = None,
+                ) -> World:
 
     internet = build_internet(config.internet, seed=config.seed)
     network = Network(internet.geodb, LatencyModel(), obs=obs)
@@ -355,6 +373,18 @@ def _wire_world(config: WorldConfig, policy, control_plane,
         network.register(ldns)
         ldns_registry[resolver_id] = ldns
 
+    # --- the resolver plane (anycast PoP fleets + ECS policies) -----------
+    resolver_fleets: Optional[ResolverFleets] = None
+    if resolver_policies is not None:
+        resolver_fleets = ResolverFleets.from_providers(
+            internet.providers, policies=resolver_policies)
+        for provider in internet.providers:
+            ecs_policy = resolver_policies.policy_for(provider.name)
+            for deployment in provider.deployments:
+                ldns = ldns_registry[deployment.resolver_id]
+                ldns.ecs_whitelisted = ecs_policy.whitelist_enabled
+                ldns.ecs_scope_ceiling = ecs_policy.scope_ceiling
+
     # --- query accounting ----------------------------------------------------
     query_log = QueryLog(
         authoritative_ips={ns.ip for ns in nameservers},
@@ -381,6 +411,7 @@ def _wire_world(config: WorldConfig, policy, control_plane,
         obs=obs,
         control_plane=publication_service,
         load_tracker=load_tracker,
+        resolver_fleets=resolver_fleets,
     )
     register_world_collectors(obs.registry, world)
     return world

@@ -136,6 +136,11 @@ def anycast_catchment(
     if not deployments:
         raise ValueError("anycast catchment over an empty deployment list")
     if len(deployments) == 1:
+        # Single-draw pick parity (the convention topology.traffic
+        # follows): consume the misroute draw even when the choice is
+        # trivial, so a fleet shrinking to one PoP mid-run keeps the
+        # RNG stream aligned with the healthy world's.
+        rng.random()
         return deployments[0]
     ranked = sorted(
         deployments,
@@ -173,3 +178,210 @@ def nearest_deployment(
         return None
     return min(deployments,
                key=lambda dep: great_circle_miles(geo, dep.geo))
+
+
+# ---------------------------------------------------------------------------
+# The resolver plane: per-provider ECS policy and live anycast PoP fleets
+
+
+@dataclass(frozen=True, slots=True)
+class EcsPolicy:
+    """One provider's ECS policy (the RFC 7871 operational knobs).
+
+    Real public resolvers do not send ECS unconditionally: Google-style
+    operators keep a *whitelist* of authoritative operators that receive
+    the option at all, and independently cap how fine a client prefix
+    they are willing to reveal.  Both knobs dominate the resolver/CDN
+    interplay Al-Dalky & Rabinovich measure, so both are modeled:
+
+    * ``whitelist_enabled`` -- whether the CDN's name servers are on
+      the provider's ECS whitelist.  Off means the provider answers
+      from NS-quality (resolver-located) mapping only.
+    * ``scope_ceiling`` -- the coarsest-allowed client prefix length
+      the provider will put in the option (and accept back as a cache
+      scope).  A ceiling below the stub's source length trades mapping
+      precision for cache efficiency.
+
+    The defaults reproduce the pre-fleet simulator exactly: whitelist
+    on, no narrowing below the roll-out's ``ecs_source_len``.
+    """
+
+    whitelist_enabled: bool = True
+    scope_ceiling: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scope_ceiling <= 32:
+            raise ValueError(
+                f"scope_ceiling must be in (0, 32]: {self.scope_ceiling}")
+
+    def to_dict(self) -> Dict:
+        return {"whitelist_enabled": self.whitelist_enabled,
+                "scope_ceiling": self.scope_ceiling}
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "EcsPolicy":
+        unknown = set(doc) - {"whitelist_enabled", "scope_ceiling"}
+        if unknown:
+            raise ValueError(
+                f"unknown ECS policy keys: {sorted(unknown)}")
+        return cls(
+            whitelist_enabled=bool(doc.get("whitelist_enabled", True)),
+            scope_ceiling=int(doc.get("scope_ceiling", 32)),
+        )
+
+
+@dataclass(frozen=True)
+class ResolverPolicySet:
+    """The per-provider ECS policy matrix.
+
+    Pure scenario data (``ScenarioSpec.resolver_policies``): providers
+    not named fall back to the default :class:`EcsPolicy`, so the empty
+    set means "build the PoP fleet model with 2014-faithful policies".
+    """
+
+    policies: Tuple[Tuple[str, EcsPolicy], ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.policies))
+        names = [name for name, _ in ordered]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"duplicate provider in resolver policies: {names}")
+        object.__setattr__(self, "policies", ordered)
+
+    def policy_for(self, provider: str) -> EcsPolicy:
+        for name, policy in self.policies:
+            if name == provider:
+                return policy
+        return EcsPolicy()
+
+    def to_dict(self) -> Dict:
+        return {name: policy.to_dict() for name, policy in self.policies}
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "ResolverPolicySet":
+        if not isinstance(doc, dict):
+            raise ValueError(
+                "resolver policies must be an object keyed by provider")
+        return cls(tuple(
+            (str(name), EcsPolicy.from_dict(policy))
+            for name, policy in doc.items()))
+
+
+@dataclass
+class ResolverPoP:
+    """One live anycast PoP: a deployment plus its runtime health.
+
+    The per-PoP *cache* already lives in the deployment's
+    :class:`~repro.dnssrv.recursive.RecursiveResolver` (one recursive
+    per deployment, keyed by ``resolver_id``), so this object carries
+    the remaining fleet state: reachability via anycast (``healthy``,
+    i.e. whether the PoP's route is announced) and nominal capacity.
+    """
+
+    resolver: Resolver
+    healthy: bool = True
+    capacity_qps: float = 100_000.0
+
+    @property
+    def resolver_id(self) -> str:
+        return self.resolver.resolver_id
+
+
+@dataclass
+class ResolverFleets:
+    """Live anycast PoP fleets for every public provider.
+
+    Attached to a world as ``world.resolver_fleets`` when the resolver
+    plane is active (``ScenarioSpec.resolver_policies`` set, or a
+    resolver-plane fault scheduled).  Build-time catchments are left
+    untouched -- a healthy fleet routes every session exactly where the
+    static world would -- and :meth:`route` deterministically re-homes
+    only the sessions whose intended PoP is withdrawn or flapping.  No
+    RNG is drawn, so fault and healthy worlds stay stream-aligned.
+    """
+
+    pops: Dict[str, ResolverPoP] = field(default_factory=dict)
+    by_provider: Dict[str, List[ResolverPoP]] = field(default_factory=dict)
+    policies: ResolverPolicySet = field(default_factory=ResolverPolicySet)
+    flapping: set = field(default_factory=set)
+    """Provider names whose anycast routes are currently flapping."""
+
+    @classmethod
+    def from_providers(
+        cls,
+        providers: Sequence[PublicProvider],
+        policies: Optional[ResolverPolicySet] = None,
+    ) -> "ResolverFleets":
+        fleets = cls(policies=policies or ResolverPolicySet())
+        for provider in providers:
+            pops = [ResolverPoP(resolver=dep)
+                    for dep in sorted(provider.deployments,
+                                      key=lambda d: d.resolver_id)]
+            fleets.by_provider[provider.name] = pops
+            for pop in pops:
+                fleets.pops[pop.resolver_id] = pop
+        return fleets
+
+    # -- health ----------------------------------------------------------
+
+    def withdraw(self, resolver_id: str) -> None:
+        """BGP-withdraw one PoP: anycast stops routing clients to it."""
+        self.pops[resolver_id].healthy = False
+
+    def restore(self, resolver_id: str) -> None:
+        self.pops[resolver_id].healthy = True
+
+    def healthy_pops(self, provider: str) -> List[ResolverPoP]:
+        return [p for p in self.by_provider.get(provider, ())
+                if p.healthy]
+
+    def all_healthy(self) -> bool:
+        return (not self.flapping
+                and all(p.healthy for p in self.pops.values()))
+
+    @property
+    def pops_total(self) -> int:
+        return len(self.pops)
+
+    @property
+    def pops_down(self) -> int:
+        return sum(1 for p in self.pops.values() if not p.healthy)
+
+    # -- routing ---------------------------------------------------------
+
+    def route(self, resolver_id: str, block) -> Optional[str]:
+        """Where anycast delivers a session intended for one PoP.
+
+        ``block`` is the client's block (anything with ``geo`` and
+        ``prefix.network``).  Returns the resolver id actually reached,
+        or ``None`` when every PoP of the provider is withdrawn (the
+        fleet is dark and the stub must burn its timeout).
+
+        Deterministic by construction: a healthy, non-flapping fleet
+        returns ``resolver_id`` unchanged (preserving the build-time
+        misroute catchments byte-for-byte); a withdrawn PoP re-homes to
+        the nearest healthy sibling; a flapping provider oscillates
+        half its catchment -- blocks whose third octet is odd -- to the
+        next-nearest healthy PoP, modeling the route instability that
+        shifts anycast catchments without taking capacity down.
+        """
+        pop = self.pops.get(resolver_id)
+        if pop is None:
+            return resolver_id  # not a public PoP: fleets don't apply
+        provider = pop.resolver.provider
+        flapped = (provider in self.flapping
+                   and (block.prefix.network >> 8) & 1 == 1)
+        if pop.healthy and not flapped:
+            return resolver_id
+        ranked = sorted(
+            self.healthy_pops(provider),
+            key=lambda p: (great_circle_miles(block.geo, p.resolver.geo),
+                           p.resolver_id))
+        if not ranked:
+            return None
+        if flapped and pop.healthy:
+            alternates = [p for p in ranked
+                          if p.resolver_id != resolver_id]
+            return (alternates[0] if alternates else ranked[0]).resolver_id
+        return ranked[0].resolver_id

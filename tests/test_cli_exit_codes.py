@@ -178,6 +178,62 @@ class TestUnitSchemeValidation:
         assert "--control-plane" in out
 
 
+class TestResolverFaultsValidation:
+    """``--resolver-faults`` joins the usage-error contract: malformed
+    JSON, bad target grammar, unreadable ``@file`` paths, and
+    non-resolver-plane kinds all exit 2 before any world is built."""
+
+    @pytest.mark.parametrize("value", [
+        "not json",
+        '{"kind": "pop_outage"}',           # object, not a list
+        '[{"kind": "pop_outage"}]',         # missing required fields
+        '[{"start_day": 0, "duration_days": 2, "target": "ns:0",'
+        ' "kind": "pop_outage"}]',          # wrong target head
+        '[{"start_day": 0, "duration_days": 2, "target":'
+        ' "public:GloboDNS:dallas:extra", "kind": "pop_outage"}]',
+        '[{"start_day": 0, "duration_days": 2, "target": "public:",'
+        ' "kind": "anycast_flap"}]',        # empty suffix
+    ], ids=["not-json", "not-a-list", "missing-fields", "bad-head",
+            "three-level-target", "empty-suffix"])
+    def test_sim_rollout_rejects_malformed_schedules(self, value):
+        code, _, err = _run(["sim", "rollout",
+                             "--resolver-faults", value])
+        assert code == 2
+        assert "resolver faults" in err
+
+    def test_non_resolver_plane_kinds_exit_two(self):
+        schedule = ('[{"start_day": 0, "duration_days": 2, "target":'
+                    ' "ns:0", "kind": "auth_outage"}]')
+        code, _, err = _run(["sim", "rollout",
+                             "--resolver-faults", schedule])
+        assert code == 2
+        assert "non-resolver-plane" in err
+
+    def test_unreadable_faults_file_exits_two(self):
+        code, _, err = _run(["sim", "rollout", "--resolver-faults",
+                             "@/no/such/faults.json"])
+        assert code == 2
+        assert "cannot read resolver faults" in err
+
+    def test_conflicting_outage_and_blackout_exit_two(self):
+        schedule = ('[{"start_day": 0, "duration_days": 4, "target":'
+                    ' "public:GloboDNS", "kind": "pop_outage"},'
+                    ' {"start_day": 2, "duration_days": 4, "target":'
+                    ' "public:GloboDNS", "kind": "ldns_blackout"}]')
+        code, _, err = _run(["sim", "rollout",
+                             "--resolver-faults", schedule])
+        assert code == 2
+        assert "bad resolver faults" in err
+
+    def test_resolver_faults_flag_is_advertised(self):
+        code, out, _ = _run(["sim", "rollout", "--help"])
+        assert code == 0
+        assert "--resolver-faults" in out
+        code, out, _ = _run(["soak", "--help"])
+        assert code == 0
+        assert "--resolver" in out
+
+
 class TestProfileValidation:
     """``python -m repro profile`` and every ``--profile`` flag join
     the usage-error contract: unknown scenarios, malformed profiler

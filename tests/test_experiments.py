@@ -26,7 +26,7 @@ ALL_FIGURES = [
     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
     "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
     "fig25", "ext-adoption", "degradation", "load_tradeoff",
-    "unit_scaling",
+    "unit_scaling", "resolver_matrix",
 ]
 
 CHEAP_FIGURES = ["fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
